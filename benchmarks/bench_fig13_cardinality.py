@@ -1,0 +1,12 @@
+"""Figure 13 — CPU time versus object cardinality (a) and query cardinality (b)."""
+
+from __future__ import annotations
+
+def test_fig13a_object_cardinality(benchmark, figure_runner):
+    """Figure 13(a): effect of the number of data objects N."""
+    figure_runner(benchmark, "fig13a")
+
+
+def test_fig13b_query_cardinality(benchmark, figure_runner):
+    """Figure 13(b): effect of the number of continuous queries Q."""
+    figure_runner(benchmark, "fig13b")

@@ -1,0 +1,13 @@
+"""Figure 14 — CPU time versus k (a) and edge agility (b)."""
+
+from __future__ import annotations
+
+
+def test_fig14a_number_of_neighbors(benchmark, figure_runner):
+    """Figure 14(a): effect of k, including the k = 1 crossover where IMA wins."""
+    figure_runner(benchmark, "fig14a")
+
+
+def test_fig14b_edge_agility(benchmark, figure_runner):
+    """Figure 14(b): effect of the fraction of edges updated per timestamp."""
+    figure_runner(benchmark, "fig14b")

@@ -1,0 +1,13 @@
+"""Figure 15 — CPU time versus object agility (a) and object speed (b)."""
+
+from __future__ import annotations
+
+
+def test_fig15a_object_agility(benchmark, figure_runner):
+    """Figure 15(a): effect of the fraction of objects moving per timestamp."""
+    figure_runner(benchmark, "fig15a")
+
+
+def test_fig15b_object_speed(benchmark, figure_runner):
+    """Figure 15(b): effect of how far a moving object travels (should be flat)."""
+    figure_runner(benchmark, "fig15b")

@@ -1,0 +1,13 @@
+"""Figure 16 — CPU time versus query agility (a) and query speed (b)."""
+
+from __future__ import annotations
+
+
+def test_fig16a_query_agility(benchmark, figure_runner):
+    """Figure 16(a): effect of the fraction of queries moving per timestamp."""
+    figure_runner(benchmark, "fig16a")
+
+
+def test_fig16b_query_speed(benchmark, figure_runner):
+    """Figure 16(b): effect of how far a moving query travels."""
+    figure_runner(benchmark, "fig16b")

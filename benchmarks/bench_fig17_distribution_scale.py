@@ -1,0 +1,13 @@
+"""Figure 17 — distribution combinations (a) and network size scaling (b)."""
+
+from __future__ import annotations
+
+
+def test_fig17a_distribution_combinations(benchmark, figure_runner):
+    """Figure 17(a): uniform/Gaussian object and query placement combinations."""
+    figure_runner(benchmark, "fig17a")
+
+
+def test_fig17b_network_size(benchmark, figure_runner):
+    """Figure 17(b): scaling with the number of edges at constant densities."""
+    figure_runner(benchmark, "fig17b")

@@ -1,0 +1,13 @@
+"""Figure 18 — memory footprint of IMA versus GMA."""
+
+from __future__ import annotations
+
+
+def test_fig18a_memory_versus_queries(benchmark, figure_runner):
+    """Figure 18(a): memory versus query cardinality (IMA above GMA)."""
+    figure_runner(benchmark, "fig18a")
+
+
+def test_fig18b_memory_versus_k(benchmark, figure_runner):
+    """Figure 18(b): memory versus k (IMA's trees grow with k)."""
+    figure_runner(benchmark, "fig18b")

@@ -1,0 +1,13 @@
+"""Figure 19 — Brinkhoff-style generator on the Oldenburg-like network."""
+
+from __future__ import annotations
+
+
+def test_fig19a_brinkhoff_query_cardinality(benchmark, figure_runner):
+    """Figure 19(a): destination-directed movement, varying query cardinality."""
+    figure_runner(benchmark, "fig19a")
+
+
+def test_fig19b_brinkhoff_number_of_neighbors(benchmark, figure_runner):
+    """Figure 19(b): destination-directed movement, varying k."""
+    figure_runner(benchmark, "fig19b")

@@ -1,0 +1,47 @@
+"""Shared helpers for the pytest-benchmark harness.
+
+Every figure of the paper's evaluation has a benchmark that (a) runs the
+figure's parameter sweep once, printing the same series the paper plots
+(run pytest with ``-s`` to see the tables), and (b) reports the sweep's
+wall-clock time through pytest-benchmark so regressions are tracked.
+
+The sweeps run on the scaled-down workload documented in
+``repro.experiments.config`` (same densities and agilities as the paper, a
+~25x smaller network); the mapping from the paper's axis values is printed
+with each table and recorded in EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.figures import get_experiment
+from repro.experiments.reporting import format_experiment
+from repro.experiments.runner import run_experiment
+
+#: Timestamps per sweep point in the benchmarks (keeps the whole harness
+#: under a few minutes; increase for smoother curves).
+BENCHMARK_TIMESTAMPS = 2
+
+
+def run_figure_benchmark(benchmark, experiment_id: str, timestamps: int = BENCHMARK_TIMESTAMPS):
+    """Run one figure's sweep under pytest-benchmark and print its table."""
+    experiment = get_experiment(experiment_id)
+
+    def sweep():
+        return run_experiment(experiment, timestamps=timestamps)
+
+    result = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print()
+    print(format_experiment(result))
+    # Sanity: every point produced a value for every algorithm.
+    for row in result.rows:
+        for algorithm in experiment.algorithms:
+            assert row.metric(algorithm, experiment.metric) >= 0.0
+    return result
+
+
+@pytest.fixture
+def figure_runner():
+    """Fixture exposing :func:`run_figure_benchmark` to the bench modules."""
+    return run_figure_benchmark

@@ -1,0 +1,87 @@
+#!/usr/bin/env python3
+"""Compare OVH, IMA and GMA in lock-step on one workload.
+
+Runs the three monitoring algorithms over the same simulated workload (same
+network, objects, queries, and update streams), verifies that they report
+identical results at every timestamp, and prints the cost comparison the
+paper's evaluation is built around: wall-clock time per timestamp, the
+abstract work counters, and the memory footprint.
+
+Run with::
+
+    python examples/algorithm_comparison.py            # scaled default workload
+    python examples/algorithm_comparison.py --queries 300 --k 20
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro.experiments.config import SCALED_DEFAULTS
+from repro.experiments.reporting import format_table
+from repro.sim.simulator import Simulator
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--objects", type=int, default=SCALED_DEFAULTS.num_objects)
+    parser.add_argument("--queries", type=int, default=SCALED_DEFAULTS.num_queries)
+    parser.add_argument("--k", type=int, default=SCALED_DEFAULTS.k)
+    parser.add_argument("--edges", type=int, default=SCALED_DEFAULTS.network_edges)
+    parser.add_argument("--timestamps", type=int, default=5)
+    parser.add_argument("--seed", type=int, default=SCALED_DEFAULTS.seed)
+    args = parser.parse_args()
+
+    config = SCALED_DEFAULTS.with_overrides(
+        num_objects=args.objects,
+        num_queries=args.queries,
+        k=args.k,
+        network_edges=args.edges,
+        timestamps=args.timestamps,
+        seed=args.seed,
+    )
+    print("workload:", config.describe())
+
+    simulator = Simulator(config)
+    result = simulator.run(algorithms=("OVH", "IMA", "GMA"), validate=True)
+
+    print(
+        f"\ncross-checked {config.num_queries} queries x {config.timestamps} timestamps: "
+        f"{result.validation_mismatches} result mismatches"
+    )
+
+    headers = [
+        "algorithm",
+        "mean s/ts",
+        "speedup vs OVH",
+        "objects considered/ts",
+        "nodes expanded/ts",
+        "memory (KB)",
+    ]
+    speedups = result.speedup_over("OVH")
+    rows = []
+    for name, metrics in result.metrics.items():
+        summary = metrics.summary()
+        rows.append(
+            [
+                name,
+                f"{summary['mean_seconds']:.4f}",
+                f"{speedups[name]:.2f}x",
+                f"{summary['mean_objects_considered']:.0f}",
+                f"{summary['mean_nodes_expanded']:.0f}",
+                f"{summary['mean_memory_kb']:.0f}",
+            ]
+        )
+    print()
+    print(format_table(headers, rows))
+
+    print(
+        "\nNote: the algorithmic-work columns (objects considered, nodes expanded)"
+        "\nare the machine-independent view of the paper's CPU-time comparison;"
+        "\nwall-clock ratios in pure Python are compressed by interpreter overhead"
+        "\nat this scaled-down workload (see EXPERIMENTS.md for the discussion)."
+    )
+
+
+if __name__ == "__main__":
+    main()

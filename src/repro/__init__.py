@@ -1,0 +1,94 @@
+"""repro — Continuous k-NN monitoring in road networks.
+
+A faithful, pure-Python reproduction of *Mouratidis, Yiu, Papadias,
+Mamoulis: "Continuous Nearest Neighbor Monitoring in Road Networks"*
+(VLDB 2006): the IMA and GMA monitoring algorithms, the OVH baseline, the
+road-network / spatial-index substrate they require, mobility and traffic
+generators, and an experiment harness that regenerates every figure of the
+paper's evaluation.
+
+Quickstart::
+
+    from repro import MonitoringServer, city_network
+
+    network = city_network(target_edges=500, seed=7)
+    server = MonitoringServer(network, algorithm="ima")
+    server.add_object_at(1, x=150.0, y=220.0)
+    server.add_object_at(2, x=410.0, y=180.0)
+    server.add_query_at(100, x=200.0, y=200.0, k=1)
+    server.tick()
+    print(server.result_of(100).neighbors)
+"""
+
+from repro.core import (
+    ALGORITHMS,
+    EdgeWeightUpdate,
+    GmaMonitor,
+    ImaMonitor,
+    KnnResult,
+    MonitorBase,
+    MonitoringServer,
+    ObjectUpdate,
+    OvhMonitor,
+    QueryUpdate,
+    SearchCounters,
+    TimestepReport,
+    UpdateBatch,
+    apply_batch,
+    expand_knn,
+)
+from repro.exceptions import ReproError
+from repro.network import (
+    EdgeTable,
+    NetworkLocation,
+    RoadNetwork,
+    SequenceTable,
+    brute_force_knn,
+    city_network,
+    grid_network,
+    linear_network,
+    load_network,
+    network_distance,
+    save_network,
+)
+from repro.spatial import PMRQuadtree, Point, Rect, Segment
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    "ReproError",
+    # core
+    "MonitoringServer",
+    "MonitorBase",
+    "OvhMonitor",
+    "ImaMonitor",
+    "GmaMonitor",
+    "KnnResult",
+    "UpdateBatch",
+    "ObjectUpdate",
+    "QueryUpdate",
+    "EdgeWeightUpdate",
+    "TimestepReport",
+    "SearchCounters",
+    "apply_batch",
+    "expand_knn",
+    "ALGORITHMS",
+    # network
+    "RoadNetwork",
+    "NetworkLocation",
+    "EdgeTable",
+    "SequenceTable",
+    "city_network",
+    "grid_network",
+    "linear_network",
+    "network_distance",
+    "brute_force_knn",
+    "load_network",
+    "save_network",
+    # spatial
+    "Point",
+    "Rect",
+    "Segment",
+    "PMRQuadtree",
+]

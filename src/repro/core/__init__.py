@@ -1,0 +1,47 @@
+"""Core monitoring algorithms: events, search engine, OVH, IMA, GMA, server."""
+
+from repro.core.base import MonitorBase, TimestepReport
+from repro.core.events import (
+    EdgeWeightUpdate,
+    ObjectUpdate,
+    QueryUpdate,
+    UpdateBatch,
+    apply_batch,
+)
+from repro.core.expansion import (
+    ExpansionState,
+    compute_influence_map,
+    object_distance_via_state,
+)
+from repro.core.gma import GmaMonitor
+from repro.core.ima import ImaMonitor
+from repro.core.influence import InfluenceIndex
+from repro.core.ovh import OvhMonitor
+from repro.core.results import KnnResult, NeighborList, results_equal
+from repro.core.search import SearchCounters, SearchOutcome, expand_knn
+from repro.core.server import ALGORITHMS, MonitoringServer
+
+__all__ = [
+    "MonitorBase",
+    "TimestepReport",
+    "ObjectUpdate",
+    "QueryUpdate",
+    "EdgeWeightUpdate",
+    "UpdateBatch",
+    "apply_batch",
+    "ExpansionState",
+    "compute_influence_map",
+    "object_distance_via_state",
+    "InfluenceIndex",
+    "KnnResult",
+    "NeighborList",
+    "results_equal",
+    "SearchCounters",
+    "SearchOutcome",
+    "expand_knn",
+    "OvhMonitor",
+    "ImaMonitor",
+    "GmaMonitor",
+    "MonitoringServer",
+    "ALGORITHMS",
+]

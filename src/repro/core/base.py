@@ -1,0 +1,232 @@
+"""Common interface of the three monitoring algorithms (OVH, IMA, GMA).
+
+A *monitor* owns the continuous queries registered with it and keeps their
+k-NN results up to date as update batches arrive.  It reads — but never
+mutates — the shared :class:`~repro.network.graph.RoadNetwork` and
+:class:`~repro.network.edge_table.EdgeTable`; the owner of the shared state
+applies each batch exactly once (see :func:`repro.core.events.apply_batch`)
+and then calls :meth:`MonitorBase.process_batch` on every monitor, which is
+how the experiment harness compares algorithms in lock-step.
+"""
+
+from __future__ import annotations
+
+import abc
+import time
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Mapping, Optional, Set, Tuple
+
+from repro.core.events import UpdateBatch
+from repro.core.results import KnnResult, Neighbor
+from repro.core.search import SearchCounters
+from repro.exceptions import (
+    DuplicateQueryError,
+    InvalidQueryError,
+    UnknownQueryError,
+)
+from repro.network.edge_table import EdgeTable
+from repro.network.graph import NetworkLocation, RoadNetwork
+
+
+@dataclass
+class TimestepReport:
+    """What happened while processing one update batch."""
+
+    timestamp: int
+    elapsed_seconds: float
+    changed_queries: Set[int] = field(default_factory=set)
+    counters: Dict[str, int] = field(default_factory=dict)
+
+
+class MonitorBase(abc.ABC):
+    """Abstract base class of the monitoring algorithms."""
+
+    #: Short algorithm name used in reports ("OVH", "IMA", "GMA").
+    name: str = "base"
+
+    def __init__(
+        self,
+        network: RoadNetwork,
+        edge_table: EdgeTable,
+        counters: Optional[SearchCounters] = None,
+    ) -> None:
+        self._network = network
+        self._edge_table = edge_table
+        self._results: Dict[int, KnnResult] = {}
+        self._query_k: Dict[int, int] = {}
+        self._query_location: Dict[int, NetworkLocation] = {}
+        self._counters = counters if counters is not None else SearchCounters()
+        self._timestep_reports: List[TimestepReport] = []
+
+    # ------------------------------------------------------------------
+    # registration
+    # ------------------------------------------------------------------
+    def register_query(self, query_id: int, location: NetworkLocation, k: int) -> KnnResult:
+        """Install a new continuous query and compute its initial result."""
+        if query_id in self._query_k:
+            raise DuplicateQueryError(query_id)
+        if k < 1:
+            raise InvalidQueryError(f"k must be >= 1, got {k}")
+        self._network.validate_location(location)
+        self._query_k[query_id] = k
+        self._query_location[query_id] = location
+        result = self._install_query(query_id, location, k)
+        self._results[query_id] = result
+        return result
+
+    def unregister_query(self, query_id: int) -> None:
+        """Terminate a continuous query."""
+        if query_id not in self._query_k:
+            raise UnknownQueryError(query_id)
+        self._remove_query(query_id)
+        del self._query_k[query_id]
+        del self._query_location[query_id]
+        self._results.pop(query_id, None)
+
+    # ------------------------------------------------------------------
+    # results
+    # ------------------------------------------------------------------
+    def result_of(self, query_id: int) -> KnnResult:
+        """Current k-NN result of a query.
+
+        Raises:
+            UnknownQueryError: if the query is not registered.
+        """
+        try:
+            return self._results[query_id]
+        except KeyError as exc:
+            raise UnknownQueryError(query_id) from exc
+
+    def results(self) -> Dict[int, KnnResult]:
+        """Current results of every registered query (a copy)."""
+        return dict(self._results)
+
+    def query_ids(self) -> Set[int]:
+        return set(self._query_k)
+
+    def query_location(self, query_id: int) -> NetworkLocation:
+        try:
+            return self._query_location[query_id]
+        except KeyError as exc:
+            raise UnknownQueryError(query_id) from exc
+
+    def query_k(self, query_id: int) -> int:
+        try:
+            return self._query_k[query_id]
+        except KeyError as exc:
+            raise UnknownQueryError(query_id) from exc
+
+    @property
+    def query_count(self) -> int:
+        return len(self._query_k)
+
+    # ------------------------------------------------------------------
+    # processing
+    # ------------------------------------------------------------------
+    def process_batch(self, batch: UpdateBatch) -> TimestepReport:
+        """Process one timestamp's updates and refresh the affected results.
+
+        The shared network / edge table must already reflect the batch (see
+        :func:`repro.core.events.apply_batch`).  Query terminations are
+        handled before the algorithm-specific processing and installations
+        after it (Section 4.5 of the paper); movements are part of the
+        algorithm-specific processing.  Returns a report with the wall-clock
+        time spent and the queries whose result changed.
+        """
+        normalized = batch.normalized()
+        before = self._counters.snapshot()
+        start = time.perf_counter()
+
+        installations = [u for u in normalized.query_updates if u.is_installation]
+        terminations = [u for u in normalized.query_updates if u.is_termination]
+        movements = [
+            u
+            for u in normalized.query_updates
+            if not u.is_installation and not u.is_termination
+        ]
+
+        for update in terminations:
+            if update.query_id in self._query_k:
+                self.unregister_query(update.query_id)
+
+        for update in movements:
+            if update.query_id in self._query_location:
+                assert update.new_location is not None
+                self._query_location[update.query_id] = update.new_location
+
+        core_batch = UpdateBatch(
+            timestamp=normalized.timestamp,
+            object_updates=normalized.object_updates,
+            query_updates=movements,
+            edge_updates=normalized.edge_updates,
+        )
+        changed = self._process(core_batch)
+
+        for update in installations:
+            assert update.new_location is not None and update.k is not None
+            self.register_query(update.query_id, update.new_location, update.k)
+            changed.add(update.query_id)
+
+        elapsed = time.perf_counter() - start
+        after = self._counters.snapshot()
+        report = TimestepReport(
+            timestamp=normalized.timestamp,
+            elapsed_seconds=elapsed,
+            changed_queries=changed,
+            counters={key: after[key] - before[key] for key in after},
+        )
+        self._timestep_reports.append(report)
+        return report
+
+    # ------------------------------------------------------------------
+    # metrics
+    # ------------------------------------------------------------------
+    @property
+    def counters(self) -> SearchCounters:
+        """Cumulative work counters across all processing so far."""
+        return self._counters
+
+    @property
+    def timestep_reports(self) -> List[TimestepReport]:
+        """Reports of every processed batch, in order."""
+        return list(self._timestep_reports)
+
+    def memory_footprint_bytes(self) -> int:
+        """Rough size of the algorithm-specific state (Figure 18).
+
+        Subclasses extend this with their own structures; the base method
+        accounts for the per-query result lists (k entries of 16 bytes each).
+        """
+        return sum(16 * len(result.neighbors) for result in self._results.values())
+
+    # ------------------------------------------------------------------
+    # subclass hooks
+    # ------------------------------------------------------------------
+    @abc.abstractmethod
+    def _install_query(self, query_id: int, location: NetworkLocation, k: int) -> KnnResult:
+        """Compute the initial result of a newly registered query."""
+
+    @abc.abstractmethod
+    def _remove_query(self, query_id: int) -> None:
+        """Drop the algorithm-specific state of a terminated query."""
+
+    @abc.abstractmethod
+    def _process(self, batch: UpdateBatch) -> Set[int]:
+        """Handle a normalized batch; return the ids of changed queries."""
+
+    # ------------------------------------------------------------------
+    # shared helpers for subclasses
+    # ------------------------------------------------------------------
+    def _store_result(self, query_id: int, neighbors: List[Neighbor], radius: float) -> bool:
+        """Store a new result; return True when it differs from the old one."""
+        new_result = KnnResult(
+            query_id=query_id,
+            k=self._query_k[query_id],
+            neighbors=tuple(neighbors),
+            radius=radius,
+        )
+        old_result = self._results.get(query_id)
+        self._results[query_id] = new_result
+        if old_result is None:
+            return True
+        return old_result.neighbors != new_result.neighbors

@@ -1,0 +1,229 @@
+"""Update/event model: the three update streams the monitoring server receives.
+
+At every timestamp the server receives (Section 3 of the paper):
+
+* **object updates** — a data object moved, appeared, or disappeared;
+* **query updates** — a query moved, was installed, or was terminated;
+* **edge updates** — the weight of a network edge changed.
+
+An :class:`UpdateBatch` groups the updates of one timestamp.  The paper's
+Section 4.5 preprocessing (collapsing several updates of the same entity in
+one timestamp into a single net update) is implemented by
+:meth:`UpdateBatch.normalized`.
+
+Monitors never mutate the shared :class:`~repro.network.graph.RoadNetwork`
+or :class:`~repro.network.edge_table.EdgeTable` themselves; the owner of the
+shared state (the simulator or the :class:`~repro.core.server.MonitoringServer`)
+calls :func:`apply_batch` exactly once per timestamp and then hands the same
+batch to every monitor, so that several algorithms can be compared in
+lock-step on identical inputs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.exceptions import InvalidQueryError, SimulationError
+from repro.network.edge_table import EdgeTable
+from repro.network.graph import NetworkLocation, RoadNetwork
+
+
+@dataclass(frozen=True)
+class ObjectUpdate:
+    """A data-object update: movement, appearance, or disappearance.
+
+    ``old_location is None`` encodes an appearing object and
+    ``new_location is None`` a disappearing one; both set is a movement.
+    """
+
+    object_id: int
+    old_location: Optional[NetworkLocation]
+    new_location: Optional[NetworkLocation]
+
+    def __post_init__(self) -> None:
+        if self.old_location is None and self.new_location is None:
+            raise SimulationError(
+                f"object update {self.object_id} has neither old nor new location"
+            )
+
+    @property
+    def is_insertion(self) -> bool:
+        return self.old_location is None
+
+    @property
+    def is_deletion(self) -> bool:
+        return self.new_location is None
+
+
+@dataclass(frozen=True)
+class QueryUpdate:
+    """A query update: movement, installation, or termination.
+
+    ``old_location is None`` encodes a newly installed query (``k`` must be
+    provided), ``new_location is None`` a terminated one.
+    """
+
+    query_id: int
+    old_location: Optional[NetworkLocation]
+    new_location: Optional[NetworkLocation]
+    k: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.old_location is None and self.new_location is None:
+            raise SimulationError(
+                f"query update {self.query_id} has neither old nor new location"
+            )
+        if self.old_location is None and (self.k is None or self.k < 1):
+            raise InvalidQueryError(
+                f"newly installed query {self.query_id} needs a positive k"
+            )
+
+    @property
+    def is_installation(self) -> bool:
+        return self.old_location is None
+
+    @property
+    def is_termination(self) -> bool:
+        return self.new_location is None
+
+
+@dataclass(frozen=True)
+class EdgeWeightUpdate:
+    """An edge-weight change (e.g. reported by a traffic sensor)."""
+
+    edge_id: int
+    old_weight: float
+    new_weight: float
+
+    def __post_init__(self) -> None:
+        if self.new_weight <= 0:
+            raise SimulationError(
+                f"edge {self.edge_id}: new weight must be positive, got {self.new_weight}"
+            )
+
+    @property
+    def is_increase(self) -> bool:
+        return self.new_weight > self.old_weight
+
+    @property
+    def is_decrease(self) -> bool:
+        return self.new_weight < self.old_weight
+
+    @property
+    def delta(self) -> float:
+        """Signed change ``new_weight - old_weight``."""
+        return self.new_weight - self.old_weight
+
+
+@dataclass
+class UpdateBatch:
+    """All updates received in one timestamp."""
+
+    timestamp: int = 0
+    object_updates: List[ObjectUpdate] = field(default_factory=list)
+    query_updates: List[QueryUpdate] = field(default_factory=list)
+    edge_updates: List[EdgeWeightUpdate] = field(default_factory=list)
+
+    # ------------------------------------------------------------------
+    # convenience
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.object_updates) + len(self.query_updates) + len(self.edge_updates)
+
+    def is_empty(self) -> bool:
+        return len(self) == 0
+
+    def add_object_move(
+        self, object_id: int, old: NetworkLocation, new: NetworkLocation
+    ) -> None:
+        self.object_updates.append(ObjectUpdate(object_id, old, new))
+
+    def add_query_move(
+        self, query_id: int, old: NetworkLocation, new: NetworkLocation
+    ) -> None:
+        self.query_updates.append(QueryUpdate(query_id, old, new))
+
+    def add_edge_change(self, edge_id: int, old_weight: float, new_weight: float) -> None:
+        self.edge_updates.append(EdgeWeightUpdate(edge_id, old_weight, new_weight))
+
+    # ------------------------------------------------------------------
+    # preprocessing (Section 4.5)
+    # ------------------------------------------------------------------
+    def normalized(self) -> "UpdateBatch":
+        """Collapse multiple updates of the same entity into net updates.
+
+        For an object (or query) that issued several location updates in the
+        same timestamp only the first old location and the last new location
+        matter; for an edge only the first old weight and the last new
+        weight.  The relative order of distinct entities is preserved.
+        """
+        merged_objects: Dict[int, ObjectUpdate] = {}
+        object_order: List[int] = []
+        for update in self.object_updates:
+            previous = merged_objects.get(update.object_id)
+            if previous is None:
+                merged_objects[update.object_id] = update
+                object_order.append(update.object_id)
+            else:
+                merged_objects[update.object_id] = ObjectUpdate(
+                    update.object_id, previous.old_location, update.new_location
+                )
+
+        merged_queries: Dict[int, QueryUpdate] = {}
+        query_order: List[int] = []
+        for update in self.query_updates:
+            previous = merged_queries.get(update.query_id)
+            if previous is None:
+                merged_queries[update.query_id] = update
+                query_order.append(update.query_id)
+            else:
+                merged_queries[update.query_id] = QueryUpdate(
+                    update.query_id,
+                    previous.old_location,
+                    update.new_location,
+                    update.k if update.k is not None else previous.k,
+                )
+
+        merged_edges: Dict[int, EdgeWeightUpdate] = {}
+        edge_order: List[int] = []
+        for update in self.edge_updates:
+            previous = merged_edges.get(update.edge_id)
+            if previous is None:
+                merged_edges[update.edge_id] = update
+                edge_order.append(update.edge_id)
+            else:
+                merged_edges[update.edge_id] = EdgeWeightUpdate(
+                    update.edge_id, previous.old_weight, update.new_weight
+                )
+
+        return UpdateBatch(
+            timestamp=self.timestamp,
+            object_updates=[merged_objects[i] for i in object_order],
+            query_updates=[merged_queries[i] for i in query_order],
+            edge_updates=[
+                merged_edges[i]
+                for i in edge_order
+                if merged_edges[i].old_weight != merged_edges[i].new_weight
+            ],
+        )
+
+
+def apply_batch(network: RoadNetwork, edge_table: EdgeTable, batch: UpdateBatch) -> None:
+    """Apply a batch to the shared network and edge table (exactly once).
+
+    Edge updates set the new weights; object updates insert / move / remove
+    objects in the edge table.  Query updates are *not* applied here because
+    query positions are algorithm state, not shared state.
+    """
+    for edge_update in batch.edge_updates:
+        network.set_edge_weight(edge_update.edge_id, edge_update.new_weight)
+    for object_update in batch.object_updates:
+        if object_update.is_insertion:
+            assert object_update.new_location is not None
+            edge_table.insert_object(object_update.object_id, object_update.new_location)
+        elif object_update.is_deletion:
+            edge_table.remove_object(object_update.object_id)
+        else:
+            assert object_update.new_location is not None
+            edge_table.move_object(object_update.object_id, object_update.new_location)

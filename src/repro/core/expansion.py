@@ -1,0 +1,291 @@
+"""Expansion-tree state and influence-region computation.
+
+The expansion tree of a query q (Section 3 of the paper) contains the
+shortest path from q to every network node whose distance is at most
+``q.kNN_dist``.  We represent it as two dictionaries:
+
+* ``node_dist`` — the exact network distance of every verified node, and
+* ``parent`` — the predecessor of each verified node on its shortest path
+  (``None`` for nodes reached directly from the query's own edge).
+
+The tree's *marks* (the points at distance exactly ``kNN_dist`` on partially
+covered edges) are not materialised: they are implied by ``node_dist`` and
+the radius, and the influencing intervals derived from them are computed by
+:func:`compute_influence_map`.
+
+The pruning operations used by IMA's incremental maintenance (removing the
+subtree below an edge, shifting a subtree after a weight decrease,
+re-rooting after a query movement, shrinking to a smaller radius) are
+methods of :class:`ExpansionState`.  Each method documents why the distances
+it keeps remain *exact*, which is the correctness core of the incremental
+algorithm.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Mapping, Optional, Set, Tuple
+
+from repro.network.edge_table import EdgeTable
+from repro.network.graph import Edge, NetworkLocation, RoadNetwork
+from repro.utils.intervals import (
+    Spans,
+    influence_spans,
+    merge_spans,
+    point_distance_via_endpoints,
+    point_spans,
+)
+
+
+@dataclass
+class ExpansionState:
+    """Verified node distances and shortest-path tree of one query."""
+
+    node_dist: Dict[int, float] = field(default_factory=dict)
+    parent: Dict[int, Optional[int]] = field(default_factory=dict)
+
+    # ------------------------------------------------------------------
+    # basic queries
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.node_dist)
+
+    def __contains__(self, node_id: int) -> bool:
+        return node_id in self.node_dist
+
+    def distance(self, node_id: int) -> float:
+        """Distance of a verified node, or ``inf`` when not verified."""
+        return self.node_dist.get(node_id, float("inf"))
+
+    def copy(self) -> "ExpansionState":
+        return ExpansionState(dict(self.node_dist), dict(self.parent))
+
+    def clear(self) -> None:
+        self.node_dist.clear()
+        self.parent.clear()
+
+    # ------------------------------------------------------------------
+    # tree structure
+    # ------------------------------------------------------------------
+    def children_map(self) -> Dict[Optional[int], List[int]]:
+        """Map each node (or ``None`` for the root) to its children."""
+        children: Dict[Optional[int], List[int]] = {}
+        for node_id, parent_id in self.parent.items():
+            children.setdefault(parent_id, []).append(node_id)
+        return children
+
+    def subtree_nodes(self, root: int) -> Set[int]:
+        """All verified nodes in the subtree rooted at *root* (inclusive).
+
+        Returns an empty set when *root* is not a verified node.
+        """
+        if root not in self.node_dist:
+            return set()
+        children = self.children_map()
+        result: Set[int] = set()
+        stack = [root]
+        while stack:
+            node_id = stack.pop()
+            if node_id in result:
+                continue
+            result.add(node_id)
+            stack.extend(children.get(node_id, ()))
+        return result
+
+    def tree_edge_child(self, edge: Edge) -> Optional[int]:
+        """If *edge* is a tree edge, return its child endpoint, else None.
+
+        An edge is a tree edge when one endpoint is the parent of the other
+        in the shortest-path tree.
+        """
+        if self.parent.get(edge.end, _MISSING) == edge.start:
+            return edge.end
+        if self.parent.get(edge.start, _MISSING) == edge.end:
+            return edge.start
+        return None
+
+    def root_children(self) -> List[int]:
+        """Nodes reached directly from the query's own edge (parent None)."""
+        return [node_id for node_id, parent_id in self.parent.items() if parent_id is None]
+
+    # ------------------------------------------------------------------
+    # pruning operations (IMA maintenance)
+    # ------------------------------------------------------------------
+    def prune_nodes(self, nodes: Iterable[int]) -> int:
+        """Remove *nodes* (and nothing else) from the state.
+
+        Callers pass complete subtrees; any child left behind whose parent
+        was removed is re-parented to ``None`` only if it is kept on purpose
+        (this does not happen for complete-subtree pruning, but defensive
+        re-parenting keeps the structure consistent if it ever does).
+        Returns the number of nodes removed.
+        """
+        removed = 0
+        node_set = set(nodes)
+        for node_id in node_set:
+            if node_id in self.node_dist:
+                del self.node_dist[node_id]
+                self.parent.pop(node_id, None)
+                removed += 1
+        # Defensive re-parenting of orphans.
+        for node_id, parent_id in list(self.parent.items()):
+            if parent_id is not None and parent_id not in self.node_dist:
+                self.parent[node_id] = None
+        return removed
+
+    def keep_only(self, nodes: Iterable[int]) -> None:
+        """Keep exactly the given verified nodes, pruning everything else."""
+        keep = set(nodes) & set(self.node_dist)
+        self.node_dist = {n: d for n, d in self.node_dist.items() if n in keep}
+        self.parent = {
+            n: (p if p in keep else None) for n, p in self.parent.items() if n in keep
+        }
+
+    def prune_subtree(self, root: int) -> Set[int]:
+        """Remove the subtree rooted at *root*; return the removed node set.
+
+        Used for edge-weight increases: when the weight of tree edge (u, v)
+        with child v grows, the shortest paths to every node below v may have
+        cheaper alternatives outside the old tree, so the whole subtree is
+        discarded (the rest of the tree never used that edge and stays exact).
+        """
+        subtree = self.subtree_nodes(root)
+        self.prune_nodes(subtree)
+        return subtree
+
+    def shift_subtree(self, root: int, delta: float) -> Set[int]:
+        """Add *delta* to the distance of every node in the subtree of *root*.
+
+        Used for edge-weight decreases: the paths to the nodes below the
+        updated tree edge keep their shape and simply become cheaper by the
+        weight delta, so their shifted distances remain exact (any competing
+        path either avoids the edge — unchanged length, previously longer —
+        or uses it and enjoys exactly the same discount).
+        """
+        subtree = self.subtree_nodes(root)
+        for node_id in subtree:
+            self.node_dist[node_id] += delta
+        return subtree
+
+    def shrink_to_radius(self, radius: float) -> int:
+        """Drop verified nodes farther than *radius*; return how many."""
+        if radius == float("inf"):
+            return 0
+        to_remove = [n for n, d in self.node_dist.items() if d > radius + 1e-12]
+        return self.prune_nodes(to_remove)
+
+    def reroot_subtree(self, new_root: int, new_root_distance: float) -> None:
+        """Keep only the subtree of *new_root* and re-offset its distances.
+
+        Used when a query moves to a new position q' on a tree edge: the old
+        shortest paths to the nodes below the far endpoint of that edge pass
+        through q', so for those nodes the path suffix starting at q' is
+        still optimal (sub-paths of shortest paths are shortest paths) and
+        the new distance is ``old_distance - old(new_root) + new_root_distance``.
+        """
+        if new_root not in self.node_dist:
+            self.clear()
+            return
+        offset = new_root_distance - self.node_dist[new_root]
+        keep = self.subtree_nodes(new_root)
+        self.keep_only(keep)
+        for node_id in keep:
+            self.node_dist[node_id] += offset
+        self.parent[new_root] = None
+
+    # ------------------------------------------------------------------
+    # memory accounting
+    # ------------------------------------------------------------------
+    def footprint_bytes(self) -> int:
+        """Rough memory footprint used by the Figure-18 experiments.
+
+        Counts one (node id, distance, parent) record per verified node at
+        24 bytes, mirroring how the paper accounts for expansion-tree size
+        rather than measuring CPython object overhead.
+        """
+        return 24 * len(self.node_dist)
+
+
+_MISSING = object()
+
+
+def compute_influence_map(
+    network: RoadNetwork,
+    state: ExpansionState,
+    radius: float,
+    query_location: Optional[NetworkLocation] = None,
+) -> Dict[int, Spans]:
+    """Influencing intervals of every edge affected by a query.
+
+    An edge affects the query when some point on it lies within *radius*.
+    All such edges have at least one endpoint among the verified nodes (any
+    point within the radius is reached through one of its edge's endpoints,
+    whose distance is then also within the radius), so it suffices to scan
+    the edges incident to verified nodes, plus the query's own edge.
+
+    Distances of points are computed with the ``min`` formula over the two
+    endpoint distances; for one-way edges this may overestimate the
+    influence region (never underestimate it), which keeps update filtering
+    conservative and therefore correct.
+    """
+    influences: Dict[int, Spans] = {}
+    seen_edges: Set[int] = set()
+    node_dist = state.node_dist
+
+    for node_id, dist in node_dist.items():
+        if dist > radius:
+            continue
+        for edge_id in network.incident_edges(node_id):
+            if edge_id in seen_edges:
+                continue
+            seen_edges.add(edge_id)
+            edge = network.edge(edge_id)
+            spans = influence_spans(
+                edge.weight,
+                node_dist.get(edge.start, float("inf")),
+                node_dist.get(edge.end, float("inf")),
+                radius,
+            )
+            if spans:
+                influences[edge_id] = spans
+
+    if query_location is not None:
+        edge = network.edge(query_location.edge_id)
+        own = point_spans(edge.weight, query_location.offset(edge.weight), radius)
+        endpoint_based = influence_spans(
+            edge.weight,
+            node_dist.get(edge.start, float("inf")),
+            node_dist.get(edge.end, float("inf")),
+            radius,
+        )
+        combined = merge_spans(own, endpoint_based)
+        if combined:
+            influences[query_location.edge_id] = combined
+
+    return influences
+
+
+def object_distance_via_state(
+    network: RoadNetwork,
+    state: ExpansionState,
+    location: NetworkLocation,
+    query_location: Optional[NetworkLocation] = None,
+) -> float:
+    """Distance of an object location using the verified node distances.
+
+    Returns the minimum of the distances through the two endpoints of the
+    object's edge (infinite when neither endpoint is verified) and, when the
+    object shares the query's edge, the direct along-edge distance.  For
+    objects inside the influence region this value is exact (see the
+    incoming-object argument in :mod:`repro.core.ima`); outside it, it is an
+    upper bound.
+    """
+    edge = network.edge(location.edge_id)
+    offset = location.offset(edge.weight)
+    distance = point_distance_via_endpoints(
+        edge.weight, offset, state.distance(edge.start), state.distance(edge.end)
+    )
+    if query_location is not None and query_location.edge_id == location.edge_id:
+        direct = abs(location.fraction - query_location.fraction) * edge.weight
+        distance = min(distance, direct)
+    return distance

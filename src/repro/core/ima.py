@@ -1,0 +1,513 @@
+"""IMA — the Incremental Monitoring Algorithm (Section 4 of the paper).
+
+IMA monitors every query individually.  For each query it stores the
+expansion tree built by the initial Figure-2 search (exact distances of all
+network nodes within ``kNN_dist``) and registers the query in the influence
+lists of the edges that can affect it.  At every timestamp only the updates
+that fall inside some influence region are processed; everything else is
+ignored.  When a query *is* affected, the valid part of its expansion tree
+is identified, re-used, and the search resumes from its frontier instead of
+starting from scratch.
+
+Processing order within a timestamp follows Figure 10 of the paper:
+
+1. queries that move outside their expansion tree are scheduled for full
+   recomputation and excluded from further incremental handling;
+2. edge-weight *decreases* are applied to the affected trees (the subtree
+   below the updated edge keeps its shape and shifts by the weight delta;
+   the rest of the tree is kept only up to the distance of the far endpoint
+   of the updated edge);
+3. edge-weight *increases* are applied (the subtree below the updated edge
+   is discarded; the rest of the tree is untouched);
+4. queries that move *inside* their tree are re-rooted at the new position
+   (the subtree hanging below the new position stays valid);
+5. object updates are classified per affected query as incoming, outgoing,
+   or moving neighbors using the influence intervals;
+6. every affected query is finalised: if its tree was pruned or it lost too
+   many neighbors the expansion resumes from the remaining verified nodes,
+   otherwise the new result is read directly off the maintained candidates
+   (and the tree shrinks to the smaller radius).
+
+Exactness of the retained node distances in each pruning case is argued in
+the docstrings of the corresponding ``_prune_for_*`` methods and in
+:mod:`repro.core.expansion`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.core.base import MonitorBase
+from repro.core.events import EdgeWeightUpdate, ObjectUpdate, QueryUpdate, UpdateBatch
+from repro.core.expansion import (
+    ExpansionState,
+    compute_influence_map,
+    object_distance_via_state,
+)
+from repro.core.influence import InfluenceIndex
+from repro.core.results import KnnResult, NeighborList
+from repro.core.search import expand_knn
+from repro.network.edge_table import EdgeTable
+from repro.network.graph import NetworkLocation, RoadNetwork
+
+_EPS = 1e-9
+
+
+@dataclass
+class _QueryState:
+    """Per-query incremental state (the paper's query-table entry)."""
+
+    query_id: int
+    k: int
+    location: NetworkLocation
+    state: ExpansionState = field(default_factory=ExpansionState)
+    neighbors: NeighborList = field(default_factory=lambda: NeighborList(1))
+    radius: float = float("inf")
+
+
+@dataclass
+class _Pending:
+    """What happened to a query during the current timestamp."""
+
+    needs_resume: bool = False
+    full_recompute: bool = False
+    object_changes: bool = False
+    #: total weight decrease applied to edges affecting this query (used to
+    #: compute the radius within which the maintained candidates are still
+    #: guaranteed to be complete)
+    decrease_delta: float = 0.0
+    #: distance the query moved inside its tree this timestamp
+    move_distance: float = 0.0
+
+
+class ImaMonitor(MonitorBase):
+    """Incremental continuous k-NN monitoring with expansion trees."""
+
+    name = "IMA"
+
+    def __init__(
+        self,
+        network: RoadNetwork,
+        edge_table: EdgeTable,
+        counters=None,
+    ) -> None:
+        super().__init__(network, edge_table, counters)
+        self._states: Dict[int, _QueryState] = {}
+        self._influence = InfluenceIndex()
+
+    # ------------------------------------------------------------------
+    # introspection helpers (used by tests and memory accounting)
+    # ------------------------------------------------------------------
+    @property
+    def influence_index(self) -> InfluenceIndex:
+        """The shared edge -> query influence index (read-only use)."""
+        return self._influence
+
+    def expansion_state_of(self, query_id: int) -> ExpansionState:
+        """The expansion tree of a query (read-only use)."""
+        return self._states[query_id].state
+
+    def memory_footprint_bytes(self) -> int:
+        """Result lists + expansion trees + influence entries (Figure 18)."""
+        base = super().memory_footprint_bytes()
+        trees = sum(qs.state.footprint_bytes() for qs in self._states.values())
+        influence = 12 * len(self._influence) + 20 * self._influence.interval_count()
+        return base + trees + influence
+
+    # ------------------------------------------------------------------
+    # MonitorBase hooks
+    # ------------------------------------------------------------------
+    def _install_query(self, query_id: int, location: NetworkLocation, k: int) -> KnnResult:
+        query_state = _QueryState(
+            query_id=query_id, k=k, location=location, neighbors=NeighborList(k)
+        )
+        self._states[query_id] = query_state
+        self._fresh_search(query_state)
+        return KnnResult(
+            query_id=query_id,
+            k=k,
+            neighbors=tuple(query_state.neighbors.top_k()),
+            radius=query_state.radius,
+        )
+
+    def _remove_query(self, query_id: int) -> None:
+        self._influence.clear_subscriber(query_id)
+        self._states.pop(query_id, None)
+
+    def _process(self, batch: UpdateBatch) -> Set[int]:
+        pending: Dict[int, _Pending] = {}
+        changed: Set[int] = set()
+
+        def pending_of(query_id: int) -> _Pending:
+            entry = pending.get(query_id)
+            if entry is None:
+                entry = _Pending()
+                pending[query_id] = entry
+            return entry
+
+        # Step 1 — query movements: classify inside / outside the tree.
+        deferred_moves: List[Tuple[_QueryState, NetworkLocation]] = []
+        for update in batch.query_updates:
+            query_state = self._states.get(update.query_id)
+            if query_state is None or update.new_location is None:
+                continue
+            entry = pending_of(update.query_id)
+            move_distance = object_distance_via_state(
+                self._network,
+                query_state.state,
+                update.new_location,
+                query_state.location,
+            )
+            if move_distance <= query_state.radius + _EPS:
+                entry.move_distance += move_distance
+                deferred_moves.append((query_state, update.new_location))
+            else:
+                # Moving outside the influence region invalidates everything.
+                query_state.location = update.new_location
+                entry.full_recompute = True
+
+        # Steps 2 and 3 — edge weight changes, decreases before increases
+        # (processing an increase first could leave a stale subtree that a
+        # concurrent decrease elsewhere has made reachable through a shorter
+        # path; see Section 4.5).
+        decreases = [u for u in batch.edge_updates if u.is_decrease]
+        increases = [u for u in batch.edge_updates if u.is_increase]
+        for update in decreases:
+            self._handle_edge_update(update, pending_of, decrease=True)
+        for update in increases:
+            self._handle_edge_update(update, pending_of, decrease=False)
+
+        # Step 4 — query movements inside the (already pruned) tree.
+        for query_state, new_location in deferred_moves:
+            entry = pending_of(query_state.query_id)
+            if entry.full_recompute:
+                query_state.location = new_location
+                continue
+            self._prune_for_query_move(query_state, new_location)
+            query_state.location = new_location
+            entry.needs_resume = True
+
+        # Step 5 — object updates, filtered through the influence intervals.
+        for update in batch.object_updates:
+            self._handle_object_update(update, pending_of)
+
+        # Step 6 — finalise incrementally maintained queries.  The fast path
+        # (no new expansion) is sound only when the maintained candidates
+        # still provide k neighbors *within the old radius* — the region the
+        # expansion tree has complete knowledge of; otherwise (an outgoing
+        # neighbor created a deficit, or the best available replacement lies
+        # beyond the old radius) the search resumes from the tree frontier.
+        for query_id, entry in pending.items():
+            if entry.full_recompute:
+                continue
+            query_state = self._states[query_id]
+            candidate_radius = query_state.neighbors.radius
+            if entry.needs_resume or candidate_radius > query_state.radius + _EPS:
+                self._resume_search(query_state, entry)
+            else:
+                self._finalize_fast_path(query_state)
+            if self._store_result(
+                query_id, query_state.neighbors.top_k(), query_state.radius
+            ):
+                changed.add(query_id)
+
+        # Step 7 — full recomputations (queries that left their trees or
+        # whose own edge changed weight).
+        for query_id, entry in pending.items():
+            if not entry.full_recompute:
+                continue
+            query_state = self._states[query_id]
+            self._fresh_search(query_state)
+            if self._store_result(
+                query_id, query_state.neighbors.top_k(), query_state.radius
+            ):
+                changed.add(query_id)
+
+        return changed
+
+    # ------------------------------------------------------------------
+    # update handling
+    # ------------------------------------------------------------------
+    def _handle_edge_update(self, update, pending_of, decrease: bool) -> None:
+        for query_id in self._influence.subscribers_on_edge(update.edge_id):
+            query_state = self._states.get(query_id)
+            if query_state is None:
+                continue
+            entry = pending_of(query_id)
+            if entry.full_recompute:
+                continue
+            if update.edge_id == query_state.location.edge_id:
+                # A weight change of the query's own edge shifts the query's
+                # effective position in travel-cost space; recompute.
+                entry.full_recompute = True
+                continue
+            if decrease:
+                self._prune_for_edge_decrease(query_state, update)
+                entry.decrease_delta += update.old_weight - update.new_weight
+            else:
+                self._prune_for_edge_increase(query_state, update)
+            entry.needs_resume = True
+
+    def _handle_object_update(self, update: ObjectUpdate, pending_of) -> None:
+        old_affected: Set[int] = set()
+        new_affected: Set[int] = set()
+        if update.old_location is not None:
+            edge = self._network.edge(update.old_location.edge_id)
+            offset = update.old_location.offset(edge.weight)
+            old_affected = self._influence.subscribers_at_point(edge.edge_id, offset)
+        if update.new_location is not None:
+            edge = self._network.edge(update.new_location.edge_id)
+            offset = update.new_location.offset(edge.weight)
+            new_affected = self._influence.subscribers_at_point(edge.edge_id, offset)
+
+        for query_id in old_affected | new_affected:
+            query_state = self._states.get(query_id)
+            if query_state is None:
+                continue
+            entry = pending_of(query_id)
+            if entry.full_recompute:
+                continue
+            entry.object_changes = True
+            if query_id in new_affected:
+                assert update.new_location is not None
+                distance = object_distance_via_state(
+                    self._network,
+                    query_state.state,
+                    update.new_location,
+                    query_state.location,
+                )
+                # Incoming or moving neighbor.  When the tree is intact the
+                # distance is exact (the new position lies inside the
+                # influence region, so at least one endpoint of its edge is a
+                # verified node); after a pruning it may be an upper bound,
+                # which the resumed search corrects.
+                query_state.neighbors.assign(update.object_id, distance)
+            else:
+                # Outgoing neighbor: it left the influence region (or the
+                # system); drop it from the candidates.
+                query_state.neighbors.discard(update.object_id)
+
+    # ------------------------------------------------------------------
+    # pruning rules
+    # ------------------------------------------------------------------
+    def _prune_for_edge_decrease(
+        self, query_state: _QueryState, update: EdgeWeightUpdate
+    ) -> None:
+        """Prune the tree after the weight of an affecting edge decreased.
+
+        Exactness argument: (i) nodes in the subtree below the updated tree
+        edge keep their path shape, so their distances shift down by exactly
+        the weight delta; (ii) any path that benefits from the cheaper edge
+        must first reach one of its endpoints without using it — paying at
+        least that endpoint's old distance — and then cross it, so no node
+        closer than ``min(d(start), d(end)) + new_weight`` can improve; those
+        nodes are kept, everything else is discarded and re-verified by the
+        resumed search.
+        """
+        state = query_state.state
+        edge = self._network.edge(update.edge_id)
+        delta = update.old_weight - update.new_weight
+        child = state.tree_edge_child(edge)
+        shifted: Set[int] = set()
+        if child is not None:
+            shifted = state.shift_subtree(child, -delta)
+        threshold = (
+            min(state.distance(edge.start), state.distance(edge.end))
+            + update.new_weight
+        )
+        keep = set(shifted)
+        keep.update(
+            node_id
+            for node_id, distance in state.node_dist.items()
+            if distance <= threshold + _EPS
+        )
+        state.keep_only(keep)
+
+    def _prune_for_edge_increase(
+        self, query_state: _QueryState, update: EdgeWeightUpdate
+    ) -> None:
+        """Prune the tree after the weight of an affecting edge increased.
+
+        The shortest paths of nodes outside the subtree below the updated
+        edge never traverse it (tree paths use tree edges only), and a weight
+        increase cannot create shorter alternatives, so those distances stay
+        exact.  The subtree below the edge may now have cheaper paths outside
+        the old tree and is discarded.
+        """
+        state = query_state.state
+        edge = self._network.edge(update.edge_id)
+        child = state.tree_edge_child(edge)
+        if child is not None:
+            state.prune_subtree(child)
+
+    def _prune_for_query_move(
+        self, query_state: _QueryState, new_location: NetworkLocation
+    ) -> None:
+        """Re-root the tree at the query's new position.
+
+        When the new position q' lies on a tree edge, the old shortest paths
+        to every node in the subtree hanging below q' pass through q', so
+        that subtree stays valid with distances re-offset to start from q'
+        (sub-paths of shortest paths are shortest paths).  Everything else —
+        including the old result distances — is discarded and re-discovered
+        by the resumed search.
+        """
+        state = query_state.state
+        old_location = query_state.location
+        network = self._network
+
+        if new_location.edge_id == old_location.edge_id:
+            edge = network.edge(new_location.edge_id)
+            if abs(new_location.fraction - old_location.fraction) <= _EPS:
+                return
+            toward_end = new_location.fraction > old_location.fraction
+            anchor = edge.end if toward_end else edge.start
+            anchor_is_root_child = (
+                anchor in state.node_dist and state.parent.get(anchor) is None
+            )
+            if anchor_is_root_child:
+                new_anchor_distance = (
+                    new_location.reversed_offset(edge.weight)
+                    if toward_end
+                    else new_location.offset(edge.weight)
+                )
+                state.reroot_subtree(anchor, new_anchor_distance)
+            else:
+                state.clear()
+            return
+
+        edge = network.edge(new_location.edge_id)
+        child = state.tree_edge_child(edge)
+        if child is None:
+            # The new position lies on a partially covered (non-tree) edge;
+            # no subtree is rooted below it, so nothing can be re-used.
+            state.clear()
+            return
+        if child == edge.end:
+            new_child_distance = new_location.reversed_offset(edge.weight)
+        else:
+            new_child_distance = new_location.offset(edge.weight)
+        state.reroot_subtree(child, new_child_distance)
+
+    # ------------------------------------------------------------------
+    # searches
+    # ------------------------------------------------------------------
+    def _fresh_search(self, query_state: _QueryState) -> None:
+        """Compute the query's result from scratch (Figure 2)."""
+        query_state.state = ExpansionState()
+        outcome = expand_knn(
+            self._network,
+            self._edge_table,
+            query_state.k,
+            query_location=query_state.location,
+            counters=self._counters,
+        )
+        self._adopt_outcome(query_state, outcome)
+
+    def _resume_search(
+        self, query_state: _QueryState, entry: Optional[_Pending] = None
+    ) -> None:
+        """Resume the expansion from the valid part of the tree.
+
+        The maintained result candidates are re-used: their distances are
+        recomputed against the (possibly pruned / shifted) tree — exact when
+        the realising endpoint survived the pruning, an upper bound otherwise
+        (the expansion corrects upper bounds when it re-settles the pruned
+        endpoints).  The candidate set is complete for every object closer
+        than ``old_radius - (weight decreases) - (query movement)``, so edges
+        lying entirely inside that radius need not be re-scanned; the search
+        is told so through its ``coverage_radius`` parameter and only scans
+        the boundary ("mark") edges plus newly explored territory.
+        """
+        state = query_state.state
+        pruned = entry is not None and (entry.needs_resume or entry.move_distance > 0)
+        candidates = []
+        for object_id, stored_distance in query_state.neighbors.all_candidates():
+            if not pruned:
+                # Pure object-update deficit: the tree is intact, so the
+                # maintained candidate distances are already exact.
+                candidates.append((object_id, stored_distance))
+                continue
+            if not self._edge_table.has_object(object_id):
+                continue
+            distance = object_distance_via_state(
+                self._network,
+                state,
+                self._edge_table.location_of(object_id),
+                query_state.location,
+            )
+            if distance != float("inf"):
+                candidates.append((object_id, distance))
+        coverage = None
+        if query_state.radius != float("inf"):
+            slack = 0.0
+            if entry is not None:
+                slack = entry.decrease_delta + entry.move_distance
+            coverage = query_state.radius - slack
+            if coverage <= 0:
+                coverage = None
+        outcome = expand_knn(
+            self._network,
+            self._edge_table,
+            query_state.k,
+            query_location=query_state.location,
+            preverified=state.node_dist,
+            preverified_parent=state.parent,
+            candidates=candidates,
+            coverage_radius=coverage,
+            counters=self._counters,
+        )
+        self._adopt_outcome(query_state, outcome)
+
+    def _adopt_outcome(self, query_state: _QueryState, outcome) -> None:
+        query_state.state = outcome.state
+        query_state.radius = outcome.radius
+        query_state.state.shrink_to_radius(outcome.radius)
+        query_state.neighbors = NeighborList(query_state.k, outcome.neighbors)
+        self._refresh_influence(query_state)
+
+    def _finalize_fast_path(self, query_state: _QueryState) -> None:
+        """Finish a query affected only by object updates with enough survivors.
+
+        The surviving and incoming candidates all carry exact distances (see
+        :meth:`_handle_object_update`), so the new result is simply their
+        top-k.  The radius can only have shrunk.  The tree and the influence
+        intervals are trimmed only when the radius shrank substantially:
+        keeping slightly-too-large intervals is safe (over-inclusive
+        filtering merely processes a few irrelevant updates) and skipping the
+        refresh keeps the fast path cheap — which is the point of IMA.
+        """
+        query_state.neighbors.trim_to_k()
+        new_radius = query_state.neighbors.radius
+        old_radius = query_state.radius
+        query_state.radius = new_radius
+        if new_radius < 0.9 * old_radius:
+            query_state.state.shrink_to_radius(new_radius)
+            self._refresh_influence(query_state)
+
+    def _refresh_influence(self, query_state: _QueryState) -> None:
+        influences = compute_influence_map(
+            self._network,
+            query_state.state,
+            query_state.radius,
+            query_state.location,
+        )
+        self._influence.replace_subscriber(query_state.query_id, influences)
+
+    # ------------------------------------------------------------------
+    # predicates
+    # ------------------------------------------------------------------
+    def _location_within_region(
+        self, query_state: _QueryState, location: NetworkLocation
+    ) -> bool:
+        """Is *location* within the query's current influence region?
+
+        Uses the verified node distances; for positions inside the region the
+        via-endpoint distance is exact, so the test never misclassifies an
+        inside position as outside.
+        """
+        distance = object_distance_via_state(
+            self._network, query_state.state, location, query_state.location
+        )
+        return distance <= query_state.radius + _EPS

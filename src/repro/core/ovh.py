@@ -1,0 +1,66 @@
+"""OVH — the overhaul baseline: recompute every query at every timestamp.
+
+The paper's benchmark competitor (Section 6): at every timestamp each
+registered query is re-evaluated from scratch with the Figure-2 expansion,
+regardless of whether any update could have affected it.  OVH is trivially
+correct, which also makes it the reference the differential tests compare
+IMA and GMA against.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Set
+
+from repro.core.base import MonitorBase
+from repro.core.events import UpdateBatch
+from repro.core.results import KnnResult
+from repro.core.search import expand_knn
+from repro.network.edge_table import EdgeTable
+from repro.network.graph import NetworkLocation, RoadNetwork
+
+
+class OvhMonitor(MonitorBase):
+    """Recompute-from-scratch continuous k-NN monitoring."""
+
+    name = "OVH"
+
+    def __init__(self, network: RoadNetwork, edge_table: EdgeTable) -> None:
+        super().__init__(network, edge_table)
+
+    # ------------------------------------------------------------------
+    # MonitorBase hooks
+    # ------------------------------------------------------------------
+    def _install_query(self, query_id: int, location: NetworkLocation, k: int) -> KnnResult:
+        outcome = expand_knn(
+            self._network,
+            self._edge_table,
+            k,
+            query_location=location,
+            counters=self._counters,
+        )
+        return KnnResult(
+            query_id=query_id,
+            k=k,
+            neighbors=tuple(outcome.neighbors),
+            radius=outcome.radius,
+        )
+
+    def _remove_query(self, query_id: int) -> None:
+        # OVH keeps no per-query state beyond the result handled by the base.
+        return None
+
+    def _process(self, batch: UpdateBatch) -> Set[int]:
+        changed: Set[int] = set()
+        for query_id in list(self._query_k):
+            location = self._query_location[query_id]
+            k = self._query_k[query_id]
+            outcome = expand_knn(
+                self._network,
+                self._edge_table,
+                k,
+                query_location=location,
+                counters=self._counters,
+            )
+            if self._store_result(query_id, outcome.neighbors, outcome.radius):
+                changed.add(query_id)
+        return changed

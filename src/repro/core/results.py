@@ -1,0 +1,202 @@
+"""k-NN result containers.
+
+The monitoring algorithms manipulate a *candidate list* of data objects with
+tentative network distances (some exact, some upper bounds) and repeatedly
+ask for the current *radius* — the distance of the k-th best candidate,
+which is the paper's ``q.kNN_dist`` and the termination bound of every
+network expansion.  :class:`NeighborList` provides exactly that interface;
+:class:`KnnResult` is the immutable, sorted answer handed back to callers.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+from repro.exceptions import InvalidQueryError
+
+#: An ``(object_id, distance)`` pair.
+Neighbor = Tuple[int, float]
+
+
+@dataclass(frozen=True)
+class KnnResult:
+    """Immutable k-NN answer of one query at one timestamp.
+
+    Attributes:
+        query_id: the query this answer belongs to.
+        k: the number of neighbors requested.
+        neighbors: up to ``k`` ``(object_id, distance)`` pairs sorted by
+            distance (ties broken by object id for determinism).
+        radius: the distance of the k-th neighbor, or ``inf`` when fewer
+            than ``k`` objects are reachable (the paper's ``kNN_dist``).
+    """
+
+    query_id: int
+    k: int
+    neighbors: Tuple[Neighbor, ...]
+    radius: float
+
+    @property
+    def object_ids(self) -> Tuple[int, ...]:
+        """The neighbor object ids in rank order."""
+        return tuple(object_id for object_id, _ in self.neighbors)
+
+    @property
+    def is_complete(self) -> bool:
+        """True when the full k neighbors were found."""
+        return len(self.neighbors) >= self.k
+
+    def distance_of(self, object_id: int) -> Optional[float]:
+        """Distance of *object_id* in this result, or None if absent."""
+        for candidate, distance in self.neighbors:
+            if candidate == object_id:
+                return distance
+        return None
+
+    def same_objects(self, other: "KnnResult") -> bool:
+        """True when both results contain the same object ids (any order)."""
+        return set(self.object_ids) == set(other.object_ids)
+
+
+class NeighborList:
+    """Mutable candidate list with an O(1) amortised radius query.
+
+    Stores at most one distance per object (the minimum of all distances it
+    was offered).  ``radius`` is the distance of the k-th smallest candidate
+    or infinity when fewer than k candidates exist; it is recomputed lazily
+    and cached between mutations.
+    """
+
+    __slots__ = ("_k", "_distances", "_radius", "_dirty")
+
+    def __init__(self, k: int, initial: Iterable[Neighbor] = ()) -> None:
+        if k < 1:
+            raise InvalidQueryError(f"k must be >= 1, got {k}")
+        self._k = k
+        self._distances: Dict[int, float] = {}
+        self._radius = float("inf")
+        self._dirty = True
+        for object_id, distance in initial:
+            self.offer(object_id, distance)
+
+    # ------------------------------------------------------------------
+    # protocol
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._distances)
+
+    def __contains__(self, object_id: int) -> bool:
+        return object_id in self._distances
+
+    def __iter__(self) -> Iterator[Neighbor]:
+        return iter(self._distances.items())
+
+    @property
+    def k(self) -> int:
+        return self._k
+
+    # ------------------------------------------------------------------
+    # mutation
+    # ------------------------------------------------------------------
+    def offer(self, object_id: int, distance: float) -> bool:
+        """Offer a candidate; keep the smaller distance if already present.
+
+        Returns True when the stored distance changed.
+        """
+        current = self._distances.get(object_id)
+        if current is not None and distance >= current:
+            return False
+        self._distances[object_id] = distance
+        self._dirty = True
+        return True
+
+    def assign(self, object_id: int, distance: float) -> None:
+        """Set the distance of a candidate unconditionally (overwrite)."""
+        self._distances[object_id] = distance
+        self._dirty = True
+
+    def discard(self, object_id: int) -> bool:
+        """Remove a candidate; returns True if it was present."""
+        if object_id in self._distances:
+            del self._distances[object_id]
+            self._dirty = True
+            return True
+        return False
+
+    def clear(self) -> None:
+        self._distances.clear()
+        self._dirty = True
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    @property
+    def radius(self) -> float:
+        """Distance of the k-th best candidate (``inf`` if fewer than k)."""
+        if self._dirty:
+            self._recompute_radius()
+        return self._radius
+
+    def distance_of(self, object_id: int) -> Optional[float]:
+        return self._distances.get(object_id)
+
+    def top_k(self) -> List[Neighbor]:
+        """The best ``k`` candidates sorted by (distance, object id)."""
+        return heapq.nsmallest(
+            self._k, self._distances.items(), key=lambda item: (item[1], item[0])
+        )
+
+    def all_candidates(self) -> List[Neighbor]:
+        """Every candidate sorted by (distance, object id)."""
+        return sorted(self._distances.items(), key=lambda item: (item[1], item[0]))
+
+    def as_result(self, query_id: int) -> KnnResult:
+        """Freeze the current top-k into a :class:`KnnResult`."""
+        top = self.top_k()
+        return KnnResult(
+            query_id=query_id,
+            k=self._k,
+            neighbors=tuple(top),
+            radius=self.radius,
+        )
+
+    def trim_to_k(self) -> None:
+        """Drop every candidate beyond the current top-k."""
+        top = dict(self.top_k())
+        if len(top) != len(self._distances):
+            self._distances = top
+            self._dirty = True
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+    def _recompute_radius(self) -> None:
+        if len(self._distances) < self._k:
+            self._radius = float("inf")
+        else:
+            kth = heapq.nsmallest(self._k, self._distances.values())[-1]
+            self._radius = kth
+        self._dirty = False
+
+
+def results_equal(
+    first: Sequence[Neighbor],
+    second: Sequence[Neighbor],
+    tolerance: float = 1e-6,
+) -> bool:
+    """Compare two k-NN answers allowing ties at the radius boundary.
+
+    Two answers are considered equivalent when, rank by rank, their distances
+    agree within *tolerance*.  The object ids may legitimately differ when
+    several objects are equidistant (ties are broken arbitrarily), so the
+    comparison is on the distance profile, which is what the correctness
+    argument of the paper guarantees.
+    """
+    if len(first) != len(second):
+        return False
+    for (_, dist_a), (_, dist_b) in zip(first, second):
+        if abs(dist_a - dist_b) > tolerance + tolerance * max(abs(dist_a), abs(dist_b)):
+            return False
+    return True

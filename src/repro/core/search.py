@@ -1,0 +1,282 @@
+"""Network expansion engine: the Figure-2 k-NN search, resumable.
+
+This module implements one algorithm used everywhere in the library:
+
+* the **initial result computation** of IMA (Figure 2 of the paper) — an
+  expansion of the network around the query until the k nearest data
+  objects are found, producing the expansion tree as a side effect;
+* every **resumed search** of IMA's incremental maintenance — the valid
+  part of an expansion tree is passed in as *pre-verified* node distances
+  and the expansion continues from its frontier;
+* the **candidate-seeded evaluation** of GMA — upper-bound candidates
+  obtained from the active-node results of the query's sequence give a
+  tight initial radius so that the expansion terminates almost immediately;
+* the per-timestamp recomputation of the OVH baseline.
+
+Correctness sketch.  The search is a multi-source Dijkstra whose sources
+are the query position (seeding its edge's endpoints) and the pre-verified
+nodes (whose distances the caller guarantees to be exact).  Nodes are
+settled in non-decreasing distance order, so when the loop stops — the
+smallest frontier key is at least the current radius — every node with
+distance strictly below the final radius has been settled.  Any data object
+with true distance below the final radius therefore had the last node of
+its shortest path settled, at which point the object was offered its exact
+distance (objects on every edge incident to a settled node are scanned).
+Candidates passed in as upper bounds can only shrink the radius, never hide
+a closer object, so the returned top-k is exact.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Mapping, Optional, Set, Tuple
+
+from repro.core.expansion import ExpansionState
+from repro.core.results import Neighbor, NeighborList
+from repro.exceptions import InvalidQueryError
+from repro.network.edge_table import EdgeTable
+from repro.network.graph import NetworkLocation, RoadNetwork
+from repro.utils.heap import IndexedMinHeap
+
+
+@dataclass
+class SearchCounters:
+    """Abstract work counters accumulated across searches.
+
+    Wall-clock time in Python is dominated by interpreter overhead; the
+    benchmark harness therefore also reports these counters, which track the
+    algorithmic work the paper's CPU-time figures measure.
+    """
+
+    searches: int = 0
+    nodes_expanded: int = 0
+    edges_scanned: int = 0
+    objects_considered: int = 0
+    heap_pushes: int = 0
+
+    def merge(self, other: "SearchCounters") -> None:
+        """Accumulate *other* into this instance."""
+        self.searches += other.searches
+        self.nodes_expanded += other.nodes_expanded
+        self.edges_scanned += other.edges_scanned
+        self.objects_considered += other.objects_considered
+        self.heap_pushes += other.heap_pushes
+
+    def snapshot(self) -> Dict[str, int]:
+        """Return a plain-dict copy (for metrics reporting)."""
+        return {
+            "searches": self.searches,
+            "nodes_expanded": self.nodes_expanded,
+            "edges_scanned": self.edges_scanned,
+            "objects_considered": self.objects_considered,
+            "heap_pushes": self.heap_pushes,
+        }
+
+    def reset(self) -> None:
+        self.searches = 0
+        self.nodes_expanded = 0
+        self.edges_scanned = 0
+        self.objects_considered = 0
+        self.heap_pushes = 0
+
+
+@dataclass
+class SearchOutcome:
+    """Result of one network expansion.
+
+    Attributes:
+        neighbors: the top-k ``(object_id, distance)`` pairs, sorted.
+        radius: distance of the k-th neighbor (``inf`` when fewer than k).
+        state: the expansion tree produced / extended by the search; the
+            verified node distances are exact network distances.
+    """
+
+    neighbors: List[Neighbor]
+    radius: float
+    state: ExpansionState
+
+    @property
+    def object_ids(self) -> Tuple[int, ...]:
+        return tuple(object_id for object_id, _ in self.neighbors)
+
+
+def expand_knn(
+    network: RoadNetwork,
+    edge_table: EdgeTable,
+    k: int,
+    query_location: Optional[NetworkLocation] = None,
+    source_node: Optional[int] = None,
+    preverified: Optional[Mapping[int, float]] = None,
+    preverified_parent: Optional[Mapping[int, Optional[int]]] = None,
+    candidates: Iterable[Neighbor] = (),
+    barrier_candidates: Optional[Mapping[int, Iterable[Neighbor]]] = None,
+    coverage_radius: Optional[float] = None,
+    excluded_objects: Optional[Set[int]] = None,
+    counters: Optional[SearchCounters] = None,
+) -> SearchOutcome:
+    """Expand the network around a query until its k NNs are known.
+
+    Args:
+        network: the road network (current weights are used).
+        edge_table: current data-object positions.
+        k: number of neighbors requested (>= 1).
+        query_location: the query's position on an edge.  Exactly one of
+            *query_location* and *source_node* must be provided.
+        source_node: alternatively, a network node acting as the query
+            (used for GMA's active nodes).
+        preverified: node -> exact network distance for nodes whose shortest
+            paths are already known (the valid part of an expansion tree).
+            The search treats them as settled and resumes from their frontier.
+        preverified_parent: optional shortest-path-tree parents of the
+            pre-verified nodes (kept in the returned state).
+        candidates: ``(object_id, distance)`` pairs whose distances are
+            upper bounds on the true network distance; they tighten the
+            initial radius (GMA seeding) but can never exclude a closer
+            object.
+        barrier_candidates: node -> ``(object_id, distance_from_node)`` pairs
+            of that node's *monitored* k-NN set (GMA's active nodes), sorted
+            by distance.  When a barrier node is settled at distance ``d``,
+            the candidates are offered at ``d + distance_from_node`` and the
+            expansion does NOT continue past the node.  This is exact
+            provided every barrier is monitored with at least ``k``
+            neighbors: any object in the true top-k whose shortest path
+            crosses a barrier is, by the triangle argument of Section 5,
+            also in that barrier's top-k, and the first barrier on the path
+            is settled at its exact distance.
+        coverage_radius: IMA's resume optimisation.  The caller asserts that
+            every object whose distance is at most this value is already in
+            *candidates* with an exact distance; edges between two
+            pre-verified nodes that lie entirely within the coverage radius
+            are then not re-scanned (their objects cannot contribute
+            anything new).  Edges that are only partially covered — the
+            paper's *marks* — and edges of newly settled nodes are always
+            scanned.
+        excluded_objects: object ids to ignore entirely (used by tests and
+            by what-if analyses).
+        counters: optional work counters to update in place.
+
+    Returns:
+        A :class:`SearchOutcome` with the exact top-k result.
+
+    Raises:
+        InvalidQueryError: if k < 1 or no query source was provided.
+    """
+    if k < 1:
+        raise InvalidQueryError(f"k must be >= 1, got {k}")
+    if query_location is None and source_node is None:
+        raise InvalidQueryError("expand_knn needs a query_location or a source_node")
+    if counters is None:
+        counters = SearchCounters()
+    counters.searches += 1
+
+    excluded = excluded_objects or set()
+    barriers = barrier_candidates or {}
+    neighbors = NeighborList(k)
+    for object_id, distance in candidates:
+        if object_id not in excluded:
+            neighbors.offer(object_id, distance)
+
+    node_dist: Dict[int, float] = dict(preverified or {})
+    parent: Dict[int, Optional[int]] = {
+        node_id: (preverified_parent or {}).get(node_id) for node_id in node_dist
+    }
+    heap = IndexedMinHeap()
+    tentative_parent: Dict[int, Optional[int]] = {}
+
+    def scan_edge_objects(from_node: int, edge_id: int, from_distance: float) -> None:
+        """Offer every object on *edge_id* its distance through *from_node*."""
+        edge = network.edge(edge_id)
+        counters.edges_scanned += 1
+        for object_id, fraction in edge_table.objects_with_fractions_on(edge_id):
+            if object_id in excluded:
+                continue
+            if from_node == edge.start:
+                offset = fraction * edge.weight
+            else:
+                offset = (1.0 - fraction) * edge.weight
+            counters.objects_considered += 1
+            neighbors.offer(object_id, from_distance + offset)
+
+    def relax(to_node: int, distance: float, via: Optional[int]) -> None:
+        """Dijkstra relaxation of a frontier node."""
+        if to_node in node_dist:
+            return
+        counters.heap_pushes += 1
+        if heap.push(to_node, distance):
+            tentative_parent[to_node] = via
+
+    # ------------------------------------------------------------------
+    # seeding
+    # ------------------------------------------------------------------
+    if query_location is not None:
+        query_edge = network.edge(query_location.edge_id)
+        weight = query_edge.weight
+        query_offset = query_location.offset(weight)
+        # Objects on the query's own edge are reached directly along it.
+        for object_id, fraction in edge_table.objects_with_fractions_on(query_edge.edge_id):
+            if object_id in excluded:
+                continue
+            if query_edge.oneway and fraction < query_location.fraction:
+                continue
+            counters.objects_considered += 1
+            neighbors.offer(object_id, abs(fraction - query_location.fraction) * weight)
+        if query_edge.oneway:
+            relax(query_edge.end, weight - query_offset, None)
+        else:
+            relax(query_edge.start, query_offset, None)
+            relax(query_edge.end, weight - query_offset, None)
+
+    if source_node is not None and source_node not in node_dist:
+        relax(source_node, 0.0, None)
+
+    # Resume from the pre-verified frontier: relax the settled nodes'
+    # unverified neighbors and re-scan the objects of their incident edges.
+    # When the caller guarantees (via coverage_radius) that every object
+    # closer than that radius is already among the candidates, edges lying
+    # entirely inside the covered region are skipped — only the partially
+    # covered boundary edges (the paper's marks) are re-scanned.
+    for settled_node, settled_distance in list(node_dist.items()):
+        for edge_id, neighbor_node, weight in network.neighbors(settled_node):
+            fully_covered = False
+            if coverage_radius is not None:
+                other_distance = node_dist.get(neighbor_node)
+                if other_distance is not None:
+                    farthest_point = (settled_distance + other_distance + weight) / 2.0
+                    fully_covered = farthest_point <= coverage_radius + 1e-9
+            if not fully_covered:
+                scan_edge_objects(settled_node, edge_id, settled_distance)
+            relax(neighbor_node, settled_distance + weight, settled_node)
+
+    # ------------------------------------------------------------------
+    # main Dijkstra loop (Figure 2, lines 7-23)
+    # ------------------------------------------------------------------
+    while heap and heap.min_key() < neighbors.radius:
+        current_node, current_distance = heap.pop()
+        if current_node in node_dist:
+            continue
+        node_dist[current_node] = current_distance
+        parent[current_node] = tentative_parent.get(current_node)
+        counters.nodes_expanded += 1
+        if current_node in barriers:
+            # Active-node barrier: merge its monitored neighbors and stop the
+            # expansion here (the shared-execution core of GMA).  The list is
+            # sorted by distance, so once a candidate cannot beat the current
+            # radius none of the following ones can either.
+            for object_id, from_node_distance in barriers[current_node]:
+                total = current_distance + from_node_distance
+                if total >= neighbors.radius:
+                    break
+                if object_id not in excluded:
+                    counters.objects_considered += 1
+                    neighbors.offer(object_id, total)
+            continue
+        for edge_id, neighbor_node, weight in network.neighbors(current_node):
+            scan_edge_objects(current_node, edge_id, current_distance)
+            relax(neighbor_node, current_distance + weight, current_node)
+
+    state = ExpansionState(node_dist=node_dist, parent=parent)
+    return SearchOutcome(
+        neighbors=neighbors.top_k(),
+        radius=neighbors.radius,
+        state=state,
+    )

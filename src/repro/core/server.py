@@ -1,0 +1,243 @@
+"""Monitoring-server facade: the user-facing API of the library.
+
+The :class:`MonitoringServer` plays the role of the central server of the
+paper: it owns the road network, the edge table and one monitoring algorithm
+(OVH, IMA, or GMA), accepts the three kinds of updates — by network location
+or by raw workspace coordinates, which are snapped to the nearest edge
+through the PMR quadtree — buffers them, and processes one *timestamp* per
+call to :meth:`tick`.
+
+Example::
+
+    from repro import MonitoringServer, city_network
+
+    network = city_network(400, seed=7)
+    server = MonitoringServer(network, algorithm="gma")
+    server.add_object_at(1, x=120.0, y=80.0)
+    server.add_query_at(100, x=100.0, y=100.0, k=2)
+    server.move_object_at(1, x=140.0, y=90.0)
+    report = server.tick()
+    print(server.result_of(100).neighbors)
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Set, Union
+
+from repro.core.base import MonitorBase, TimestepReport
+from repro.core.events import (
+    EdgeWeightUpdate,
+    ObjectUpdate,
+    QueryUpdate,
+    UpdateBatch,
+    apply_batch,
+)
+from repro.core.gma import GmaMonitor
+from repro.core.ima import ImaMonitor
+from repro.core.ovh import OvhMonitor
+from repro.core.results import KnnResult
+from repro.exceptions import (
+    DuplicateObjectError,
+    DuplicateQueryError,
+    MonitoringError,
+    UnknownObjectError,
+    UnknownQueryError,
+)
+from repro.network.edge_table import EdgeTable
+from repro.network.graph import NetworkLocation, RoadNetwork
+from repro.spatial.geometry import Point
+
+#: Monitor implementations selectable by name.
+ALGORITHMS = {
+    "ovh": OvhMonitor,
+    "ima": ImaMonitor,
+    "gma": GmaMonitor,
+}
+
+
+class MonitoringServer:
+    """Central continuous k-NN monitoring server over one road network."""
+
+    def __init__(
+        self,
+        network: RoadNetwork,
+        algorithm: Union[str, MonitorBase] = "ima",
+        edge_table: Optional[EdgeTable] = None,
+    ) -> None:
+        """Create a server over *network* running *algorithm*.
+
+        Args:
+            network: the road network.
+            algorithm: ``"ovh"``, ``"ima"``, ``"gma"`` (case-insensitive), or
+                an already constructed monitor instance bound to the same
+                network and edge table.
+            edge_table: optionally a pre-populated edge table to share.
+        """
+        self._network = network
+        self._edge_table = edge_table if edge_table is not None else EdgeTable(network)
+        if isinstance(algorithm, MonitorBase):
+            self._monitor = algorithm
+        else:
+            key = algorithm.lower()
+            if key not in ALGORITHMS:
+                raise MonitoringError(
+                    f"unknown algorithm {algorithm!r}; choose one of {sorted(ALGORITHMS)}"
+                )
+            self._monitor = ALGORITHMS[key](self._network, self._edge_table)
+        self._pending = UpdateBatch(timestamp=0)
+        self._timestamp = 0
+        self._object_locations: Dict[int, NetworkLocation] = {
+            object_id: location for object_id, location in self._edge_table.all_objects()
+        }
+        self._query_locations: Dict[int, NetworkLocation] = {}
+        self._query_k: Dict[int, int] = {}
+
+    # ------------------------------------------------------------------
+    # properties
+    # ------------------------------------------------------------------
+    @property
+    def network(self) -> RoadNetwork:
+        return self._network
+
+    @property
+    def edge_table(self) -> EdgeTable:
+        return self._edge_table
+
+    @property
+    def monitor(self) -> MonitorBase:
+        return self._monitor
+
+    @property
+    def algorithm_name(self) -> str:
+        return self._monitor.name
+
+    @property
+    def current_timestamp(self) -> int:
+        return self._timestamp
+
+    # ------------------------------------------------------------------
+    # location helpers
+    # ------------------------------------------------------------------
+    def snap(self, x: float, y: float) -> NetworkLocation:
+        """Snap workspace coordinates to the nearest network edge."""
+        return self._edge_table.snap_point(Point(x, y))
+
+    # ------------------------------------------------------------------
+    # data objects
+    # ------------------------------------------------------------------
+    def add_object(self, object_id: int, location: NetworkLocation) -> None:
+        """Register a new data object (takes effect at the next tick)."""
+        if object_id in self._object_locations:
+            raise DuplicateObjectError(object_id)
+        self._network.validate_location(location)
+        self._object_locations[object_id] = location
+        self._pending.object_updates.append(ObjectUpdate(object_id, None, location))
+
+    def add_object_at(self, object_id: int, x: float, y: float) -> NetworkLocation:
+        """Register a new data object by coordinates; returns the snapped location."""
+        location = self.snap(x, y)
+        self.add_object(object_id, location)
+        return location
+
+    def move_object(self, object_id: int, new_location: NetworkLocation) -> None:
+        """Report a data-object movement (takes effect at the next tick)."""
+        old_location = self._object_locations.get(object_id)
+        if old_location is None:
+            raise UnknownObjectError(object_id)
+        self._network.validate_location(new_location)
+        self._object_locations[object_id] = new_location
+        self._pending.object_updates.append(
+            ObjectUpdate(object_id, old_location, new_location)
+        )
+
+    def move_object_at(self, object_id: int, x: float, y: float) -> NetworkLocation:
+        """Report a data-object movement by coordinates."""
+        location = self.snap(x, y)
+        self.move_object(object_id, location)
+        return location
+
+    def remove_object(self, object_id: int) -> None:
+        """Report that a data object disappeared."""
+        old_location = self._object_locations.pop(object_id, None)
+        if old_location is None:
+            raise UnknownObjectError(object_id)
+        self._pending.object_updates.append(ObjectUpdate(object_id, old_location, None))
+
+    def object_ids(self) -> Set[int]:
+        return set(self._object_locations)
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    def add_query(self, query_id: int, location: NetworkLocation, k: int) -> None:
+        """Install a continuous k-NN query (takes effect at the next tick)."""
+        if query_id in self._query_locations:
+            raise DuplicateQueryError(query_id)
+        self._network.validate_location(location)
+        self._query_locations[query_id] = location
+        self._query_k[query_id] = k
+        self._pending.query_updates.append(QueryUpdate(query_id, None, location, k))
+
+    def add_query_at(self, query_id: int, x: float, y: float, k: int) -> NetworkLocation:
+        """Install a continuous k-NN query by coordinates."""
+        location = self.snap(x, y)
+        self.add_query(query_id, location, k)
+        return location
+
+    def move_query(self, query_id: int, new_location: NetworkLocation) -> None:
+        """Report a query movement (takes effect at the next tick)."""
+        old_location = self._query_locations.get(query_id)
+        if old_location is None:
+            raise UnknownQueryError(query_id)
+        self._network.validate_location(new_location)
+        self._query_locations[query_id] = new_location
+        self._pending.query_updates.append(
+            QueryUpdate(query_id, old_location, new_location)
+        )
+
+    def move_query_at(self, query_id: int, x: float, y: float) -> NetworkLocation:
+        """Report a query movement by coordinates."""
+        location = self.snap(x, y)
+        self.move_query(query_id, location)
+        return location
+
+    def remove_query(self, query_id: int) -> None:
+        """Terminate a continuous query."""
+        old_location = self._query_locations.pop(query_id, None)
+        if old_location is None:
+            raise UnknownQueryError(query_id)
+        self._query_k.pop(query_id, None)
+        self._pending.query_updates.append(QueryUpdate(query_id, old_location, None))
+
+    def query_ids(self) -> Set[int]:
+        return set(self._query_locations)
+
+    # ------------------------------------------------------------------
+    # edges
+    # ------------------------------------------------------------------
+    def update_edge_weight(self, edge_id: int, new_weight: float) -> None:
+        """Report an edge-weight change, e.g. from a traffic sensor."""
+        old_weight = self._network.edge(edge_id).weight
+        self._pending.edge_updates.append(
+            EdgeWeightUpdate(edge_id, old_weight, new_weight)
+        )
+
+    # ------------------------------------------------------------------
+    # processing
+    # ------------------------------------------------------------------
+    def tick(self) -> TimestepReport:
+        """Process every buffered update as one timestamp."""
+        batch = self._pending
+        batch.timestamp = self._timestamp
+        self._pending = UpdateBatch(timestamp=self._timestamp + 1)
+        self._timestamp += 1
+        apply_batch(self._network, self._edge_table, batch.normalized())
+        return self._monitor.process_batch(batch)
+
+    def result_of(self, query_id: int) -> KnnResult:
+        """Current k-NN result of a query (after the last tick)."""
+        return self._monitor.result_of(query_id)
+
+    def results(self) -> Dict[int, KnnResult]:
+        """Current results of every query (after the last tick)."""
+        return self._monitor.results()

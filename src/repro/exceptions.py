@@ -1,0 +1,116 @@
+"""Exception hierarchy for the road-network CkNN monitoring library.
+
+All exceptions raised by the library derive from :class:`ReproError` so that
+callers can catch library failures with a single ``except`` clause while
+still being able to distinguish the individual failure modes.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every exception raised by this library."""
+
+
+class NetworkError(ReproError):
+    """Base class for errors related to the road-network graph."""
+
+
+class NodeNotFoundError(NetworkError):
+    """Raised when a node id does not exist in the network."""
+
+    def __init__(self, node_id: int) -> None:
+        super().__init__(f"node {node_id!r} does not exist in the network")
+        self.node_id = node_id
+
+
+class EdgeNotFoundError(NetworkError):
+    """Raised when an edge id does not exist in the network."""
+
+    def __init__(self, edge_id: int) -> None:
+        super().__init__(f"edge {edge_id!r} does not exist in the network")
+        self.edge_id = edge_id
+
+
+class DuplicateNodeError(NetworkError):
+    """Raised when adding a node whose id is already present."""
+
+    def __init__(self, node_id: int) -> None:
+        super().__init__(f"node {node_id!r} already exists in the network")
+        self.node_id = node_id
+
+
+class DuplicateEdgeError(NetworkError):
+    """Raised when adding an edge whose id is already present."""
+
+    def __init__(self, edge_id: int) -> None:
+        super().__init__(f"edge {edge_id!r} already exists in the network")
+        self.edge_id = edge_id
+
+
+class InvalidWeightError(NetworkError):
+    """Raised when an edge weight is negative, zero, NaN or infinite."""
+
+    def __init__(self, weight: float) -> None:
+        super().__init__(f"edge weight must be a positive finite number, got {weight!r}")
+        self.weight = weight
+
+
+class InvalidLocationError(ReproError):
+    """Raised when a network location (edge id, offset) is malformed."""
+
+
+class DisconnectedNetworkError(NetworkError):
+    """Raised when an operation requires connectivity that does not hold."""
+
+
+class MonitoringError(ReproError):
+    """Base class for errors raised by the monitoring algorithms."""
+
+
+class UnknownObjectError(MonitoringError):
+    """Raised when an update references a data object the server never saw."""
+
+    def __init__(self, object_id: int) -> None:
+        super().__init__(f"data object {object_id!r} is not registered with the server")
+        self.object_id = object_id
+
+
+class UnknownQueryError(MonitoringError):
+    """Raised when an update references a query the server never saw."""
+
+    def __init__(self, query_id: int) -> None:
+        super().__init__(f"query {query_id!r} is not registered with the server")
+        self.query_id = query_id
+
+
+class DuplicateObjectError(MonitoringError):
+    """Raised when registering a data object id twice."""
+
+    def __init__(self, object_id: int) -> None:
+        super().__init__(f"data object {object_id!r} is already registered")
+        self.object_id = object_id
+
+
+class DuplicateQueryError(MonitoringError):
+    """Raised when registering a query id twice."""
+
+    def __init__(self, query_id: int) -> None:
+        super().__init__(f"query {query_id!r} is already registered")
+        self.query_id = query_id
+
+
+class InvalidQueryError(MonitoringError):
+    """Raised when a query is malformed (e.g. k < 1)."""
+
+
+class SimulationError(ReproError):
+    """Raised when a simulation or workload configuration is invalid."""
+
+
+class ExperimentError(ReproError):
+    """Raised when an experiment definition or sweep is invalid."""
+
+
+class SpatialIndexError(ReproError):
+    """Raised by the PMR quadtree for invalid construction or probing."""

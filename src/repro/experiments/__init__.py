@@ -1,0 +1,51 @@
+"""Experiment harness: Table-2 parameter space, per-figure sweeps, reporting."""
+
+from repro.experiments.config import (
+    DEFAULT_SCALE,
+    SCALED_DEFAULTS,
+    SMOKE_DEFAULTS,
+    SweepPoint,
+    scale_cardinality,
+    table2_rows,
+)
+from repro.experiments.figures import (
+    EXPERIMENTS,
+    Experiment,
+    get_experiment,
+    list_experiments,
+)
+from repro.experiments.reporting import (
+    format_experiment,
+    format_summary,
+    format_table,
+    format_table2,
+)
+from repro.experiments.runner import (
+    ExperimentResult,
+    ExperimentRow,
+    run_all,
+    run_experiment,
+    run_point,
+)
+
+__all__ = [
+    "SCALED_DEFAULTS",
+    "SMOKE_DEFAULTS",
+    "DEFAULT_SCALE",
+    "SweepPoint",
+    "scale_cardinality",
+    "table2_rows",
+    "Experiment",
+    "EXPERIMENTS",
+    "get_experiment",
+    "list_experiments",
+    "ExperimentResult",
+    "ExperimentRow",
+    "run_experiment",
+    "run_all",
+    "run_point",
+    "format_experiment",
+    "format_table",
+    "format_table2",
+    "format_summary",
+]

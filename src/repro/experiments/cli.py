@@ -1,0 +1,104 @@
+"""Command-line entry point for the experiment harness.
+
+Installed as ``repro-experiments`` (see ``pyproject.toml``).  Typical usage::
+
+    repro-experiments list                 # show every figure/table id
+    repro-experiments table2               # print the parameter space
+    repro-experiments run fig14a           # regenerate one figure
+    repro-experiments run fig14a --validate
+    repro-experiments run-all --timestamps 2
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.experiments.figures import get_experiment, list_experiments
+from repro.experiments.reporting import (
+    format_experiment,
+    format_summary,
+    format_table,
+    format_table2,
+)
+from repro.experiments.runner import run_all, run_experiment
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-experiments",
+        description="Regenerate the evaluation figures of 'Continuous Nearest "
+        "Neighbor Monitoring in Road Networks' (VLDB 2006).",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    subparsers.add_parser("list", help="list every experiment id")
+    subparsers.add_parser("table2", help="print Table 2 (the parameter space)")
+
+    run_parser = subparsers.add_parser("run", help="run one experiment")
+    run_parser.add_argument("experiment_id", help="e.g. fig13a, fig14b, fig18a")
+    run_parser.add_argument(
+        "--validate",
+        action="store_true",
+        help="cross-check all algorithms' results at every timestamp",
+    )
+    run_parser.add_argument(
+        "--timestamps", type=int, default=None, help="override the number of timestamps"
+    )
+    run_parser.add_argument(
+        "--algorithms",
+        nargs="+",
+        default=None,
+        help="subset of OVH IMA GMA to run",
+    )
+
+    all_parser = subparsers.add_parser("run-all", help="run every experiment")
+    all_parser.add_argument("--validate", action="store_true")
+    all_parser.add_argument("--timestamps", type=int, default=None)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = _build_parser()
+    args = parser.parse_args(argv)
+
+    if args.command == "list":
+        rows = [
+            [e.experiment_id, e.paper_artifact, e.metric, e.description]
+            for e in list_experiments()
+        ]
+        print(format_table(["id", "artifact", "metric", "description"], rows))
+        return 0
+
+    if args.command == "table2":
+        print(format_table2())
+        return 0
+
+    if args.command == "run":
+        experiment = get_experiment(args.experiment_id)
+        result = run_experiment(
+            experiment,
+            algorithms=args.algorithms,
+            validate=args.validate,
+            timestamps=args.timestamps,
+        )
+        print(format_experiment(result))
+        return 0
+
+    if args.command == "run-all":
+        results = run_all(validate=args.validate, timestamps=args.timestamps)
+        for experiment_id in sorted(results):
+            print(format_experiment(results[experiment_id]))
+            print()
+        print(format_summary(results))
+        return 0
+
+    parser.error(f"unknown command {args.command!r}")  # pragma: no cover
+    return 2  # pragma: no cover
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,100 @@
+"""Plain-text reporting of experiment results (the benchmark harness output).
+
+The paper presents its evaluation as line charts; in a terminal-first
+reproduction the equivalent artefact is a table per figure whose rows are the
+x-axis points and whose columns are the algorithms.  These formatters are
+used by the CLI, by the pytest benchmarks (printed with ``-s``), and by the
+script that regenerates EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.experiments.config import table2_rows
+from repro.experiments.runner import ExperimentResult
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence[object]]) -> str:
+    """Render a fixed-width text table."""
+    columns = [list(map(str, column)) for column in zip(headers, *rows)]
+    widths = [max(len(cell) for cell in column) for column in columns]
+    lines = []
+    header_line = " | ".join(str(h).ljust(w) for h, w in zip(headers, widths))
+    lines.append(header_line)
+    lines.append("-+-".join("-" * w for w in widths))
+    for row in rows:
+        lines.append(" | ".join(str(cell).ljust(w) for cell, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def format_experiment(result: ExperimentResult, include_counters: bool = True) -> str:
+    """Render one experiment's series as a text report."""
+    experiment = result.experiment
+    unit = "KB" if experiment.metric == "memory" else "s/timestamp"
+    headers = [experiment.paper_artifact] + [
+        f"{algorithm} ({unit})" for algorithm in experiment.algorithms
+    ]
+    rows: List[List[object]] = []
+    for row in result.rows:
+        formatted = [row.label]
+        for algorithm in experiment.algorithms:
+            value = row.metric(algorithm, experiment.metric)
+            formatted.append(f"{value:.4f}" if experiment.metric == "cpu" else f"{value:.1f}")
+        rows.append(formatted)
+
+    parts = [
+        f"== {experiment.paper_artifact}: {experiment.description} ==",
+        format_table(headers, rows),
+        f"expected shape: {experiment.expected_shape}",
+        f"winner per point: {', '.join(result.winner_per_point())}",
+    ]
+
+    if include_counters and experiment.metric == "cpu":
+        counter_headers = [experiment.paper_artifact] + [
+            f"{algorithm} (objects/ts)" for algorithm in experiment.algorithms
+        ]
+        counter_rows: List[List[object]] = []
+        for row in result.rows:
+            formatted = [row.label]
+            for algorithm in experiment.algorithms:
+                counters = row.counters.get(algorithm, {})
+                formatted.append(f"{counters.get('objects_considered', 0.0):.0f}")
+            counter_rows.append(formatted)
+        parts.append("algorithmic work (objects considered per timestamp):")
+        parts.append(format_table(counter_headers, counter_rows))
+
+    if result.validated:
+        parts.append(f"cross-algorithm result mismatches: {result.validation_mismatches}")
+    parts.append(f"(sweep completed in {result.elapsed_seconds:.1f}s)")
+    return "\n".join(parts)
+
+
+def format_table2() -> str:
+    """Render Table 2 (the parameter space) with the scaled defaults."""
+    rows = table2_rows()
+    headers = ["Parameter", "Paper default", "Paper range", "Scaled default"]
+    body = [
+        [row["parameter"], row["paper_default"], row["paper_range"], row["scaled_default"]]
+        for row in rows
+    ]
+    return "== Table 2: system parameters ==\n" + format_table(headers, body)
+
+
+def format_summary(results: Dict[str, ExperimentResult]) -> str:
+    """One-line-per-experiment overview across a batch of runs."""
+    headers = ["Experiment", "Artifact", "Winner (default pt)", "Sweep time (s)"]
+    body: List[List[object]] = []
+    for experiment_id in sorted(results):
+        result = results[experiment_id]
+        winners = result.winner_per_point()
+        middle = winners[len(winners) // 2] if winners else "-"
+        body.append(
+            [
+                experiment_id,
+                result.experiment.paper_artifact,
+                middle,
+                f"{result.elapsed_seconds:.1f}",
+            ]
+        )
+    return format_table(headers, body)

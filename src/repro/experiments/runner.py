@@ -1,0 +1,153 @@
+"""Experiment runner: execute a figure's sweep and collect its series.
+
+The runner turns an :class:`~repro.experiments.figures.Experiment` into a
+list of rows — one per sweep point — each holding, for every algorithm, the
+mean CPU time per timestamp, the abstract work counters, and the memory
+footprint.  Both metrics matter: wall-clock seconds are what the paper
+plots, while the work counters (nodes expanded, edges scanned, objects
+considered) are the machine-independent measure of the same quantity and are
+robust against Python's interpreter constant factors at the scaled-down
+benchmark sizes.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.experiments.figures import Experiment, get_experiment
+from repro.sim.metrics import SimulationResult
+from repro.sim.simulator import Simulator
+from repro.sim.workload import WorkloadConfig
+
+
+@dataclass
+class ExperimentRow:
+    """Measurements of one sweep point."""
+
+    label: str
+    paper_value: object
+    config: WorkloadConfig
+    #: algorithm name -> mean seconds per timestamp
+    cpu_seconds: Dict[str, float] = field(default_factory=dict)
+    #: algorithm name -> mean memory footprint in KB
+    memory_kb: Dict[str, float] = field(default_factory=dict)
+    #: algorithm name -> mean work counters per timestamp
+    counters: Dict[str, Dict[str, float]] = field(default_factory=dict)
+
+    def metric(self, algorithm: str, metric: str) -> float:
+        """The requested metric value (``cpu`` seconds or ``memory`` KB)."""
+        if metric == "memory":
+            return self.memory_kb.get(algorithm, 0.0)
+        return self.cpu_seconds.get(algorithm, 0.0)
+
+
+@dataclass
+class ExperimentResult:
+    """All rows of one experiment plus bookkeeping."""
+
+    experiment: Experiment
+    rows: List[ExperimentRow]
+    elapsed_seconds: float
+    validated: bool = False
+    validation_mismatches: int = 0
+
+    def series(self, algorithm: str) -> List[float]:
+        """The y-series of one algorithm across the sweep."""
+        return [row.metric(algorithm, self.experiment.metric) for row in self.rows]
+
+    def winner_per_point(self) -> List[str]:
+        """The fastest (or smallest-memory) algorithm at every sweep point."""
+        winners = []
+        for row in self.rows:
+            values = {
+                algorithm: row.metric(algorithm, self.experiment.metric)
+                for algorithm in self.experiment.algorithms
+            }
+            winners.append(min(values, key=values.get))
+        return winners
+
+
+def run_point(
+    config: WorkloadConfig,
+    algorithms: Sequence[str],
+    validate: bool = False,
+) -> SimulationResult:
+    """Run one sweep point (a full simulation) and return its metrics."""
+    simulator = Simulator(config)
+    return simulator.run(algorithms=algorithms, validate=validate)
+
+
+def run_experiment(
+    experiment_or_id,
+    algorithms: Optional[Sequence[str]] = None,
+    validate: bool = False,
+    timestamps: Optional[int] = None,
+) -> ExperimentResult:
+    """Run every sweep point of an experiment.
+
+    Args:
+        experiment_or_id: an :class:`Experiment` or its id string.
+        algorithms: override the experiment's algorithm list.
+        validate: also cross-check all algorithms' results per timestamp.
+        timestamps: override the number of monitored timestamps (useful to
+            shorten benchmark runs further).
+    """
+    experiment = (
+        experiment_or_id
+        if isinstance(experiment_or_id, Experiment)
+        else get_experiment(experiment_or_id)
+    )
+    algorithm_list = tuple(algorithms) if algorithms else experiment.algorithms
+
+    start = time.perf_counter()
+    rows: List[ExperimentRow] = []
+    mismatches = 0
+    for point in experiment.points:
+        config = point.config
+        if timestamps is not None:
+            config = config.with_overrides(timestamps=timestamps)
+        result = run_point(config, algorithm_list, validate=validate)
+        mismatches += result.validation_mismatches
+        row = ExperimentRow(
+            label=point.label, paper_value=point.paper_value, config=config
+        )
+        for name, metrics in result.metrics.items():
+            row.cpu_seconds[name] = metrics.mean_seconds()
+            row.memory_kb[name] = metrics.mean_memory_kb()
+            row.counters[name] = {
+                "nodes_expanded": metrics.mean_counter("nodes_expanded"),
+                "edges_scanned": metrics.mean_counter("edges_scanned"),
+                "objects_considered": metrics.mean_counter("objects_considered"),
+                "searches": metrics.mean_counter("searches"),
+            }
+        rows.append(row)
+    elapsed = time.perf_counter() - start
+    return ExperimentResult(
+        experiment=experiment,
+        rows=rows,
+        elapsed_seconds=elapsed,
+        validated=validate,
+        validation_mismatches=mismatches,
+    )
+
+
+def run_all(
+    experiment_ids: Optional[Sequence[str]] = None,
+    validate: bool = False,
+    timestamps: Optional[int] = None,
+) -> Dict[str, ExperimentResult]:
+    """Run several (default: all) experiments and return their results."""
+    from repro.experiments.figures import list_experiments
+
+    if experiment_ids is None:
+        experiments = list_experiments()
+    else:
+        experiments = [get_experiment(experiment_id) for experiment_id in experiment_ids]
+    return {
+        experiment.experiment_id: run_experiment(
+            experiment, validate=validate, timestamps=timestamps
+        )
+        for experiment in experiments
+    }

@@ -1,0 +1,23 @@
+"""Mobility and traffic models: placement, random walk, Brinkhoff-style, traffic."""
+
+from repro.mobility.brinkhoff import (
+    DEFAULT_CLASSES,
+    BrinkhoffGenerator,
+    ObjectClass,
+)
+from repro.mobility.distributions import place, place_gaussian, place_uniform
+from repro.mobility.random_walk import Movement, RandomWalkModel
+from repro.mobility.traffic import TrafficModel, WeightChange
+
+__all__ = [
+    "place",
+    "place_uniform",
+    "place_gaussian",
+    "RandomWalkModel",
+    "Movement",
+    "BrinkhoffGenerator",
+    "ObjectClass",
+    "DEFAULT_CLASSES",
+    "TrafficModel",
+    "WeightChange",
+]

@@ -1,0 +1,188 @@
+"""Random-walk mobility model (the paper's default movement generator).
+
+At every timestamp a fraction ``agility`` of the entities moves; a moving
+entity performs a random walk on the network covering a fixed travel cost
+``speed`` (expressed in multiples of the average edge length, exactly like
+the paper's ``v_obj`` / ``v_qry`` parameters).  At a node the walker picks a
+random outgoing edge (avoiding an immediate U-turn when possible); inside an
+edge it simply continues in its current direction.
+
+The model is deliberately independent of the monitoring algorithms: it only
+produces ``(entity_id, old_location, new_location)`` movement tuples that the
+simulator turns into update batches.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.exceptions import SimulationError
+from repro.network.graph import NetworkLocation, RoadNetwork
+from repro.utils.rng import RandomLike, make_rng, sample_fraction
+from repro.utils.validation import require_fraction, require_non_negative
+
+#: A movement produced by a mobility model.
+Movement = Tuple[int, NetworkLocation, NetworkLocation]
+
+
+@dataclass
+class _WalkerState:
+    """Private per-entity walking state (current heading)."""
+
+    location: NetworkLocation
+    #: True when the walker is heading towards the edge's end node.
+    towards_end: bool = True
+
+
+class RandomWalkModel:
+    """Random-walk movement of a population of entities on a network."""
+
+    def __init__(
+        self,
+        network: RoadNetwork,
+        initial_locations: Dict[int, NetworkLocation],
+        speed: float = 1.0,
+        agility: float = 1.0,
+        seed: RandomLike = None,
+    ) -> None:
+        """Create the model.
+
+        Args:
+            network: the road network (current weights are used as travel costs).
+            initial_locations: entity id -> starting location.
+            speed: distance covered per move, in multiples of the average
+                edge length (the paper's ``v_obj`` / ``v_qry``).
+            agility: fraction of entities that move at each timestamp
+                (the paper's ``f_obj`` / ``f_qry``).
+            seed: RNG seed.
+        """
+        require_non_negative(speed, "speed")
+        require_fraction(agility, "agility")
+        self._network = network
+        self._speed = speed
+        self._agility = agility
+        self._rng = make_rng(seed)
+        self._states: Dict[int, _WalkerState] = {}
+        for entity_id, location in initial_locations.items():
+            network.validate_location(location)
+            self._states[entity_id] = _WalkerState(
+                location=location, towards_end=self._rng.random() < 0.5
+            )
+
+    # ------------------------------------------------------------------
+    # population management
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._states)
+
+    def location_of(self, entity_id: int) -> NetworkLocation:
+        """Current location of an entity."""
+        return self._states[entity_id].location
+
+    def locations(self) -> Dict[int, NetworkLocation]:
+        """Current locations of every entity."""
+        return {entity_id: state.location for entity_id, state in self._states.items()}
+
+    def add_entity(self, entity_id: int, location: NetworkLocation) -> None:
+        """Add a walker (e.g. an object appearing mid-simulation)."""
+        if entity_id in self._states:
+            raise SimulationError(f"entity {entity_id} already exists in the walk model")
+        self._network.validate_location(location)
+        self._states[entity_id] = _WalkerState(
+            location=location, towards_end=self._rng.random() < 0.5
+        )
+
+    def remove_entity(self, entity_id: int) -> NetworkLocation:
+        """Remove a walker and return its last location."""
+        state = self._states.pop(entity_id, None)
+        if state is None:
+            raise SimulationError(f"entity {entity_id} does not exist in the walk model")
+        return state.location
+
+    # ------------------------------------------------------------------
+    # stepping
+    # ------------------------------------------------------------------
+    def step(self) -> List[Movement]:
+        """Advance one timestamp; return the movements of the moving entities."""
+        movers = sample_fraction(self._rng, sorted(self._states), self._agility)
+        travel_budget = self._speed * self._network.average_edge_weight()
+        movements: List[Movement] = []
+        for entity_id in movers:
+            state = self._states[entity_id]
+            old_location = state.location
+            new_location = self._walk(state, travel_budget)
+            if new_location != old_location:
+                movements.append((entity_id, old_location, new_location))
+        return movements
+
+    def move_entity(self, entity_id: int) -> Optional[Movement]:
+        """Force one entity to move regardless of the agility sampling."""
+        state = self._states[entity_id]
+        old_location = state.location
+        new_location = self._walk(state, self._speed * self._network.average_edge_weight())
+        if new_location == old_location:
+            return None
+        return (entity_id, old_location, new_location)
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+    def _walk(self, state: _WalkerState, budget: float) -> NetworkLocation:
+        """Move a walker along the network spending *budget* travel cost."""
+        network = self._network
+        location = state.location
+        towards_end = state.towards_end
+        remaining = budget
+        # A hard iteration cap protects against pathological zero-ish weights.
+        for _ in range(1000):
+            if remaining <= 0:
+                break
+            edge = network.edge(location.edge_id)
+            if towards_end:
+                distance_to_node = location.reversed_offset(edge.weight)
+                target_node = edge.end
+            else:
+                distance_to_node = location.offset(edge.weight)
+                target_node = edge.start
+            if remaining < distance_to_node:
+                # Stays within the current edge.
+                delta_fraction = remaining / edge.weight
+                fraction = location.fraction + (delta_fraction if towards_end else -delta_fraction)
+                fraction = min(1.0, max(0.0, fraction))
+                location = NetworkLocation(edge.edge_id, fraction)
+                remaining = 0.0
+                break
+            # Reach the node and pick the next edge.
+            remaining -= distance_to_node
+            next_edge_id, next_towards_end = self._pick_next_edge(target_node, edge.edge_id)
+            if next_edge_id is None:
+                # Dead end: stop at the node.
+                fraction = 1.0 if towards_end else 0.0
+                location = NetworkLocation(edge.edge_id, fraction)
+                remaining = 0.0
+                break
+            location = NetworkLocation(
+                next_edge_id, 0.0 if next_towards_end else 1.0
+            )
+            towards_end = next_towards_end
+        state.location = location
+        state.towards_end = towards_end
+        return location
+
+    def _pick_next_edge(
+        self, node_id: int, arriving_edge_id: int
+    ) -> Tuple[Optional[int], bool]:
+        """Choose the edge to continue on from *node_id* (avoiding U-turns)."""
+        options = self._network.neighbors(node_id)
+        forward = [(edge_id, other) for edge_id, other, _ in options if edge_id != arriving_edge_id]
+        if not forward:
+            # Dead end (or one-way trap): turn around if possible.
+            backward = [(edge_id, other) for edge_id, other, _ in options]
+            if not backward:
+                return None, True
+            forward = backward
+        edge_id, _ = forward[self._rng.randrange(len(forward))]
+        edge = self._network.edge(edge_id)
+        # Heading towards the end node iff we enter the edge at its start.
+        return edge_id, edge.start == node_id

@@ -1,0 +1,59 @@
+"""Road-network substrate: graph model, edge table, sequences, oracles, builders."""
+
+from repro.network.builders import (
+    build_network,
+    city_network,
+    grid_network,
+    linear_network,
+    remove_random_edges,
+    star_network,
+    subdivide_edges,
+)
+from repro.network.distance import (
+    approximate_center_node,
+    brute_force_knn,
+    eccentricity,
+    location_sources,
+    multi_source_node_distances,
+    network_distance,
+    node_distances,
+    shortest_path_nodes,
+)
+from repro.network.edge_table import EdgeTable
+from repro.network.graph import Edge, NetworkLocation, Node, RoadNetwork
+from repro.network.io import (
+    load_network,
+    load_node_edge_files,
+    save_network,
+    save_node_edge_files,
+)
+from repro.network.sequences import SequenceInfo, SequenceTable
+
+__all__ = [
+    "RoadNetwork",
+    "Node",
+    "Edge",
+    "NetworkLocation",
+    "EdgeTable",
+    "SequenceTable",
+    "SequenceInfo",
+    "build_network",
+    "grid_network",
+    "city_network",
+    "linear_network",
+    "star_network",
+    "subdivide_edges",
+    "remove_random_edges",
+    "node_distances",
+    "multi_source_node_distances",
+    "network_distance",
+    "shortest_path_nodes",
+    "brute_force_knn",
+    "location_sources",
+    "eccentricity",
+    "approximate_center_node",
+    "load_network",
+    "save_network",
+    "load_node_edge_files",
+    "save_node_edge_files",
+]

@@ -1,0 +1,194 @@
+"""Edge table (*ET*): per-edge data-object bookkeeping plus location services.
+
+In the paper the edge table is a hash table keyed by edge id storing, for
+every edge, its endpoints, adjacency, weight, the list of data objects
+currently on it, and its influence list.  In this library the static
+topology and the weights already live in :class:`~repro.network.graph.RoadNetwork`
+and the influence lists are algorithm state
+(:class:`~repro.core.influence.InfluenceIndex`), so :class:`EdgeTable`
+focuses on the *dynamic object* side:
+
+* which data objects currently lie on which edge,
+* where exactly each object is (its :class:`NetworkLocation`),
+* translating raw workspace coordinates from client updates into network
+  locations through the PMR quadtree (the paper's *SI*).
+
+A single ``EdgeTable`` can be shared by several monitoring algorithms
+running in lock-step over the same data, which is how the experiment
+harness compares OVH / IMA / GMA on identical inputs.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, Optional, Set, Tuple
+
+from repro.exceptions import (
+    DuplicateObjectError,
+    EdgeNotFoundError,
+    UnknownObjectError,
+)
+from repro.network.graph import NetworkLocation, RoadNetwork
+from repro.spatial.geometry import Point
+from repro.spatial.pmr_quadtree import PMRQuadtree
+
+
+class EdgeTable:
+    """Tracks the data objects lying on every edge of a road network."""
+
+    def __init__(self, network: RoadNetwork, build_spatial_index: bool = True) -> None:
+        """Create an edge table bound to *network*.
+
+        Args:
+            network: the underlying road network.
+            build_spatial_index: when True (default) a PMR quadtree over the
+                network edges is built so that raw coordinates can be snapped
+                to edges; pass False when only id-based updates are used.
+        """
+        self._network = network
+        self._objects: Dict[int, NetworkLocation] = {}
+        self._objects_on_edge: Dict[int, Set[int]] = {}
+        self._spatial_index: Optional[PMRQuadtree] = None
+        if build_spatial_index and network.edge_count > 0:
+            self.rebuild_spatial_index()
+
+    # ------------------------------------------------------------------
+    # properties
+    # ------------------------------------------------------------------
+    @property
+    def network(self) -> RoadNetwork:
+        """The underlying road network."""
+        return self._network
+
+    @property
+    def object_count(self) -> int:
+        """Number of registered data objects."""
+        return len(self._objects)
+
+    @property
+    def spatial_index(self) -> Optional[PMRQuadtree]:
+        """The PMR quadtree over the edges, or None if not built."""
+        return self._spatial_index
+
+    # ------------------------------------------------------------------
+    # spatial index
+    # ------------------------------------------------------------------
+    def rebuild_spatial_index(self) -> PMRQuadtree:
+        """(Re)build the PMR quadtree over the network's edges."""
+        bounds = self._network.bounding_box(margin=1e-6)
+        index = PMRQuadtree(bounds)
+        for edge in self._network.edges():
+            index.insert(edge.edge_id, self._network.edge_segment(edge.edge_id))
+        self._spatial_index = index
+        return index
+
+    def snap_point(self, point: Point) -> NetworkLocation:
+        """Snap workspace coordinates to the nearest edge.
+
+        This is the operation the monitoring server performs on the raw
+        ``(x, y)`` coordinates contained in object and query updates.
+
+        Raises:
+            EdgeNotFoundError: if the spatial index has not been built or the
+                network has no edges.
+        """
+        if self._spatial_index is None or len(self._spatial_index) == 0:
+            raise EdgeNotFoundError(-1)
+        edge_id, _ = self._spatial_index.nearest_edge(point)
+        segment = self._spatial_index.segment_of(edge_id)
+        fraction = segment.project_fraction(point)
+        return NetworkLocation(edge_id, fraction)
+
+    # ------------------------------------------------------------------
+    # object bookkeeping
+    # ------------------------------------------------------------------
+    def insert_object(self, object_id: int, location: NetworkLocation) -> None:
+        """Register a new data object at *location*.
+
+        Raises:
+            DuplicateObjectError: if the id is already registered.
+            EdgeNotFoundError: if the location references an unknown edge.
+        """
+        if object_id in self._objects:
+            raise DuplicateObjectError(object_id)
+        self._network.validate_location(location)
+        self._objects[object_id] = location
+        self._objects_on_edge.setdefault(location.edge_id, set()).add(object_id)
+
+    def remove_object(self, object_id: int) -> NetworkLocation:
+        """Unregister a data object, returning its last location.
+
+        Raises:
+            UnknownObjectError: if the object is not registered.
+        """
+        location = self._objects.pop(object_id, None)
+        if location is None:
+            raise UnknownObjectError(object_id)
+        on_edge = self._objects_on_edge.get(location.edge_id)
+        if on_edge is not None:
+            on_edge.discard(object_id)
+            if not on_edge:
+                del self._objects_on_edge[location.edge_id]
+        return location
+
+    def move_object(self, object_id: int, new_location: NetworkLocation) -> NetworkLocation:
+        """Move an object to *new_location*, returning its previous location.
+
+        Raises:
+            UnknownObjectError: if the object is not registered.
+            EdgeNotFoundError: if the new location references an unknown edge.
+        """
+        if object_id not in self._objects:
+            raise UnknownObjectError(object_id)
+        self._network.validate_location(new_location)
+        old_location = self.remove_object(object_id)
+        self.insert_object(object_id, new_location)
+        return old_location
+
+    # ------------------------------------------------------------------
+    # lookups
+    # ------------------------------------------------------------------
+    def has_object(self, object_id: int) -> bool:
+        return object_id in self._objects
+
+    def location_of(self, object_id: int) -> NetworkLocation:
+        """Current location of an object.
+
+        Raises:
+            UnknownObjectError: if the object is not registered.
+        """
+        try:
+            return self._objects[object_id]
+        except KeyError as exc:
+            raise UnknownObjectError(object_id) from exc
+
+    def objects_on(self, edge_id: int) -> Set[int]:
+        """Ids of the objects currently lying on *edge_id* (possibly empty)."""
+        return set(self._objects_on_edge.get(edge_id, ()))
+
+    def objects_with_fractions_on(self, edge_id: int) -> Iterator[Tuple[int, float]]:
+        """Iterate ``(object_id, fraction)`` for the objects on *edge_id*."""
+        for object_id in self._objects_on_edge.get(edge_id, ()):
+            yield object_id, self._objects[object_id].fraction
+
+    def all_objects(self) -> Iterator[Tuple[int, NetworkLocation]]:
+        """Iterate over ``(object_id, location)`` pairs for every object."""
+        return iter(self._objects.items())
+
+    def object_ids(self) -> Iterator[int]:
+        """Iterate over the registered object ids."""
+        return iter(self._objects.keys())
+
+    def populated_edges(self) -> Iterator[int]:
+        """Iterate over the edge ids that currently hold at least one object."""
+        return iter(self._objects_on_edge.keys())
+
+    # ------------------------------------------------------------------
+    # diagnostics
+    # ------------------------------------------------------------------
+    def consistency_check(self) -> bool:
+        """Verify that the per-edge sets and the per-object map agree."""
+        for object_id, location in self._objects.items():
+            if object_id not in self._objects_on_edge.get(location.edge_id, set()):
+                return False
+        total = sum(len(ids) for ids in self._objects_on_edge.values())
+        return total == len(self._objects)

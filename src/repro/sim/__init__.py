@@ -1,0 +1,26 @@
+"""Simulation layer: workload configuration, datasets, driver, metrics."""
+
+from repro.sim.datasets import (
+    OLDENBURG_EDGES,
+    OLDENBURG_NODES,
+    oldenburg_like,
+    san_francisco_like,
+    small_test_network,
+)
+from repro.sim.metrics import AlgorithmMetrics, SimulationResult
+from repro.sim.simulator import QUERY_ID_BASE, Simulator
+from repro.sim.workload import PAPER_DEFAULTS, WorkloadConfig
+
+__all__ = [
+    "WorkloadConfig",
+    "PAPER_DEFAULTS",
+    "Simulator",
+    "QUERY_ID_BASE",
+    "AlgorithmMetrics",
+    "SimulationResult",
+    "san_francisco_like",
+    "oldenburg_like",
+    "small_test_network",
+    "OLDENBURG_NODES",
+    "OLDENBURG_EDGES",
+]

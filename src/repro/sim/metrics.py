@@ -1,0 +1,116 @@
+"""Metrics collected by the simulation driver.
+
+The paper reports, per experimental setting, the **CPU time per timestamp**
+of each algorithm (Figures 13–17, 19) and the **memory footprint** of the
+algorithm state (Figure 18).  Pure-Python wall-clock time is dominated by
+interpreter overhead, so alongside seconds the simulator records the
+abstract work counters of the search engine (nodes expanded, edges scanned,
+objects considered), which track the quantity the paper's CPU time measures
+and are robust to the machine the reproduction runs on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from statistics import mean
+from typing import Dict, List, Optional, Sequence
+
+
+@dataclass
+class AlgorithmMetrics:
+    """Per-algorithm measurements of one simulation run."""
+
+    algorithm: str
+    #: seconds spent processing each timestamp (index = timestamp order)
+    seconds_per_timestamp: List[float] = field(default_factory=list)
+    #: work-counter deltas per timestamp
+    counters_per_timestamp: List[Dict[str, int]] = field(default_factory=list)
+    #: memory footprint (bytes) sampled after each timestamp
+    memory_bytes_per_timestamp: List[int] = field(default_factory=list)
+    #: how many query results changed at each timestamp
+    changed_queries_per_timestamp: List[int] = field(default_factory=list)
+    #: seconds spent computing the initial results (not per-timestamp cost)
+    initial_seconds: float = 0.0
+
+    # ------------------------------------------------------------------
+    # aggregates
+    # ------------------------------------------------------------------
+    @property
+    def timestamps(self) -> int:
+        return len(self.seconds_per_timestamp)
+
+    def mean_seconds(self) -> float:
+        """Average processing time per timestamp (the paper's y-axis)."""
+        return mean(self.seconds_per_timestamp) if self.seconds_per_timestamp else 0.0
+
+    def total_seconds(self) -> float:
+        return sum(self.seconds_per_timestamp)
+
+    def mean_counter(self, name: str) -> float:
+        """Average per-timestamp value of one work counter."""
+        values = [counters.get(name, 0) for counters in self.counters_per_timestamp]
+        return mean(values) if values else 0.0
+
+    def mean_memory_kb(self) -> float:
+        """Average memory footprint in KBytes (the paper's Figure 18 unit)."""
+        if not self.memory_bytes_per_timestamp:
+            return 0.0
+        return mean(self.memory_bytes_per_timestamp) / 1024.0
+
+    def peak_memory_kb(self) -> float:
+        if not self.memory_bytes_per_timestamp:
+            return 0.0
+        return max(self.memory_bytes_per_timestamp) / 1024.0
+
+    def summary(self) -> Dict[str, float]:
+        """Flat summary used by the reporting and benchmark modules."""
+        return {
+            "algorithm": self.algorithm,
+            "timestamps": float(self.timestamps),
+            "mean_seconds": self.mean_seconds(),
+            "total_seconds": self.total_seconds(),
+            "initial_seconds": self.initial_seconds,
+            "mean_nodes_expanded": self.mean_counter("nodes_expanded"),
+            "mean_edges_scanned": self.mean_counter("edges_scanned"),
+            "mean_objects_considered": self.mean_counter("objects_considered"),
+            "mean_searches": self.mean_counter("searches"),
+            "mean_memory_kb": self.mean_memory_kb(),
+            "peak_memory_kb": self.peak_memory_kb(),
+            "mean_changed_queries": (
+                mean(self.changed_queries_per_timestamp)
+                if self.changed_queries_per_timestamp
+                else 0.0
+            ),
+        }
+
+
+@dataclass
+class SimulationResult:
+    """Everything a simulation run produced."""
+
+    config_description: Dict[str, object]
+    metrics: Dict[str, AlgorithmMetrics]
+    #: number of (timestamp, query) result mismatches found during validation
+    validation_mismatches: int = 0
+    #: whether validation against the reference algorithm was performed
+    validated: bool = False
+
+    def metrics_of(self, algorithm: str) -> AlgorithmMetrics:
+        """Metrics of one algorithm (by its name, e.g. ``"IMA"``)."""
+        return self.metrics[algorithm]
+
+    def algorithms(self) -> List[str]:
+        return list(self.metrics)
+
+    def mean_seconds_table(self) -> Dict[str, float]:
+        """Algorithm -> mean seconds per timestamp."""
+        return {name: metric.mean_seconds() for name, metric in self.metrics.items()}
+
+    def speedup_over(self, baseline: str = "OVH") -> Dict[str, float]:
+        """Speed-up factor of every algorithm relative to *baseline*."""
+        base = self.metrics[baseline].mean_seconds()
+        result: Dict[str, float] = {}
+        for name, metric in self.metrics.items():
+            seconds = metric.mean_seconds()
+            result[name] = base / seconds if seconds > 0 else float("inf")
+        return result

@@ -1,0 +1,256 @@
+"""Simulation driver: run OVH / IMA / GMA in lock-step over one workload.
+
+The simulator reproduces the paper's experimental methodology (Section 6):
+
+1. build a road network (a synthetic San-Francisco-like mesh, or any network
+   the caller supplies),
+2. place N data objects and Q continuous queries according to the configured
+   distributions,
+3. register the queries with every monitoring algorithm under test,
+4. for ``timestamps`` rounds: generate the object movements, query movements
+   and edge-weight fluctuations of one timestamp, apply them to the shared
+   state once, feed the same batch to every monitor, and record per-monitor
+   wall-clock time, work counters, memory footprint and result changes,
+5. optionally validate that all monitors report identical results at every
+   timestamp (the differential-testing backbone of the test suite).
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, Iterable, List, Optional, Sequence, Type
+
+from repro.core.base import MonitorBase
+from repro.core.events import (
+    EdgeWeightUpdate,
+    ObjectUpdate,
+    QueryUpdate,
+    UpdateBatch,
+    apply_batch,
+)
+from repro.core.gma import GmaMonitor
+from repro.core.ima import ImaMonitor
+from repro.core.ovh import OvhMonitor
+from repro.core.results import results_equal
+from repro.exceptions import SimulationError
+from repro.mobility.brinkhoff import BrinkhoffGenerator
+from repro.mobility.distributions import place
+from repro.mobility.random_walk import RandomWalkModel
+from repro.mobility.traffic import TrafficModel
+from repro.network.edge_table import EdgeTable
+from repro.network.graph import NetworkLocation, RoadNetwork
+from repro.sim.datasets import san_francisco_like
+from repro.sim.metrics import AlgorithmMetrics, SimulationResult
+from repro.sim.workload import WorkloadConfig
+from repro.utils.rng import derive_rng, make_rng
+
+_MONITOR_CLASSES: Dict[str, Type[MonitorBase]] = {
+    "OVH": OvhMonitor,
+    "IMA": ImaMonitor,
+    "GMA": GmaMonitor,
+}
+
+#: Query ids start here so they never collide with object ids.
+QUERY_ID_BASE = 1_000_000
+
+
+class Simulator:
+    """Builds and runs one monitoring scenario from a :class:`WorkloadConfig`."""
+
+    def __init__(
+        self,
+        config: WorkloadConfig,
+        network: Optional[RoadNetwork] = None,
+    ) -> None:
+        """Prepare the scenario (network, placements, mobility, traffic).
+
+        Args:
+            config: the workload parameters.
+            network: optionally a pre-built network (e.g. a real road map);
+                when omitted a synthetic San-Francisco-like mesh with
+                ``config.network_edges`` edges is generated.
+        """
+        self._config = config
+        root_rng = make_rng(config.seed)
+        self._network = (
+            network
+            if network is not None
+            else san_francisco_like(config.network_edges, seed=derive_rng(root_rng, "network"))
+        )
+        self._edge_table = EdgeTable(self._network)
+
+        object_locations = place(
+            self._network,
+            config.num_objects,
+            config.object_distribution,
+            std_fraction=0.5,  # the paper's Gaussian-object experiments use 50 %
+            seed=derive_rng(root_rng, "objects"),
+        )
+        self._object_locations: Dict[int, NetworkLocation] = dict(enumerate(object_locations))
+        for object_id, location in self._object_locations.items():
+            self._edge_table.insert_object(object_id, location)
+
+        query_locations = place(
+            self._network,
+            config.num_queries,
+            config.query_distribution,
+            std_fraction=config.gaussian_std_fraction,
+            seed=derive_rng(root_rng, "queries"),
+        )
+        self._query_locations: Dict[int, NetworkLocation] = {
+            QUERY_ID_BASE + index: location for index, location in enumerate(query_locations)
+        }
+
+        if config.mobility_model.lower() == "brinkhoff":
+            self._object_model = BrinkhoffGenerator(
+                self._network,
+                dict(self._object_locations),
+                agility=config.object_agility,
+                seed=derive_rng(root_rng, "object-mobility"),
+            )
+        else:
+            self._object_model = RandomWalkModel(
+                self._network,
+                dict(self._object_locations),
+                speed=config.object_speed,
+                agility=config.object_agility,
+                seed=derive_rng(root_rng, "object-mobility"),
+            )
+        self._query_model = RandomWalkModel(
+            self._network,
+            dict(self._query_locations),
+            speed=config.query_speed,
+            agility=config.query_agility,
+            seed=derive_rng(root_rng, "query-mobility"),
+        )
+        self._traffic = TrafficModel(
+            self._network,
+            edge_agility=config.edge_agility,
+            seed=derive_rng(root_rng, "traffic"),
+        )
+
+    # ------------------------------------------------------------------
+    # accessors (used by tests and ad-hoc analyses)
+    # ------------------------------------------------------------------
+    @property
+    def config(self) -> WorkloadConfig:
+        return self._config
+
+    @property
+    def network(self) -> RoadNetwork:
+        return self._network
+
+    @property
+    def edge_table(self) -> EdgeTable:
+        return self._edge_table
+
+    def query_locations(self) -> Dict[int, NetworkLocation]:
+        return dict(self._query_locations)
+
+    def object_locations(self) -> Dict[int, NetworkLocation]:
+        return dict(self._object_locations)
+
+    # ------------------------------------------------------------------
+    # batch generation
+    # ------------------------------------------------------------------
+    def generate_batch(self, timestamp: int) -> UpdateBatch:
+        """Generate (but do not apply) the updates of one timestamp."""
+        batch = UpdateBatch(timestamp=timestamp)
+        for edge_id, old_weight, new_weight in self._traffic.step():
+            batch.edge_updates.append(EdgeWeightUpdate(edge_id, old_weight, new_weight))
+        for object_id, old_location, new_location in self._object_model.step():
+            batch.object_updates.append(ObjectUpdate(object_id, old_location, new_location))
+            self._object_locations[object_id] = new_location
+        for query_id, old_location, new_location in self._query_model.step():
+            batch.query_updates.append(QueryUpdate(query_id, old_location, new_location))
+            self._query_locations[query_id] = new_location
+        return batch
+
+    # ------------------------------------------------------------------
+    # running
+    # ------------------------------------------------------------------
+    def build_monitors(self, algorithms: Sequence[str]) -> Dict[str, MonitorBase]:
+        """Instantiate the requested monitors over the shared state."""
+        monitors: Dict[str, MonitorBase] = {}
+        for name in algorithms:
+            key = name.upper()
+            if key not in _MONITOR_CLASSES:
+                raise SimulationError(
+                    f"unknown algorithm {name!r}; choose among {sorted(_MONITOR_CLASSES)}"
+                )
+            monitors[key] = _MONITOR_CLASSES[key](self._network, self._edge_table)
+        return monitors
+
+    def run(
+        self,
+        algorithms: Sequence[str] = ("OVH", "IMA", "GMA"),
+        validate: bool = False,
+        collect_memory: bool = True,
+    ) -> SimulationResult:
+        """Run the scenario and return per-algorithm metrics.
+
+        Args:
+            algorithms: which monitors to run (names are case-insensitive).
+            validate: when True, every monitor's result for every query is
+                compared against the first listed algorithm at every
+                timestamp; mismatches are counted in the returned result.
+            collect_memory: sample :meth:`MonitorBase.memory_footprint_bytes`
+                after every timestamp (adds a little overhead).
+        """
+        monitors = self.build_monitors(algorithms)
+        metrics = {
+            name: AlgorithmMetrics(algorithm=name) for name in monitors
+        }
+
+        # Initial result computation (not part of the per-timestamp cost,
+        # mirroring the paper's methodology).
+        for name, monitor in monitors.items():
+            start = time.perf_counter()
+            for query_id, location in self._query_locations.items():
+                monitor.register_query(query_id, location, self._config.k)
+            metrics[name].initial_seconds = time.perf_counter() - start
+
+        mismatches = 0
+        reference_name = next(iter(monitors))
+        for timestamp in range(self._config.timestamps):
+            batch = self.generate_batch(timestamp)
+            apply_batch(self._network, self._edge_table, batch.normalized())
+            for name, monitor in monitors.items():
+                report = monitor.process_batch(batch)
+                metrics[name].seconds_per_timestamp.append(report.elapsed_seconds)
+                metrics[name].counters_per_timestamp.append(report.counters)
+                metrics[name].changed_queries_per_timestamp.append(
+                    len(report.changed_queries)
+                )
+                if collect_memory:
+                    metrics[name].memory_bytes_per_timestamp.append(
+                        monitor.memory_footprint_bytes()
+                    )
+            if validate and len(monitors) > 1:
+                mismatches += self._validate_round(monitors, reference_name)
+
+        return SimulationResult(
+            config_description=self._config.describe(),
+            metrics=metrics,
+            validation_mismatches=mismatches,
+            validated=validate,
+        )
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+    def _validate_round(
+        self, monitors: Dict[str, MonitorBase], reference_name: str
+    ) -> int:
+        """Compare every monitor's results against the reference monitor."""
+        mismatches = 0
+        reference = monitors[reference_name]
+        for query_id in self._query_locations:
+            expected = list(reference.result_of(query_id).neighbors)
+            for name, monitor in monitors.items():
+                if name == reference_name:
+                    continue
+                actual = list(monitor.result_of(query_id).neighbors)
+                if not results_equal(expected, actual):
+                    mismatches += 1
+        return mismatches

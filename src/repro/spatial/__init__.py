@@ -1,0 +1,18 @@
+"""Spatial primitives: planar geometry and the PMR quadtree edge index."""
+
+from repro.spatial.geometry import Point, Rect, Segment, segment_intersection
+from repro.spatial.pmr_quadtree import (
+    DEFAULT_MAX_DEPTH,
+    DEFAULT_SPLIT_THRESHOLD,
+    PMRQuadtree,
+)
+
+__all__ = [
+    "Point",
+    "Rect",
+    "Segment",
+    "segment_intersection",
+    "PMRQuadtree",
+    "DEFAULT_SPLIT_THRESHOLD",
+    "DEFAULT_MAX_DEPTH",
+]

@@ -1,0 +1,54 @@
+"""Shared utilities: heaps, interval algebra, RNG helpers and validation."""
+
+from repro.utils.heap import IndexedMinHeap, LazyMinHeap
+from repro.utils.intervals import (
+    Interval,
+    IntervalSet,
+    influencing_intervals,
+    influencing_intervals_from_point,
+    normalize_intervals,
+    point_distance_via_endpoints,
+)
+from repro.utils.rng import (
+    DEFAULT_SEED,
+    bounded_gauss,
+    derive_rng,
+    make_rng,
+    sample_fraction,
+    shuffled,
+    weighted_choice,
+)
+from repro.utils.validation import (
+    almost_equal,
+    require_fraction,
+    require_in_range,
+    require_non_negative,
+    require_non_negative_int,
+    require_positive,
+    require_positive_int,
+)
+
+__all__ = [
+    "IndexedMinHeap",
+    "LazyMinHeap",
+    "Interval",
+    "IntervalSet",
+    "influencing_intervals",
+    "influencing_intervals_from_point",
+    "normalize_intervals",
+    "point_distance_via_endpoints",
+    "DEFAULT_SEED",
+    "bounded_gauss",
+    "derive_rng",
+    "make_rng",
+    "sample_fraction",
+    "shuffled",
+    "weighted_choice",
+    "almost_equal",
+    "require_fraction",
+    "require_in_range",
+    "require_non_negative",
+    "require_non_negative_int",
+    "require_positive",
+    "require_positive_int",
+]

@@ -1,0 +1,287 @@
+"""Indexed binary min-heap with decrease-key support.
+
+The network expansion of the Figure-2 algorithm (and every resumed search in
+IMA/GMA) is a Dijkstra traversal that repeatedly *decreases* the tentative
+distance of nodes already in the frontier.  Python's :mod:`heapq` does not
+support decrease-key, so this module provides a small, well-tested indexed
+heap.  Keys are ``float`` distances and items are hashable identifiers
+(network node ids in practice).
+
+The implementation keeps a position map from item to its slot in the array,
+which makes ``decrease_key`` and membership checks O(log n) / O(1).
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Iterator, Optional, Tuple
+
+
+class IndexedMinHeap:
+    """A binary min-heap keyed by float with O(log n) decrease-key.
+
+    Items must be hashable and unique; pushing an existing item updates its
+    key only if the new key is smaller (the common Dijkstra relaxation),
+    unless :meth:`push` is called with ``allow_increase=True``.
+    """
+
+    __slots__ = ("_keys", "_items", "_positions")
+
+    def __init__(self) -> None:
+        self._keys: list[float] = []
+        self._items: list[Hashable] = []
+        self._positions: dict[Hashable, int] = {}
+
+    # ------------------------------------------------------------------
+    # basic protocol
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._keys)
+
+    def __bool__(self) -> bool:
+        return bool(self._keys)
+
+    def __contains__(self, item: Hashable) -> bool:
+        return item in self._positions
+
+    def __iter__(self) -> Iterator[Tuple[Hashable, float]]:
+        """Iterate over (item, key) pairs in arbitrary (heap) order."""
+        return zip(self._items, self._keys)
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    def key_of(self, item: Hashable) -> float:
+        """Return the current key of *item*.
+
+        Raises:
+            KeyError: if *item* is not in the heap.
+        """
+        return self._keys[self._positions[item]]
+
+    def peek(self) -> Tuple[Hashable, float]:
+        """Return the (item, key) pair with the smallest key without removing it.
+
+        Raises:
+            IndexError: if the heap is empty.
+        """
+        if not self._keys:
+            raise IndexError("peek from an empty heap")
+        return self._items[0], self._keys[0]
+
+    def min_key(self) -> float:
+        """Return the smallest key, or ``float('inf')`` if the heap is empty."""
+        if not self._keys:
+            return float("inf")
+        return self._keys[0]
+
+    # ------------------------------------------------------------------
+    # updates
+    # ------------------------------------------------------------------
+    def push(self, item: Hashable, key: float, allow_increase: bool = False) -> bool:
+        """Insert *item* with *key*, or relax its key if already present.
+
+        Args:
+            item: hashable identifier.
+            key: priority (smaller pops first).
+            allow_increase: when True an existing item's key may also be
+                increased; by default only decreases are applied, which is
+                the Dijkstra relaxation semantics.
+
+        Returns:
+            True if the heap changed (inserted or key updated).
+        """
+        pos = self._positions.get(item)
+        if pos is None:
+            self._keys.append(key)
+            self._items.append(item)
+            self._positions[item] = len(self._keys) - 1
+            self._sift_up(len(self._keys) - 1)
+            return True
+        current = self._keys[pos]
+        if key < current:
+            self._keys[pos] = key
+            self._sift_up(pos)
+            return True
+        if key > current and allow_increase:
+            self._keys[pos] = key
+            self._sift_down(pos)
+            return True
+        return False
+
+    def decrease_key(self, item: Hashable, key: float) -> bool:
+        """Decrease the key of *item* to *key* (no-op if not smaller).
+
+        Raises:
+            KeyError: if *item* is not in the heap.
+        """
+        pos = self._positions[item]
+        if key >= self._keys[pos]:
+            return False
+        self._keys[pos] = key
+        self._sift_up(pos)
+        return True
+
+    def pop(self) -> Tuple[Hashable, float]:
+        """Remove and return the (item, key) pair with the smallest key.
+
+        Raises:
+            IndexError: if the heap is empty.
+        """
+        if not self._keys:
+            raise IndexError("pop from an empty heap")
+        top_item = self._items[0]
+        top_key = self._keys[0]
+        self._remove_at(0)
+        return top_item, top_key
+
+    def remove(self, item: Hashable) -> float:
+        """Remove *item* from the heap and return its key.
+
+        Raises:
+            KeyError: if *item* is not in the heap.
+        """
+        pos = self._positions[item]
+        key = self._keys[pos]
+        self._remove_at(pos)
+        return key
+
+    def discard(self, item: Hashable) -> None:
+        """Remove *item* if present; do nothing otherwise."""
+        if item in self._positions:
+            self.remove(item)
+
+    def clear(self) -> None:
+        """Remove every item from the heap."""
+        self._keys.clear()
+        self._items.clear()
+        self._positions.clear()
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+    def _remove_at(self, pos: int) -> None:
+        last = len(self._keys) - 1
+        item = self._items[pos]
+        del self._positions[item]
+        if pos != last:
+            self._keys[pos] = self._keys[last]
+            self._items[pos] = self._items[last]
+            self._positions[self._items[pos]] = pos
+        self._keys.pop()
+        self._items.pop()
+        if pos < len(self._keys):
+            self._sift_down(pos)
+            self._sift_up(pos)
+
+    def _swap(self, i: int, j: int) -> None:
+        self._keys[i], self._keys[j] = self._keys[j], self._keys[i]
+        self._items[i], self._items[j] = self._items[j], self._items[i]
+        self._positions[self._items[i]] = i
+        self._positions[self._items[j]] = j
+
+    def _sift_up(self, pos: int) -> None:
+        while pos > 0:
+            parent = (pos - 1) >> 1
+            if self._keys[pos] < self._keys[parent]:
+                self._swap(pos, parent)
+                pos = parent
+            else:
+                break
+
+    def _sift_down(self, pos: int) -> None:
+        size = len(self._keys)
+        while True:
+            left = 2 * pos + 1
+            right = left + 1
+            smallest = pos
+            if left < size and self._keys[left] < self._keys[smallest]:
+                smallest = left
+            if right < size and self._keys[right] < self._keys[smallest]:
+                smallest = right
+            if smallest == pos:
+                break
+            self._swap(pos, smallest)
+            pos = smallest
+
+    # ------------------------------------------------------------------
+    # diagnostics
+    # ------------------------------------------------------------------
+    def is_valid(self) -> bool:
+        """Check the heap invariant and the position map (used by tests)."""
+        size = len(self._keys)
+        for pos in range(size):
+            left = 2 * pos + 1
+            right = left + 1
+            if left < size and self._keys[left] < self._keys[pos]:
+                return False
+            if right < size and self._keys[right] < self._keys[pos]:
+                return False
+        if len(self._positions) != size:
+            return False
+        for item, pos in self._positions.items():
+            if self._items[pos] != item:
+                return False
+        return True
+
+    def items_sorted(self) -> list[Tuple[Hashable, float]]:
+        """Return all (item, key) pairs ordered by key (non-destructive)."""
+        return sorted(zip(self._items, self._keys), key=lambda pair: pair[1])
+
+
+class LazyMinHeap:
+    """A simpler heap based on lazy deletion, useful as a reference.
+
+    It wraps :mod:`heapq` and skips stale entries on pop.  The expansion
+    engine uses :class:`IndexedMinHeap`; this class exists mainly so tests
+    can cross-check behaviour and benchmarks can compare the two designs.
+    """
+
+    __slots__ = ("_heap", "_best", "_counter")
+
+    def __init__(self) -> None:
+        self._heap: list[tuple[float, int, Hashable]] = []
+        self._best: dict[Hashable, float] = {}
+        self._counter = 0
+
+    def __len__(self) -> int:
+        return len(self._best)
+
+    def __bool__(self) -> bool:
+        return bool(self._best)
+
+    def __contains__(self, item: Hashable) -> bool:
+        return item in self._best
+
+    def push(self, item: Hashable, key: float) -> bool:
+        """Insert or relax *item*; only decreases are applied."""
+        import heapq
+
+        current = self._best.get(item)
+        if current is not None and key >= current:
+            return False
+        self._best[item] = key
+        self._counter += 1
+        heapq.heappush(self._heap, (key, self._counter, item))
+        return True
+
+    def pop(self) -> Tuple[Hashable, float]:
+        """Pop the smallest live entry, skipping stale ones."""
+        import heapq
+
+        while self._heap:
+            key, _, item = heapq.heappop(self._heap)
+            if self._best.get(item) == key:
+                del self._best[item]
+                return item, key
+        raise IndexError("pop from an empty heap")
+
+    def min_key(self) -> float:
+        """Return the smallest live key, or infinity when empty."""
+        import heapq
+
+        while self._heap:
+            key, _, item = self._heap[0]
+            if self._best.get(item) == key:
+                return key
+            heapq.heappop(self._heap)
+        return float("inf")

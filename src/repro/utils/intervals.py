@@ -1,0 +1,296 @@
+"""One-dimensional interval algebra used for edge *influencing intervals*.
+
+Every edge of the road network is parameterised by an offset in
+``[0, weight]`` measured from its start node.  The *influencing interval* of
+an edge with respect to a query q is the set of offsets whose network
+distance from q is at most ``q.kNN_dist`` (Section 3 of the paper).  Such a
+set is always the union of at most two closed intervals — one growing from
+each endpoint of the edge — so this module provides a tiny, exact interval
+type plus the operations the monitoring algorithms need: membership tests,
+unions, intersection with a changed radius, and the computation of the
+influencing intervals themselves from endpoint distances.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+_EPS = 1e-9
+
+
+@dataclass(frozen=True)
+class Interval:
+    """A closed interval ``[low, high]`` on an edge's offset axis."""
+
+    low: float
+    high: float
+
+    def __post_init__(self) -> None:
+        if self.low > self.high + _EPS:
+            raise ValueError(f"interval low {self.low} exceeds high {self.high}")
+
+    @property
+    def length(self) -> float:
+        """Length of the interval (zero for degenerate point intervals)."""
+        return max(0.0, self.high - self.low)
+
+    def contains(self, offset: float, tolerance: float = _EPS) -> bool:
+        """Return True if *offset* lies inside the closed interval."""
+        return self.low - tolerance <= offset <= self.high + tolerance
+
+    def overlaps(self, other: "Interval", tolerance: float = _EPS) -> bool:
+        """Return True if the two closed intervals intersect."""
+        return self.low <= other.high + tolerance and other.low <= self.high + tolerance
+
+    def merge(self, other: "Interval") -> "Interval":
+        """Return the smallest interval containing both (assumes overlap)."""
+        return Interval(min(self.low, other.low), max(self.high, other.high))
+
+    def clamp(self, low: float, high: float) -> Optional["Interval"]:
+        """Intersect with ``[low, high]``; return None if empty."""
+        new_low = max(self.low, low)
+        new_high = min(self.high, high)
+        if new_low > new_high + _EPS:
+            return None
+        return Interval(new_low, max(new_low, new_high))
+
+
+class IntervalSet:
+    """A normalised union of disjoint closed intervals on one edge."""
+
+    __slots__ = ("_intervals",)
+
+    def __init__(self, intervals: Iterable[Interval] = ()) -> None:
+        self._intervals: List[Interval] = normalize_intervals(intervals)
+
+    # ------------------------------------------------------------------
+    # protocol
+    # ------------------------------------------------------------------
+    def __iter__(self):
+        return iter(self._intervals)
+
+    def __len__(self) -> int:
+        return len(self._intervals)
+
+    def __bool__(self) -> bool:
+        return bool(self._intervals)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, IntervalSet):
+            return NotImplemented
+        return self._intervals == other._intervals
+
+    def __repr__(self) -> str:
+        parts = ", ".join(f"[{iv.low:.3f}, {iv.high:.3f}]" for iv in self._intervals)
+        return f"IntervalSet({parts})"
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    @property
+    def intervals(self) -> Sequence[Interval]:
+        """The normalised, sorted, disjoint intervals."""
+        return tuple(self._intervals)
+
+    def contains(self, offset: float, tolerance: float = _EPS) -> bool:
+        """Return True if *offset* falls in any member interval."""
+        return any(iv.contains(offset, tolerance) for iv in self._intervals)
+
+    def total_length(self) -> float:
+        """Sum of the lengths of the member intervals."""
+        return sum(iv.length for iv in self._intervals)
+
+    def covers_edge(self, weight: float, tolerance: float = _EPS) -> bool:
+        """Return True if the set covers the entire ``[0, weight]`` range."""
+        if len(self._intervals) != 1:
+            return False
+        only = self._intervals[0]
+        return only.low <= tolerance and only.high >= weight - tolerance
+
+    # ------------------------------------------------------------------
+    # construction helpers
+    # ------------------------------------------------------------------
+    def union(self, other: "IntervalSet") -> "IntervalSet":
+        """Return the union of the two sets."""
+        return IntervalSet(list(self._intervals) + list(other._intervals))
+
+
+def normalize_intervals(intervals: Iterable[Interval]) -> List[Interval]:
+    """Sort intervals and merge the overlapping / touching ones."""
+    ordered = sorted(intervals, key=lambda iv: (iv.low, iv.high))
+    merged: List[Interval] = []
+    for interval in ordered:
+        if merged and merged[-1].overlaps(interval):
+            merged[-1] = merged[-1].merge(interval)
+        else:
+            merged.append(interval)
+    return merged
+
+
+def influencing_intervals(
+    weight: float,
+    dist_start: float,
+    dist_end: float,
+    radius: float,
+) -> IntervalSet:
+    """Compute the influencing interval(s) of an edge for a query.
+
+    The network distance of the point at offset ``t`` (from the start node)
+    is ``min(dist_start + t, dist_end + (weight - t))`` where ``dist_start``
+    and ``dist_end`` are the network distances of the edge endpoints from the
+    query (``float('inf')`` when an endpoint is unreachable / unverified).
+    The influencing interval is the set of offsets whose distance is at most
+    *radius* — a union of at most two intervals, one anchored at each
+    endpoint, which may merge into one when they meet (see Figure 3 of the
+    paper for the two-mark case).
+
+    Args:
+        weight: the current weight (length) of the edge, must be positive.
+        dist_start: network distance of ``edge.start`` from the query.
+        dist_end: network distance of ``edge.end`` from the query.
+        radius: the query's current ``kNN_dist``.
+
+    Returns:
+        The (possibly empty) influencing interval set in offset coordinates.
+    """
+    if weight <= 0:
+        raise ValueError(f"edge weight must be positive, got {weight}")
+    if radius == float("inf"):
+        # An infinite radius influences the whole edge provided at least one
+        # endpoint is reachable at all.
+        if dist_start == float("inf") and dist_end == float("inf"):
+            return IntervalSet()
+        return IntervalSet([Interval(0.0, weight)])
+
+    pieces: List[Interval] = []
+    if dist_start <= radius:
+        reach = radius - dist_start
+        pieces.append(Interval(0.0, min(weight, reach)))
+    if dist_end <= radius:
+        reach = radius - dist_end
+        pieces.append(Interval(max(0.0, weight - reach), weight))
+    return IntervalSet(pieces)
+
+
+def influencing_intervals_from_point(
+    weight: float,
+    query_offset: float,
+    radius: float,
+) -> IntervalSet:
+    """Influencing interval of the edge that *contains* the query itself.
+
+    Points on the query's own edge are reached directly along the edge, so
+    the distance of offset ``t`` is ``abs(t - query_offset)`` (a shorter path
+    leaving and re-entering the edge cannot exist for points on the same
+    edge segment between the query and the point).  The result is clamped to
+    ``[0, weight]``.
+
+    Note: for points on the query's edge but on the far side of an endpoint
+    with a shortcut through the network the straight-line-along-edge distance
+    is still an upper bound; callers combine this set with
+    :func:`influencing_intervals` computed from the endpoint distances, so
+    the union is exact.
+    """
+    if weight <= 0:
+        raise ValueError(f"edge weight must be positive, got {weight}")
+    if not 0.0 <= query_offset <= weight + _EPS:
+        raise ValueError(
+            f"query offset {query_offset} outside the edge range [0, {weight}]"
+        )
+    if radius == float("inf"):
+        return IntervalSet([Interval(0.0, weight)])
+    low = max(0.0, query_offset - radius)
+    high = min(weight, query_offset + radius)
+    if low > high:
+        return IntervalSet()
+    return IntervalSet([Interval(low, high)])
+
+
+#: A lightweight influencing-interval representation: ``((low, high), ...)``
+#: tuples in edge-offset coordinates.  The monitoring hot path uses these
+#: plain tuples instead of :class:`IntervalSet` objects to avoid allocation
+#: overhead; the two representations are interchangeable in meaning.
+Spans = Tuple[Tuple[float, float], ...]
+
+
+def influence_spans(
+    weight: float,
+    dist_start: float,
+    dist_end: float,
+    radius: float,
+) -> Spans:
+    """Plain-tuple version of :func:`influencing_intervals` (hot path).
+
+    Returns at most two ``(low, high)`` pairs, merged into one when they
+    overlap.  Semantics are identical to :func:`influencing_intervals`.
+    """
+    if radius == float("inf"):
+        if dist_start == float("inf") and dist_end == float("inf"):
+            return ()
+        return ((0.0, weight),)
+    low_piece = None
+    high_piece = None
+    if dist_start <= radius:
+        low_piece = (0.0, min(weight, radius - dist_start))
+    if dist_end <= radius:
+        high_piece = (max(0.0, weight - (radius - dist_end)), weight)
+    if low_piece is None and high_piece is None:
+        return ()
+    if low_piece is None:
+        return (high_piece,)
+    if high_piece is None:
+        return (low_piece,)
+    if high_piece[0] <= low_piece[1] + _EPS:
+        return ((0.0, weight),)
+    return (low_piece, high_piece)
+
+
+def point_spans(weight: float, query_offset: float, radius: float) -> Spans:
+    """Plain-tuple version of :func:`influencing_intervals_from_point`."""
+    if radius == float("inf"):
+        return ((0.0, weight),)
+    low = max(0.0, query_offset - radius)
+    high = min(weight, query_offset + radius)
+    if low > high:
+        return ()
+    return ((low, high),)
+
+
+def merge_spans(first: Spans, second: Spans) -> Spans:
+    """Union of two span tuples (normalised: sorted, non-overlapping)."""
+    pieces = sorted(list(first) + list(second))
+    merged: List[Tuple[float, float]] = []
+    for low, high in pieces:
+        if merged and low <= merged[-1][1] + _EPS:
+            if high > merged[-1][1]:
+                merged[-1] = (merged[-1][0], high)
+        else:
+            merged.append((low, high))
+    return tuple(merged)
+
+
+def point_in_spans(spans: Spans, offset: float, tolerance: float = 1e-6) -> bool:
+    """True when *offset* lies inside any span (closed, with tolerance)."""
+    for low, high in spans:
+        if low - tolerance <= offset <= high + tolerance:
+            return True
+    return False
+
+
+def point_distance_via_endpoints(
+    weight: float,
+    offset: float,
+    dist_start: float,
+    dist_end: float,
+) -> float:
+    """Distance of the point at *offset* given the endpoint distances.
+
+    This is the standard ``min(dist_start + offset, dist_end + weight - offset)``
+    formula.  When both endpoint distances are exact network distances the
+    result is exact; when one endpoint is unverified (infinite) the result is
+    an upper bound realised through the verified endpoint.
+    """
+    via_start = dist_start + offset if dist_start != float("inf") else float("inf")
+    via_end = dist_end + (weight - offset) if dist_end != float("inf") else float("inf")
+    return min(via_start, via_end)

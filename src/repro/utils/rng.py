@@ -1,0 +1,116 @@
+"""Deterministic random-number helpers for reproducible experiments.
+
+The paper's evaluation is a simulation: initial object/query placement,
+random walks, edge-weight fluctuations, and agility sampling all draw random
+numbers.  To make every experiment, test and benchmark reproducible, the
+library never touches the global :mod:`random` state; instead each component
+receives (or derives) its own :class:`random.Random` instance through the
+helpers in this module.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from typing import Iterable, Optional, Sequence, TypeVar, Union
+
+T = TypeVar("T")
+
+RandomLike = Union[random.Random, int, None]
+
+#: Seed used when a caller passes ``None``; chosen once so that "default"
+#: runs are still deterministic across processes.
+DEFAULT_SEED = 20060912  # the paper's conference date: 12 September 2006
+
+
+def make_rng(seed_or_rng: RandomLike = None) -> random.Random:
+    """Return a :class:`random.Random` for *seed_or_rng*.
+
+    Accepts an existing generator (returned unchanged), an integer seed, or
+    ``None`` (the library default seed).
+    """
+    if isinstance(seed_or_rng, random.Random):
+        return seed_or_rng
+    if seed_or_rng is None:
+        return random.Random(DEFAULT_SEED)
+    return random.Random(seed_or_rng)
+
+
+def derive_rng(rng: random.Random, *labels: object) -> random.Random:
+    """Derive an independent child generator from *rng* and *labels*.
+
+    Splitting a generator by drawing a fresh seed keeps sub-components
+    (placement, mobility, traffic, ...) statistically independent while the
+    whole run remains a pure function of the top-level seed.  The label hash
+    uses :mod:`hashlib` rather than :func:`hash` so that derivations are
+    stable across processes (``PYTHONHASHSEED`` does not affect them).
+    """
+    import hashlib
+
+    material = ",".join(str(label) for label in labels).encode("utf-8")
+    digest = int.from_bytes(hashlib.sha256(material).digest()[:8], "big")
+    seed = rng.getrandbits(64) ^ digest
+    return random.Random(seed)
+
+
+def sample_fraction(rng: random.Random, items: Sequence[T], fraction: float) -> list[T]:
+    """Sample ``round(fraction * len(items))`` distinct items.
+
+    Used for the agility parameters: at every timestamp a fraction
+    ``f_obj`` / ``f_qry`` / ``f_edg`` of the objects / queries / edges
+    receives an update.
+    """
+    if not 0.0 <= fraction <= 1.0:
+        raise ValueError(f"fraction must be in [0, 1], got {fraction}")
+    count = int(round(fraction * len(items)))
+    count = min(count, len(items))
+    if count == 0:
+        return []
+    return rng.sample(list(items), count)
+
+
+def bounded_gauss(
+    rng: random.Random,
+    mean: float,
+    std: float,
+    low: float,
+    high: float,
+    max_attempts: int = 32,
+) -> float:
+    """Draw a Gaussian variate clamped to ``[low, high]`` by rejection.
+
+    Falls back to clamping after *max_attempts* rejections so the function
+    always terminates even with very tight bounds.
+    """
+    if low > high:
+        raise ValueError(f"invalid bounds: low {low} > high {high}")
+    for _ in range(max_attempts):
+        value = rng.gauss(mean, std)
+        if low <= value <= high:
+            return value
+    return min(max(rng.gauss(mean, std), low), high)
+
+
+def weighted_choice(rng: random.Random, items: Sequence[T], weights: Sequence[float]) -> T:
+    """Choose one item with probability proportional to its weight."""
+    if len(items) != len(weights):
+        raise ValueError("items and weights must have the same length")
+    if not items:
+        raise ValueError("cannot choose from an empty sequence")
+    total = float(sum(weights))
+    if total <= 0 or not math.isfinite(total):
+        raise ValueError("weights must sum to a positive finite value")
+    target = rng.random() * total
+    cumulative = 0.0
+    for item, weight in zip(items, weights):
+        cumulative += weight
+        if target <= cumulative:
+            return item
+    return items[-1]
+
+
+def shuffled(rng: random.Random, items: Iterable[T]) -> list[T]:
+    """Return a new list with the items in random order."""
+    result = list(items)
+    rng.shuffle(result)
+    return result

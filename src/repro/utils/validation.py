@@ -1,0 +1,82 @@
+"""Small argument-validation helpers shared across the library.
+
+These helpers keep validation logic (and its error messages) consistent
+between the graph model, the monitoring algorithms and the simulation
+configuration objects.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional
+
+
+def require_positive(value: float, name: str) -> float:
+    """Validate that *value* is a positive finite number and return it."""
+    if not isinstance(value, (int, float)) or isinstance(value, bool):
+        raise TypeError(f"{name} must be a number, got {type(value).__name__}")
+    if not math.isfinite(value) or value <= 0:
+        raise ValueError(f"{name} must be a positive finite number, got {value!r}")
+    return float(value)
+
+
+def require_non_negative(value: float, name: str) -> float:
+    """Validate that *value* is a non-negative finite number and return it."""
+    if not isinstance(value, (int, float)) or isinstance(value, bool):
+        raise TypeError(f"{name} must be a number, got {type(value).__name__}")
+    if not math.isfinite(value) or value < 0:
+        raise ValueError(f"{name} must be a non-negative finite number, got {value!r}")
+    return float(value)
+
+
+def require_fraction(value: float, name: str) -> float:
+    """Validate that *value* lies in the closed interval [0, 1]."""
+    if not isinstance(value, (int, float)) or isinstance(value, bool):
+        raise TypeError(f"{name} must be a number, got {type(value).__name__}")
+    if not 0.0 <= value <= 1.0:
+        raise ValueError(f"{name} must lie in [0, 1], got {value!r}")
+    return float(value)
+
+
+def require_positive_int(value: int, name: str) -> int:
+    """Validate that *value* is a positive integer and return it."""
+    if not isinstance(value, int) or isinstance(value, bool):
+        raise TypeError(f"{name} must be an integer, got {type(value).__name__}")
+    if value <= 0:
+        raise ValueError(f"{name} must be a positive integer, got {value!r}")
+    return value
+
+
+def require_non_negative_int(value: int, name: str) -> int:
+    """Validate that *value* is a non-negative integer and return it."""
+    if not isinstance(value, int) or isinstance(value, bool):
+        raise TypeError(f"{name} must be an integer, got {type(value).__name__}")
+    if value < 0:
+        raise ValueError(f"{name} must be a non-negative integer, got {value!r}")
+    return value
+
+
+def require_in_range(
+    value: float,
+    name: str,
+    low: Optional[float] = None,
+    high: Optional[float] = None,
+) -> float:
+    """Validate that *value* lies in the closed range [low, high]."""
+    if not isinstance(value, (int, float)) or isinstance(value, bool):
+        raise TypeError(f"{name} must be a number, got {type(value).__name__}")
+    if low is not None and value < low:
+        raise ValueError(f"{name} must be >= {low}, got {value!r}")
+    if high is not None and value > high:
+        raise ValueError(f"{name} must be <= {high}, got {value!r}")
+    return float(value)
+
+
+def almost_equal(a: float, b: float, tolerance: float = 1e-6) -> bool:
+    """Compare two distances with an absolute-plus-relative tolerance.
+
+    Network distances are sums of edge weights; accumulated floating-point
+    error grows with path length, so a pure absolute tolerance is too strict
+    for long paths and a pure relative one too loose near zero.
+    """
+    return abs(a - b) <= tolerance + tolerance * max(abs(a), abs(b))

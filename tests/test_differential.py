@@ -1,0 +1,178 @@
+"""Differential and property-based integration tests.
+
+These are the highest-value correctness tests of the repository: the three
+monitoring algorithms are run in lock-step on randomized dynamic scenarios
+(objects, queries and edge weights all changing every timestamp) and their
+results are compared against each other and against the quadratic
+brute-force oracle at every timestamp.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.events import (
+    EdgeWeightUpdate,
+    ObjectUpdate,
+    QueryUpdate,
+    UpdateBatch,
+    apply_batch,
+)
+from repro.core.gma import GmaMonitor
+from repro.core.ima import ImaMonitor
+from repro.core.ovh import OvhMonitor
+from repro.core.results import results_equal
+from repro.network.builders import city_network
+from repro.network.distance import brute_force_knn
+from repro.network.edge_table import EdgeTable
+from repro.network.graph import NetworkLocation
+from repro.sim.simulator import Simulator
+from repro.sim.workload import WorkloadConfig
+
+
+def _run_lockstep_scenario(seed, num_objects=50, num_queries=6, timestamps=12,
+                           network_edges=120, k_choices=(1, 2, 4)):
+    """Drive all three monitors over a random scenario; return mismatch count."""
+    rng = random.Random(seed)
+    network = city_network(network_edges, seed=seed + 1)
+    table = EdgeTable(network, build_spatial_index=False)
+    edges = list(network.edge_ids())
+
+    def random_location():
+        return NetworkLocation(rng.choice(edges), rng.random())
+
+    objects = {i: random_location() for i in range(num_objects)}
+    for object_id, location in objects.items():
+        table.insert_object(object_id, location)
+
+    monitors = [OvhMonitor(network, table), ImaMonitor(network, table), GmaMonitor(network, table)]
+    queries = {1000 + q: (random_location(), rng.choice(k_choices)) for q in range(num_queries)}
+    for monitor in monitors:
+        for query_id, (location, k) in queries.items():
+            monitor.register_query(query_id, location, k)
+
+    mismatches = 0
+    next_object_id = num_objects
+    for timestamp in range(timestamps):
+        batch = UpdateBatch(timestamp=timestamp)
+        # ~10 % of the objects move.
+        for object_id in rng.sample(sorted(objects), max(1, num_objects // 10)):
+            new_location = random_location()
+            batch.object_updates.append(ObjectUpdate(object_id, objects[object_id], new_location))
+            objects[object_id] = new_location
+        # Occasionally an object appears or disappears.
+        if rng.random() < 0.4:
+            location = random_location()
+            objects[next_object_id] = location
+            batch.object_updates.append(ObjectUpdate(next_object_id, None, location))
+            next_object_id += 1
+        if rng.random() < 0.3 and len(objects) > 5:
+            victim = rng.choice(sorted(objects))
+            batch.object_updates.append(ObjectUpdate(victim, objects.pop(victim), None))
+        # ~5 % of the edges change weight by +-10 %.
+        for edge_id in rng.sample(edges, max(1, len(edges) // 20)):
+            weight = network.edge(edge_id).weight
+            factor = 1.1 if rng.random() < 0.5 else 0.9
+            batch.edge_updates.append(EdgeWeightUpdate(edge_id, weight, weight * factor))
+        # A third of the queries move.
+        for query_id in rng.sample(sorted(queries), max(1, num_queries // 3)):
+            location, k = queries[query_id]
+            new_location = random_location()
+            batch.query_updates.append(QueryUpdate(query_id, location, new_location))
+            queries[query_id] = (new_location, k)
+
+        apply_batch(network, table, batch.normalized())
+        for monitor in monitors:
+            monitor.process_batch(batch)
+
+        for query_id, (location, k) in queries.items():
+            truth = brute_force_knn(network, table, location, k)
+            for monitor in monitors:
+                reported = list(monitor.result_of(query_id).neighbors)
+                if not results_equal(truth, reported):
+                    mismatches += 1
+    return mismatches
+
+
+class TestLockstepAgainstBruteForce:
+    @pytest.mark.parametrize("seed", [3, 17, 29, 41])
+    def test_all_algorithms_match_brute_force(self, seed):
+        assert _run_lockstep_scenario(seed) == 0
+
+    def test_high_churn_scenario(self):
+        # More aggressive dynamics: larger k, more movement per timestamp.
+        assert (
+            _run_lockstep_scenario(
+                seed=77, num_objects=80, num_queries=8, timestamps=8, k_choices=(5, 8)
+            )
+            == 0
+        )
+
+    def test_static_objects_with_weight_fluctuations_only(self):
+        rng = random.Random(123)
+        network = city_network(100, seed=8)
+        table = EdgeTable(network, build_spatial_index=False)
+        edges = list(network.edge_ids())
+        for object_id in range(40):
+            table.insert_object(object_id, NetworkLocation(rng.choice(edges), rng.random()))
+        monitors = [OvhMonitor(network, table), ImaMonitor(network, table), GmaMonitor(network, table)]
+        query_location = NetworkLocation(rng.choice(edges), 0.5)
+        for monitor in monitors:
+            monitor.register_query(1, query_location, 4)
+        for timestamp in range(15):
+            batch = UpdateBatch(timestamp=timestamp)
+            for edge_id in rng.sample(edges, 8):
+                weight = network.edge(edge_id).weight
+                factor = 1.1 if rng.random() < 0.5 else 0.9
+                batch.edge_updates.append(EdgeWeightUpdate(edge_id, weight, weight * factor))
+            apply_batch(network, table, batch.normalized())
+            truth_free = brute_force_knn(network, table, query_location, 4)
+            for monitor in monitors:
+                monitor.process_batch(batch)
+                assert results_equal(truth_free, list(monitor.result_of(1).neighbors))
+
+
+class TestSimulatorValidation:
+    @pytest.mark.parametrize("seed", [2, 9])
+    def test_simulator_lockstep_validation_has_no_mismatches(self, seed):
+        config = WorkloadConfig(
+            num_objects=250,
+            num_queries=25,
+            k=5,
+            network_edges=250,
+            timestamps=4,
+            seed=seed,
+        )
+        result = Simulator(config).run(validate=True)
+        assert result.validation_mismatches == 0
+
+
+@settings(
+    max_examples=12,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(
+    seed=st.integers(0, 100_000),
+    k=st.integers(1, 5),
+    object_agility=st.sampled_from([0.0, 0.1, 0.3]),
+    edge_agility=st.sampled_from([0.0, 0.05, 0.15]),
+)
+def test_property_monitors_agree_on_random_workloads(seed, k, object_agility, edge_agility):
+    """IMA and GMA always report the same distance profile as OVH."""
+    config = WorkloadConfig(
+        num_objects=120,
+        num_queries=10,
+        k=k,
+        network_edges=120,
+        timestamps=3,
+        object_agility=object_agility,
+        edge_agility=edge_agility,
+        seed=seed,
+    )
+    result = Simulator(config).run(validate=True)
+    assert result.validation_mismatches == 0

@@ -1,0 +1,105 @@
+"""Tests for the edge table (object bookkeeping + coordinate snapping)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import DuplicateObjectError, EdgeNotFoundError, UnknownObjectError
+from repro.network.edge_table import EdgeTable
+from repro.network.graph import NetworkLocation
+from repro.spatial.geometry import Point
+
+
+class TestObjectBookkeeping:
+    def test_insert_and_lookup(self, line_network):
+        table = EdgeTable(line_network)
+        table.insert_object(1, NetworkLocation(0, 0.5))
+        assert table.has_object(1)
+        assert table.location_of(1) == NetworkLocation(0, 0.5)
+        assert table.objects_on(0) == {1}
+        assert table.object_count == 1
+
+    def test_duplicate_insert_raises(self, line_network):
+        table = EdgeTable(line_network)
+        table.insert_object(1, NetworkLocation(0, 0.5))
+        with pytest.raises(DuplicateObjectError):
+            table.insert_object(1, NetworkLocation(1, 0.5))
+
+    def test_insert_on_unknown_edge_raises(self, line_network):
+        table = EdgeTable(line_network)
+        with pytest.raises(EdgeNotFoundError):
+            table.insert_object(1, NetworkLocation(99, 0.5))
+
+    def test_remove_returns_last_location(self, line_network):
+        table = EdgeTable(line_network)
+        table.insert_object(1, NetworkLocation(0, 0.25))
+        assert table.remove_object(1) == NetworkLocation(0, 0.25)
+        assert not table.has_object(1)
+        assert table.objects_on(0) == set()
+
+    def test_remove_unknown_raises(self, line_network):
+        with pytest.raises(UnknownObjectError):
+            EdgeTable(line_network).remove_object(1)
+
+    def test_move_updates_both_edges(self, line_network):
+        table = EdgeTable(line_network)
+        table.insert_object(1, NetworkLocation(0, 0.5))
+        old = table.move_object(1, NetworkLocation(2, 0.75))
+        assert old == NetworkLocation(0, 0.5)
+        assert table.objects_on(0) == set()
+        assert table.objects_on(2) == {1}
+
+    def test_move_unknown_raises(self, line_network):
+        with pytest.raises(UnknownObjectError):
+            EdgeTable(line_network).move_object(1, NetworkLocation(0, 0.1))
+
+    def test_location_of_unknown_raises(self, line_network):
+        with pytest.raises(UnknownObjectError):
+            EdgeTable(line_network).location_of(77)
+
+    def test_objects_with_fractions_on(self, line_network):
+        table = EdgeTable(line_network)
+        table.insert_object(1, NetworkLocation(1, 0.25))
+        table.insert_object(2, NetworkLocation(1, 0.75))
+        found = dict(table.objects_with_fractions_on(1))
+        assert found == {1: 0.25, 2: 0.75}
+
+    def test_all_objects_and_populated_edges(self, line_network):
+        table = EdgeTable(line_network)
+        table.insert_object(1, NetworkLocation(0, 0.2))
+        table.insert_object(2, NetworkLocation(3, 0.8))
+        assert dict(table.all_objects()) == {
+            1: NetworkLocation(0, 0.2),
+            2: NetworkLocation(3, 0.8),
+        }
+        assert set(table.populated_edges()) == {0, 3}
+
+    def test_consistency_check(self, populated_city):
+        _, table, _ = populated_city
+        assert table.consistency_check()
+
+
+class TestSnapping:
+    def test_snap_point_to_nearest_edge(self, line_network):
+        table = EdgeTable(line_network)
+        # The line network runs along y=0 from x=0 to x=400.
+        location = table.snap_point(Point(150.0, 12.0))
+        assert location.edge_id == 1
+        assert location.fraction == pytest.approx(0.5)
+
+    def test_snap_point_clamps_to_edge_ends(self, line_network):
+        table = EdgeTable(line_network)
+        location = table.snap_point(Point(-50.0, 0.0))
+        assert location.edge_id == 0
+        assert location.fraction == pytest.approx(0.0)
+
+    def test_snap_without_index_raises(self, line_network):
+        table = EdgeTable(line_network, build_spatial_index=False)
+        with pytest.raises(EdgeNotFoundError):
+            table.snap_point(Point(1.0, 1.0))
+
+    def test_rebuild_spatial_index(self, line_network):
+        table = EdgeTable(line_network, build_spatial_index=False)
+        index = table.rebuild_spatial_index()
+        assert len(index) == line_network.edge_count
+        assert table.spatial_index is index

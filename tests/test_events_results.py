@@ -1,0 +1,180 @@
+"""Tests for the update/event model and the k-NN result containers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.events import (
+    EdgeWeightUpdate,
+    ObjectUpdate,
+    QueryUpdate,
+    UpdateBatch,
+    apply_batch,
+)
+from repro.core.results import KnnResult, NeighborList, results_equal
+from repro.exceptions import InvalidQueryError, SimulationError
+from repro.network.edge_table import EdgeTable
+from repro.network.graph import NetworkLocation
+
+
+class TestUpdateRecords:
+    def test_object_update_requires_some_location(self):
+        with pytest.raises(SimulationError):
+            ObjectUpdate(1, None, None)
+
+    def test_object_update_classification(self):
+        insert = ObjectUpdate(1, None, NetworkLocation(0, 0.5))
+        delete = ObjectUpdate(1, NetworkLocation(0, 0.5), None)
+        move = ObjectUpdate(1, NetworkLocation(0, 0.5), NetworkLocation(1, 0.5))
+        assert insert.is_insertion and not insert.is_deletion
+        assert delete.is_deletion and not delete.is_insertion
+        assert not move.is_insertion and not move.is_deletion
+
+    def test_query_installation_requires_k(self):
+        with pytest.raises(InvalidQueryError):
+            QueryUpdate(1, None, NetworkLocation(0, 0.5))
+        update = QueryUpdate(1, None, NetworkLocation(0, 0.5), k=3)
+        assert update.is_installation
+
+    def test_edge_update_rejects_non_positive_weight(self):
+        with pytest.raises(SimulationError):
+            EdgeWeightUpdate(0, 10.0, 0.0)
+
+    def test_edge_update_direction_flags(self):
+        assert EdgeWeightUpdate(0, 10.0, 11.0).is_increase
+        assert EdgeWeightUpdate(0, 10.0, 9.0).is_decrease
+        assert EdgeWeightUpdate(0, 10.0, 9.0).delta == pytest.approx(-1.0)
+
+
+class TestBatch:
+    def test_len_and_is_empty(self):
+        batch = UpdateBatch()
+        assert batch.is_empty()
+        batch.add_edge_change(0, 10.0, 11.0)
+        assert len(batch) == 1
+
+    def test_convenience_adders(self):
+        batch = UpdateBatch()
+        batch.add_object_move(1, NetworkLocation(0, 0.1), NetworkLocation(0, 0.2))
+        batch.add_query_move(2, NetworkLocation(0, 0.1), NetworkLocation(0, 0.2))
+        batch.add_edge_change(3, 1.0, 2.0)
+        assert len(batch) == 3
+
+    def test_normalized_collapses_object_updates(self):
+        a, b, c = (NetworkLocation(0, f) for f in (0.1, 0.5, 0.9))
+        batch = UpdateBatch()
+        batch.add_object_move(1, a, b)
+        batch.add_object_move(1, b, c)
+        merged = batch.normalized()
+        assert len(merged.object_updates) == 1
+        update = merged.object_updates[0]
+        assert update.old_location == a and update.new_location == c
+
+    def test_normalized_collapses_edge_updates_and_drops_noops(self):
+        batch = UpdateBatch()
+        batch.add_edge_change(0, 10.0, 12.0)
+        batch.add_edge_change(0, 12.0, 10.0)
+        batch.add_edge_change(1, 5.0, 6.0)
+        merged = batch.normalized()
+        assert [update.edge_id for update in merged.edge_updates] == [1]
+
+    def test_normalized_collapses_query_updates(self):
+        a, b, c = (NetworkLocation(0, f) for f in (0.1, 0.5, 0.9))
+        batch = UpdateBatch()
+        batch.add_query_move(7, a, b)
+        batch.add_query_move(7, b, c)
+        merged = batch.normalized()
+        assert len(merged.query_updates) == 1
+        assert merged.query_updates[0].old_location == a
+        assert merged.query_updates[0].new_location == c
+
+    def test_apply_batch_mutates_shared_state(self, line_network):
+        table = EdgeTable(line_network)
+        table.insert_object(5, NetworkLocation(0, 0.5))
+        batch = UpdateBatch()
+        batch.add_edge_change(0, line_network.edge(0).weight, 150.0)
+        batch.add_object_move(5, NetworkLocation(0, 0.5), NetworkLocation(2, 0.5))
+        batch.object_updates.append(ObjectUpdate(6, None, NetworkLocation(1, 0.1)))
+        apply_batch(line_network, table, batch)
+        assert line_network.edge(0).weight == pytest.approx(150.0)
+        assert table.location_of(5) == NetworkLocation(2, 0.5)
+        assert table.has_object(6)
+
+    def test_apply_batch_handles_deletions(self, line_network):
+        table = EdgeTable(line_network)
+        table.insert_object(5, NetworkLocation(0, 0.5))
+        batch = UpdateBatch()
+        batch.object_updates.append(ObjectUpdate(5, NetworkLocation(0, 0.5), None))
+        apply_batch(line_network, table, batch)
+        assert not table.has_object(5)
+
+
+class TestNeighborList:
+    def test_requires_positive_k(self):
+        with pytest.raises(InvalidQueryError):
+            NeighborList(0)
+
+    def test_offer_keeps_minimum(self):
+        neighbors = NeighborList(2)
+        assert neighbors.offer(1, 10.0)
+        assert not neighbors.offer(1, 12.0)
+        assert neighbors.offer(1, 5.0)
+        assert neighbors.distance_of(1) == 5.0
+
+    def test_radius_is_kth_distance(self):
+        neighbors = NeighborList(2, [(1, 5.0), (2, 9.0), (3, 3.0)])
+        assert neighbors.radius == pytest.approx(5.0)
+
+    def test_radius_infinite_when_fewer_than_k(self):
+        neighbors = NeighborList(3, [(1, 5.0)])
+        assert neighbors.radius == float("inf")
+
+    def test_top_k_sorted_with_tiebreak(self):
+        neighbors = NeighborList(3, [(2, 5.0), (1, 5.0), (3, 1.0)])
+        assert neighbors.top_k() == [(3, 1.0), (1, 5.0), (2, 5.0)]
+
+    def test_assign_overwrites(self):
+        neighbors = NeighborList(2, [(1, 5.0)])
+        neighbors.assign(1, 9.0)
+        assert neighbors.distance_of(1) == 9.0
+
+    def test_discard(self):
+        neighbors = NeighborList(2, [(1, 5.0)])
+        assert neighbors.discard(1)
+        assert not neighbors.discard(1)
+        assert 1 not in neighbors
+
+    def test_trim_to_k(self):
+        neighbors = NeighborList(2, [(1, 1.0), (2, 2.0), (3, 3.0)])
+        neighbors.trim_to_k()
+        assert len(neighbors) == 2
+        assert 3 not in neighbors
+
+    def test_as_result(self):
+        neighbors = NeighborList(2, [(1, 1.0), (2, 2.0), (3, 3.0)])
+        result = neighbors.as_result(query_id=9)
+        assert isinstance(result, KnnResult)
+        assert result.object_ids == (1, 2)
+        assert result.radius == pytest.approx(2.0)
+        assert result.is_complete
+
+
+class TestKnnResult:
+    def test_distance_of(self):
+        result = KnnResult(1, 2, ((5, 1.0), (6, 2.0)), 2.0)
+        assert result.distance_of(6) == 2.0
+        assert result.distance_of(7) is None
+
+    def test_same_objects(self):
+        a = KnnResult(1, 2, ((5, 1.0), (6, 2.0)), 2.0)
+        b = KnnResult(1, 2, ((6, 2.0), (5, 1.0)), 2.0)
+        assert a.same_objects(b)
+
+    def test_incomplete_result(self):
+        result = KnnResult(1, 5, ((5, 1.0),), float("inf"))
+        assert not result.is_complete
+
+    def test_results_equal_compares_distance_profiles(self):
+        assert results_equal([(1, 1.0), (2, 2.0)], [(9, 1.0), (8, 2.0)])
+        assert not results_equal([(1, 1.0)], [(1, 1.0), (2, 2.0)])
+        assert not results_equal([(1, 1.0)], [(1, 1.5)])

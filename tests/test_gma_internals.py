@@ -1,0 +1,123 @@
+"""Tests of GMA-specific internal structures (sequences, active nodes, grouping)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.events import UpdateBatch, apply_batch
+from repro.core.gma import GmaMonitor
+from repro.network.builders import star_network
+from repro.network.edge_table import EdgeTable
+from repro.network.graph import NetworkLocation
+
+
+@pytest.fixture
+def star_setup():
+    """A 4-branch star, branches of 3 edges; objects spread over the branches.
+
+    The hub (node 0) has degree 4; branch ends have degree 1; interior branch
+    nodes have degree 2, so each branch is one sequence and the hub is the
+    only possible active node.
+    """
+    network = star_network(4, branch_length=3, spacing=100.0)
+    table = EdgeTable(network)
+    # One object per branch at the far end, plus one near the hub on branch 0.
+    table.insert_object(0, NetworkLocation(2, 0.5))   # branch 0, far
+    table.insert_object(1, NetworkLocation(5, 0.5))   # branch 1, far
+    table.insert_object(2, NetworkLocation(8, 0.5))   # branch 2, far
+    table.insert_object(3, NetworkLocation(11, 0.5))  # branch 3, far
+    table.insert_object(4, NetworkLocation(0, 0.2))   # branch 0, near hub
+    return network, table
+
+
+class TestGroupingAndActiveNodes:
+    def test_hub_becomes_active_for_query_in_branch(self, star_setup):
+        network, table = star_setup
+        monitor = GmaMonitor(network, table)
+        monitor.register_query(100, NetworkLocation(1, 0.5), 2)
+        assert monitor.active_nodes() == {0}
+        assert monitor.queries_of_node(0) == {100}
+
+    def test_terminal_endpoints_never_become_active(self, star_setup):
+        network, table = star_setup
+        monitor = GmaMonitor(network, table)
+        monitor.register_query(100, NetworkLocation(2, 0.9), 1)
+        # The branch's other endpoint is a terminal (degree 1) node.
+        assert all(network.degree(node) >= 3 for node in monitor.active_nodes())
+
+    def test_active_node_k_is_max_over_grouped_queries(self, star_setup):
+        network, table = star_setup
+        monitor = GmaMonitor(network, table)
+        monitor.register_query(100, NetworkLocation(1, 0.5), 1)
+        monitor.register_query(101, NetworkLocation(0, 0.5), 3)
+        node_result = monitor.active_node_monitor.result_of(0)
+        assert len(node_result.neighbors) == 3
+
+    def test_node_deactivated_when_last_query_leaves(self, star_setup):
+        network, table = star_setup
+        monitor = GmaMonitor(network, table)
+        monitor.register_query(100, NetworkLocation(1, 0.5), 2)
+        monitor.unregister_query(100)
+        assert monitor.active_nodes() == set()
+        assert monitor.active_node_monitor.query_count == 0
+
+    def test_query_moving_to_new_sequence_regroups(self, star_setup):
+        network, table = star_setup
+        monitor = GmaMonitor(network, table)
+        monitor.register_query(100, NetworkLocation(1, 0.5), 1)
+        batch = UpdateBatch(timestamp=1)
+        batch.add_query_move(100, NetworkLocation(1, 0.5), NetworkLocation(4, 0.5))
+        apply_batch(network, table, batch)
+        monitor.process_batch(batch)
+        # Still exactly one active node (the hub), still grouping the query.
+        assert monitor.queries_of_node(0) == {100}
+        # And the result reflects the new branch.
+        assert monitor.result_of(100).object_ids == (1,)
+
+    def test_sequence_table_exposed(self, star_setup):
+        network, table = star_setup
+        monitor = GmaMonitor(network, table)
+        assert len(monitor.sequence_table) == 4
+
+    def test_memory_footprint_includes_active_node_state(self, star_setup):
+        network, table = star_setup
+        monitor = GmaMonitor(network, table)
+        empty_footprint = monitor.memory_footprint_bytes()
+        monitor.register_query(100, NetworkLocation(1, 0.5), 2)
+        assert monitor.memory_footprint_bytes() > empty_footprint
+
+
+class TestSharedExecutionCorrectness:
+    def test_result_uses_active_node_neighbors_across_hub(self, star_setup):
+        network, table = star_setup
+        monitor = GmaMonitor(network, table)
+        # Query in branch 0 near the hub; its 3-NN set must include objects
+        # from other branches, found through the hub's monitored set.
+        result = monitor.register_query(100, NetworkLocation(0, 0.5), 3)
+        assert result.object_ids[0] == 4  # the object on its own branch
+        assert set(result.object_ids).issubset({0, 1, 2, 3, 4})
+        assert len(result.object_ids) == 3
+
+    def test_active_node_change_propagates_to_query(self, star_setup):
+        network, table = star_setup
+        monitor = GmaMonitor(network, table)
+        monitor.register_query(100, NetworkLocation(0, 0.9), 2)
+        before = monitor.result_of(100)
+        # An object in another branch jumps right next to the hub, so it must
+        # enter the query's 2-NN set even though it never touches the query's
+        # own sequence... it enters through the hub's k-NN set.
+        batch = UpdateBatch(timestamp=1)
+        batch.add_object_move(3, NetworkLocation(11, 0.5), NetworkLocation(3, 0.05))
+        apply_batch(network, table, batch)
+        monitor.process_batch(batch)
+        after = monitor.result_of(100)
+        assert after.neighbors != before.neighbors
+        assert 3 in after.object_ids
+
+    def test_queries_in_same_sequence_share_one_active_node(self, star_setup):
+        network, table = star_setup
+        monitor = GmaMonitor(network, table)
+        for query_id in range(100, 110):
+            monitor.register_query(query_id, NetworkLocation(1, 0.05 * (query_id - 99)), 2)
+        assert monitor.active_nodes() == {0}
+        assert monitor.queries_of_node(0) == set(range(100, 110))

@@ -1,0 +1,219 @@
+"""Unit and property-based tests for the indexed min-heap."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.utils.heap import IndexedMinHeap, LazyMinHeap
+
+
+class TestIndexedMinHeapBasics:
+    def test_empty_heap_has_zero_length(self):
+        assert len(IndexedMinHeap()) == 0
+
+    def test_empty_heap_is_falsy(self):
+        assert not IndexedMinHeap()
+
+    def test_pop_empty_raises(self):
+        with pytest.raises(IndexError):
+            IndexedMinHeap().pop()
+
+    def test_peek_empty_raises(self):
+        with pytest.raises(IndexError):
+            IndexedMinHeap().peek()
+
+    def test_min_key_of_empty_heap_is_infinite(self):
+        assert IndexedMinHeap().min_key() == float("inf")
+
+    def test_push_and_pop_single_item(self):
+        heap = IndexedMinHeap()
+        heap.push("a", 3.0)
+        assert heap.pop() == ("a", 3.0)
+        assert len(heap) == 0
+
+    def test_pop_returns_items_in_key_order(self):
+        heap = IndexedMinHeap()
+        for item, key in [("a", 5.0), ("b", 1.0), ("c", 3.0)]:
+            heap.push(item, key)
+        assert [heap.pop()[0] for _ in range(3)] == ["b", "c", "a"]
+
+    def test_contains_reflects_membership(self):
+        heap = IndexedMinHeap()
+        heap.push(7, 1.0)
+        assert 7 in heap
+        assert 8 not in heap
+        heap.pop()
+        assert 7 not in heap
+
+    def test_key_of_returns_current_key(self):
+        heap = IndexedMinHeap()
+        heap.push("x", 4.5)
+        assert heap.key_of("x") == 4.5
+
+    def test_key_of_missing_item_raises(self):
+        with pytest.raises(KeyError):
+            IndexedMinHeap().key_of("missing")
+
+    def test_peek_does_not_remove(self):
+        heap = IndexedMinHeap()
+        heap.push("a", 2.0)
+        assert heap.peek() == ("a", 2.0)
+        assert len(heap) == 1
+
+
+class TestIndexedMinHeapRelaxation:
+    def test_push_existing_item_with_smaller_key_decreases(self):
+        heap = IndexedMinHeap()
+        heap.push("a", 5.0)
+        changed = heap.push("a", 2.0)
+        assert changed
+        assert heap.key_of("a") == 2.0
+        assert len(heap) == 1
+
+    def test_push_existing_item_with_larger_key_is_ignored(self):
+        heap = IndexedMinHeap()
+        heap.push("a", 2.0)
+        changed = heap.push("a", 5.0)
+        assert not changed
+        assert heap.key_of("a") == 2.0
+
+    def test_push_allow_increase_raises_key(self):
+        heap = IndexedMinHeap()
+        heap.push("a", 2.0)
+        heap.push("b", 3.0)
+        changed = heap.push("a", 9.0, allow_increase=True)
+        assert changed
+        assert heap.pop() == ("b", 3.0)
+
+    def test_decrease_key_reorders_heap(self):
+        heap = IndexedMinHeap()
+        heap.push("a", 10.0)
+        heap.push("b", 5.0)
+        heap.decrease_key("a", 1.0)
+        assert heap.pop() == ("a", 1.0)
+
+    def test_decrease_key_with_larger_value_is_noop(self):
+        heap = IndexedMinHeap()
+        heap.push("a", 1.0)
+        assert not heap.decrease_key("a", 5.0)
+        assert heap.key_of("a") == 1.0
+
+    def test_decrease_key_missing_item_raises(self):
+        with pytest.raises(KeyError):
+            IndexedMinHeap().decrease_key("nope", 1.0)
+
+
+class TestIndexedMinHeapRemoval:
+    def test_remove_returns_key_and_deletes(self):
+        heap = IndexedMinHeap()
+        heap.push("a", 1.0)
+        heap.push("b", 2.0)
+        assert heap.remove("a") == 1.0
+        assert "a" not in heap
+        assert heap.pop() == ("b", 2.0)
+
+    def test_remove_middle_item_keeps_heap_valid(self):
+        heap = IndexedMinHeap()
+        for i in range(20):
+            heap.push(i, float(20 - i))
+        heap.remove(10)
+        assert heap.is_valid()
+        assert len(heap) == 19
+
+    def test_discard_missing_item_is_silent(self):
+        heap = IndexedMinHeap()
+        heap.discard("ghost")
+        assert len(heap) == 0
+
+    def test_clear_empties_heap(self):
+        heap = IndexedMinHeap()
+        heap.push("a", 1.0)
+        heap.clear()
+        assert len(heap) == 0
+        assert "a" not in heap
+
+    def test_items_sorted_orders_by_key(self):
+        heap = IndexedMinHeap()
+        heap.push("a", 3.0)
+        heap.push("b", 1.0)
+        assert heap.items_sorted() == [("b", 1.0), ("a", 3.0)]
+
+
+class TestHeapAgainstSortingOracle:
+    def test_random_sequence_pops_sorted(self):
+        rng = random.Random(5)
+        heap = IndexedMinHeap()
+        expected = {}
+        for item in range(200):
+            key = rng.uniform(0, 100)
+            heap.push(item, key)
+            expected[item] = key
+        # Random relaxations.
+        for item in rng.sample(range(200), 80):
+            new_key = expected[item] * rng.uniform(0.1, 1.0)
+            heap.push(item, new_key)
+            expected[item] = min(expected[item], new_key)
+        popped = [heap.pop() for _ in range(len(heap))]
+        keys = [key for _, key in popped]
+        assert keys == sorted(keys)
+        assert {item: key for item, key in popped} == expected
+
+    def test_matches_lazy_heap_semantics(self):
+        rng = random.Random(11)
+        indexed = IndexedMinHeap()
+        lazy = LazyMinHeap()
+        for _ in range(300):
+            item = rng.randrange(60)
+            key = rng.uniform(0, 50)
+            indexed.push(item, key)
+            lazy.push(item, key)
+        while indexed:
+            assert indexed.pop() == lazy.pop()
+        assert not lazy
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    st.lists(
+        st.tuples(st.integers(min_value=0, max_value=30), st.floats(0, 1000)),
+        min_size=1,
+        max_size=120,
+    )
+)
+def test_property_heap_invariant_and_min_extraction(operations):
+    """After arbitrary pushes, pops come out in non-decreasing key order."""
+    heap = IndexedMinHeap()
+    best = {}
+    for item, key in operations:
+        heap.push(item, key)
+        if item not in best or key < best[item]:
+            best[item] = key
+    assert heap.is_valid()
+    previous = -1.0
+    popped = {}
+    while heap:
+        item, key = heap.pop()
+        assert key >= previous
+        previous = key
+        popped[item] = key
+    assert popped == best
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    st.lists(st.tuples(st.integers(0, 15), st.floats(0, 100)), min_size=1, max_size=60),
+    st.sets(st.integers(0, 15)),
+)
+def test_property_removals_preserve_invariant(pushes, removals):
+    """Removing arbitrary items keeps the heap structurally valid."""
+    heap = IndexedMinHeap()
+    for item, key in pushes:
+        heap.push(item, key)
+    for item in removals:
+        heap.discard(item)
+        assert item not in heap
+    assert heap.is_valid()

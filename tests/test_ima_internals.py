@@ -1,0 +1,160 @@
+"""Tests of IMA-specific internal structures (expansion trees, influence lists)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.events import UpdateBatch, apply_batch
+from repro.core.ima import ImaMonitor
+from repro.network.edge_table import EdgeTable
+from repro.network.graph import NetworkLocation
+
+
+@pytest.fixture
+def ima_on_line(line_network):
+    table = EdgeTable(line_network)
+    table.insert_object(0, NetworkLocation(0, 0.5))   # x = 50
+    table.insert_object(1, NetworkLocation(2, 0.25))  # x = 225
+    table.insert_object(2, NetworkLocation(3, 0.9))   # x = 390
+    monitor = ImaMonitor(line_network, table)
+    return line_network, table, monitor
+
+
+class TestExpansionTreeContents:
+    def test_tree_holds_nodes_within_radius(self, ima_on_line):
+        network, table, monitor = ima_on_line
+        monitor.register_query(100, NetworkLocation(1, 0.0), 2)  # x=100, radius 125
+        state = monitor.expansion_state_of(100)
+        # Nodes 0 (d=100), 1 (d=0), 2 (d=100) are within 125; node 3 (d=200) not.
+        assert set(state.node_dist) == {0, 1, 2}
+        assert state.node_dist[1] == pytest.approx(0.0)
+        assert state.node_dist[0] == pytest.approx(100.0)
+        assert state.node_dist[2] == pytest.approx(100.0)
+
+    def test_influence_lists_cover_affecting_edges(self, ima_on_line):
+        network, table, monitor = ima_on_line
+        monitor.register_query(100, NetworkLocation(1, 0.0), 2)
+        influence = monitor.influence_index
+        # Radius 125 from x=100 reaches x in [0, 225]: edges 0, 1 fully, 2 partially.
+        assert influence.edges_of_subscriber(100) == {0, 1, 2}
+        # On edge 2 only the first 25 units are influencing.
+        assert influence.contains_point(100, 2, 10.0)
+        assert not influence.contains_point(100, 2, 60.0)
+
+    def test_influence_removed_on_unregister(self, ima_on_line):
+        network, table, monitor = ima_on_line
+        monitor.register_query(100, NetworkLocation(1, 0.0), 2)
+        monitor.unregister_query(100)
+        assert not monitor.influence_index.has_subscriber(100)
+
+    def test_radius_infinite_when_fewer_objects_than_k(self, ima_on_line):
+        network, table, monitor = ima_on_line
+        result = monitor.register_query(100, NetworkLocation(1, 0.0), 10)
+        assert result.radius == float("inf")
+        # With an infinite radius the tree spans every reachable node.
+        assert set(monitor.expansion_state_of(100).node_dist) == set(network.node_ids())
+
+
+class TestIncrementalBehaviour:
+    def test_fast_path_shrinks_radius_without_search(self, ima_on_line):
+        network, table, monitor = ima_on_line
+        monitor.register_query(100, NetworkLocation(1, 0.0), 1)
+        searches_before = monitor.counters.searches
+        # An object appears right next to the query: surplus case, no search.
+        batch = UpdateBatch(timestamp=1)
+        batch.object_updates.append(
+            __import__("repro.core.events", fromlist=["ObjectUpdate"]).ObjectUpdate(
+                9, None, NetworkLocation(1, 0.05)
+            )
+        )
+        apply_batch(network, table, batch)
+        monitor.process_batch(batch)
+        assert monitor.result_of(100).object_ids == (9,)
+        assert monitor.counters.searches == searches_before
+
+    def test_deficit_triggers_resume_not_full_recompute(self, ima_on_line):
+        network, table, monitor = ima_on_line
+        monitor.register_query(100, NetworkLocation(1, 0.0), 1)
+        nodes_before = monitor.counters.nodes_expanded
+        # The only close object leaves: IMA must search again, but it should
+        # re-use the tree (expanding only new nodes beyond the old radius).
+        batch = UpdateBatch(timestamp=1)
+        batch.add_object_move(0, NetworkLocation(0, 0.5), NetworkLocation(3, 0.99))
+        apply_batch(network, table, batch)
+        monitor.process_batch(batch)
+        assert monitor.result_of(100).object_ids == (1,)
+        # The resumed expansion settles at most the nodes that were not yet
+        # verified (3 and 4 on this line), not the whole network again.
+        assert monitor.counters.nodes_expanded - nodes_before <= 3
+
+    def test_query_move_within_tree_reuses_subtree(self, ima_on_line):
+        network, table, monitor = ima_on_line
+        monitor.register_query(100, NetworkLocation(1, 0.0), 2)
+        batch = UpdateBatch(timestamp=1)
+        # Move slightly towards node 2 along the same edge (stays in the tree).
+        batch.add_query_move(100, NetworkLocation(1, 0.0), NetworkLocation(1, 0.3))
+        apply_batch(network, table, batch)
+        monitor.process_batch(batch)
+        result = monitor.result_of(100)
+        # New query position x = 130: object 0 (x=50) at 80, object 1 (x=225)
+        # at 95; both re-usable from the old tree.
+        assert result.object_ids == (0, 1)
+        assert dict(result.neighbors)[0] == pytest.approx(80.0)
+        assert dict(result.neighbors)[1] == pytest.approx(95.0)
+
+    def test_query_move_outside_tree_recomputes(self, ima_on_line):
+        network, table, monitor = ima_on_line
+        monitor.register_query(100, NetworkLocation(1, 0.0), 1)
+        batch = UpdateBatch(timestamp=1)
+        batch.add_query_move(100, NetworkLocation(1, 0.0), NetworkLocation(3, 0.95))
+        apply_batch(network, table, batch)
+        monitor.process_batch(batch)
+        result = monitor.result_of(100)
+        assert result.object_ids == (2,)
+        assert result.radius == pytest.approx(5.0)
+
+    def test_edge_decrease_shifts_subtree_distances(self, ima_on_line):
+        network, table, monitor = ima_on_line
+        monitor.register_query(100, NetworkLocation(1, 0.0), 2)
+        batch = UpdateBatch(timestamp=1)
+        batch.add_edge_change(2, network.edge(2).weight, 40.0)
+        apply_batch(network, table, batch)
+        monitor.process_batch(batch)
+        result = monitor.result_of(100)
+        # Object 1 on edge 2 at fraction 0.25: distance 100 + 10 = 110.
+        assert dict(result.neighbors)[1] == pytest.approx(110.0)
+        state = monitor.expansion_state_of(100)
+        assert state.node_dist[2] == pytest.approx(100.0)
+
+    def test_edge_increase_prunes_and_reexpands(self, ima_on_line):
+        network, table, monitor = ima_on_line
+        monitor.register_query(100, NetworkLocation(1, 0.0), 2)
+        batch = UpdateBatch(timestamp=1)
+        batch.add_edge_change(0, network.edge(0).weight, 500.0)
+        apply_batch(network, table, batch)
+        monitor.process_batch(batch)
+        result = monitor.result_of(100)
+        # The query sits at node 1, an endpoint of the updated edge 0; object 0
+        # (at fraction 0.5 of edge 0) is now 250 away but still beats object 2
+        # at 290, so the member set is unchanged while the distance grows.
+        assert result.object_ids == (1, 0)
+        assert dict(result.neighbors)[0] == pytest.approx(250.0)
+        assert dict(result.neighbors)[1] == pytest.approx(125.0)
+
+    def test_multiple_update_types_in_one_timestamp(self, ima_on_line):
+        network, table, monitor = ima_on_line
+        monitor.register_query(100, NetworkLocation(1, 0.0), 2)
+        batch = UpdateBatch(timestamp=1)
+        batch.add_edge_change(2, network.edge(2).weight, 50.0)
+        batch.add_object_move(0, NetworkLocation(0, 0.5), NetworkLocation(2, 0.5))
+        batch.add_query_move(100, NetworkLocation(1, 0.0), NetworkLocation(1, 0.2))
+        apply_batch(network, table, batch)
+        monitor.process_batch(batch)
+        result = monitor.result_of(100)
+        # New query position x=120; edge 2 now weighs 50 (so spans x=200..250
+        # in travel cost terms 200 + 50); object 0 moved onto edge 2 fraction
+        # 0.5 -> travel distance = 80 (to node 2) + 25 = 105; object 1 on edge
+        # 2 fraction 0.25 -> 80 + 12.5 = 92.5.
+        assert result.object_ids == (1, 0)
+        assert dict(result.neighbors)[1] == pytest.approx(92.5)
+        assert dict(result.neighbors)[0] == pytest.approx(105.0)

@@ -1,0 +1,219 @@
+"""Tests for the interval algebra and the influencing-interval computations."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.utils.intervals import (
+    Interval,
+    IntervalSet,
+    influence_spans,
+    influencing_intervals,
+    influencing_intervals_from_point,
+    merge_spans,
+    normalize_intervals,
+    point_distance_via_endpoints,
+    point_in_spans,
+    point_spans,
+)
+
+INF = float("inf")
+
+
+class TestInterval:
+    def test_length(self):
+        assert Interval(2.0, 5.0).length == 3.0
+
+    def test_degenerate_interval_has_zero_length(self):
+        assert Interval(4.0, 4.0).length == 0.0
+
+    def test_invalid_bounds_raise(self):
+        with pytest.raises(ValueError):
+            Interval(5.0, 2.0)
+
+    def test_contains_inside_and_boundaries(self):
+        interval = Interval(1.0, 3.0)
+        assert interval.contains(2.0)
+        assert interval.contains(1.0)
+        assert interval.contains(3.0)
+        assert not interval.contains(3.5)
+
+    def test_overlaps_touching_intervals(self):
+        assert Interval(0.0, 1.0).overlaps(Interval(1.0, 2.0))
+
+    def test_overlaps_disjoint_intervals(self):
+        assert not Interval(0.0, 1.0).overlaps(Interval(2.0, 3.0))
+
+    def test_merge_produces_hull(self):
+        assert Interval(0.0, 2.0).merge(Interval(1.0, 5.0)) == Interval(0.0, 5.0)
+
+    def test_clamp_inside(self):
+        assert Interval(1.0, 4.0).clamp(2.0, 3.0) == Interval(2.0, 3.0)
+
+    def test_clamp_disjoint_returns_none(self):
+        assert Interval(1.0, 2.0).clamp(5.0, 6.0) is None
+
+
+class TestIntervalSet:
+    def test_normalizes_overlapping_members(self):
+        interval_set = IntervalSet([Interval(0, 2), Interval(1, 3)])
+        assert interval_set.intervals == (Interval(0, 3),)
+
+    def test_keeps_disjoint_members(self):
+        interval_set = IntervalSet([Interval(0, 1), Interval(2, 3)])
+        assert len(interval_set) == 2
+
+    def test_contains_checks_all_members(self):
+        interval_set = IntervalSet([Interval(0, 1), Interval(2, 3)])
+        assert interval_set.contains(0.5)
+        assert interval_set.contains(2.5)
+        assert not interval_set.contains(1.5)
+
+    def test_total_length_sums_members(self):
+        interval_set = IntervalSet([Interval(0, 1), Interval(2, 4)])
+        assert interval_set.total_length() == pytest.approx(3.0)
+
+    def test_covers_edge(self):
+        assert IntervalSet([Interval(0, 10)]).covers_edge(10.0)
+        assert not IntervalSet([Interval(0, 5)]).covers_edge(10.0)
+
+    def test_union_merges(self):
+        left = IntervalSet([Interval(0, 1)])
+        right = IntervalSet([Interval(0.5, 2)])
+        assert left.union(right).intervals == (Interval(0, 2),)
+
+    def test_empty_set_is_falsy(self):
+        assert not IntervalSet()
+
+    def test_normalize_intervals_sorts(self):
+        merged = normalize_intervals([Interval(5, 6), Interval(0, 1)])
+        assert merged == [Interval(0, 1), Interval(5, 6)]
+
+
+class TestInfluencingIntervals:
+    def test_whole_edge_influenced_when_both_ends_close(self):
+        result = influencing_intervals(10.0, 0.0, 5.0, 100.0)
+        assert result.covers_edge(10.0)
+
+    def test_partial_interval_from_start(self):
+        result = influencing_intervals(10.0, 2.0, INF, 6.0)
+        assert result.intervals == (Interval(0.0, 4.0),)
+
+    def test_partial_interval_from_end(self):
+        result = influencing_intervals(10.0, INF, 2.0, 6.0)
+        assert result.intervals == (Interval(6.0, 10.0),)
+
+    def test_two_disjoint_intervals(self):
+        # Both endpoints reachable at distance 8 with radius 10: each side
+        # reaches 2 units into the 10-unit edge (Figure 3(a) of the paper).
+        result = influencing_intervals(10.0, 8.0, 8.0, 10.0)
+        assert result.intervals == (Interval(0.0, 2.0), Interval(8.0, 10.0))
+
+    def test_meeting_intervals_merge(self):
+        result = influencing_intervals(10.0, 3.0, 3.0, 8.0)
+        assert result.covers_edge(10.0)
+
+    def test_no_influence_when_both_ends_far(self):
+        assert not influencing_intervals(10.0, 50.0, 60.0, 5.0)
+
+    def test_infinite_radius_covers_reachable_edge(self):
+        assert influencing_intervals(10.0, 3.0, INF, INF).covers_edge(10.0)
+
+    def test_infinite_radius_unreachable_edge_is_empty(self):
+        assert not influencing_intervals(10.0, INF, INF, INF)
+
+    def test_invalid_weight_raises(self):
+        with pytest.raises(ValueError):
+            influencing_intervals(0.0, 1.0, 1.0, 5.0)
+
+    def test_from_point_centred_interval(self):
+        result = influencing_intervals_from_point(10.0, 5.0, 2.0)
+        assert result.intervals == (Interval(3.0, 7.0),)
+
+    def test_from_point_clamps_to_edge(self):
+        result = influencing_intervals_from_point(10.0, 1.0, 5.0)
+        assert result.intervals == (Interval(0.0, 6.0),)
+
+    def test_from_point_invalid_offset_raises(self):
+        with pytest.raises(ValueError):
+            influencing_intervals_from_point(10.0, 12.0, 1.0)
+
+
+class TestSpans:
+    def test_influence_spans_matches_interval_set(self):
+        spans = influence_spans(10.0, 8.0, 8.0, 10.0)
+        assert spans == ((0.0, 2.0), (8.0, 10.0))
+
+    def test_influence_spans_merges_meeting_pieces(self):
+        assert influence_spans(10.0, 3.0, 3.0, 8.0) == ((0.0, 10.0),)
+
+    def test_influence_spans_empty(self):
+        assert influence_spans(10.0, 50.0, 60.0, 5.0) == ()
+
+    def test_point_spans_basic(self):
+        assert point_spans(10.0, 5.0, 2.0) == ((3.0, 7.0),)
+
+    def test_point_in_spans(self):
+        spans = ((0.0, 2.0), (8.0, 10.0))
+        assert point_in_spans(spans, 1.0)
+        assert point_in_spans(spans, 9.0)
+        assert not point_in_spans(spans, 5.0)
+
+    def test_merge_spans_unions(self):
+        assert merge_spans(((0.0, 2.0),), ((1.0, 5.0), (7.0, 8.0))) == (
+            (0.0, 5.0),
+            (7.0, 8.0),
+        )
+
+    def test_point_distance_via_endpoints_min_formula(self):
+        assert point_distance_via_endpoints(10.0, 3.0, 5.0, 20.0) == pytest.approx(8.0)
+        assert point_distance_via_endpoints(10.0, 3.0, 20.0, 5.0) == pytest.approx(12.0)
+
+    def test_point_distance_unreachable(self):
+        assert point_distance_via_endpoints(10.0, 3.0, INF, INF) == INF
+
+
+@settings(max_examples=80, deadline=None)
+@given(
+    weight=st.floats(0.1, 500.0),
+    dist_start=st.one_of(st.floats(0, 1000), st.just(INF)),
+    dist_end=st.one_of(st.floats(0, 1000), st.just(INF)),
+    radius=st.floats(0, 1500),
+)
+def test_property_influence_interval_matches_pointwise_distance(
+    weight, dist_start, dist_end, radius
+):
+    """A point is inside the influencing interval iff its distance <= radius."""
+    intervals = influencing_intervals(weight, dist_start, dist_end, radius)
+    spans = influence_spans(weight, dist_start, dist_end, radius)
+    for fraction in (0.0, 0.1, 0.33, 0.5, 0.77, 0.99, 1.0):
+        offset = fraction * weight
+        distance = point_distance_via_endpoints(weight, offset, dist_start, dist_end)
+        inside = distance <= radius + 1e-6
+        # Allow the boundary to go either way within floating-point tolerance.
+        if abs(distance - radius) > 1e-6:
+            assert intervals.contains(offset) == inside
+            assert point_in_spans(spans, offset, 1e-9) == inside
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    st.lists(
+        st.tuples(st.floats(0, 100), st.floats(0, 100)).map(
+            lambda pair: Interval(min(pair), max(pair))
+        ),
+        max_size=10,
+    )
+)
+def test_property_interval_set_is_normalised(intervals):
+    """Members of a normalised set are sorted and pairwise disjoint."""
+    interval_set = IntervalSet(intervals)
+    members = interval_set.intervals
+    for first, second in zip(members, members[1:]):
+        assert first.high < second.low
+    total = interval_set.total_length()
+    assert total <= sum(interval.length for interval in intervals) + 1e-9

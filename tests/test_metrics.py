@@ -1,0 +1,80 @@
+"""Tests for the simulation metrics containers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sim.metrics import AlgorithmMetrics, SimulationResult
+
+
+def _metrics(name: str, seconds, memory=None, counters=None) -> AlgorithmMetrics:
+    metrics = AlgorithmMetrics(algorithm=name)
+    metrics.seconds_per_timestamp = list(seconds)
+    metrics.memory_bytes_per_timestamp = list(memory or [])
+    metrics.counters_per_timestamp = list(counters or [])
+    metrics.changed_queries_per_timestamp = [1] * len(metrics.seconds_per_timestamp)
+    return metrics
+
+
+class TestAlgorithmMetrics:
+    def test_mean_and_total_seconds(self):
+        metrics = _metrics("IMA", [0.1, 0.2, 0.3])
+        assert metrics.timestamps == 3
+        assert metrics.mean_seconds() == pytest.approx(0.2)
+        assert metrics.total_seconds() == pytest.approx(0.6)
+
+    def test_empty_metrics_are_zero(self):
+        metrics = _metrics("IMA", [])
+        assert metrics.mean_seconds() == 0.0
+        assert metrics.mean_memory_kb() == 0.0
+        assert metrics.mean_counter("nodes_expanded") == 0.0
+
+    def test_memory_aggregates_in_kb(self):
+        metrics = _metrics("GMA", [0.1], memory=[2048, 4096])
+        assert metrics.mean_memory_kb() == pytest.approx(3.0)
+        assert metrics.peak_memory_kb() == pytest.approx(4.0)
+
+    def test_mean_counter(self):
+        metrics = _metrics(
+            "OVH", [0.1, 0.1], counters=[{"nodes_expanded": 10}, {"nodes_expanded": 30}]
+        )
+        assert metrics.mean_counter("nodes_expanded") == pytest.approx(20.0)
+        assert metrics.mean_counter("missing") == 0.0
+
+    def test_summary_contains_all_fields(self):
+        metrics = _metrics("OVH", [0.1], memory=[1024], counters=[{"searches": 5}])
+        summary = metrics.summary()
+        assert summary["algorithm"] == "OVH"
+        assert summary["mean_searches"] == pytest.approx(5.0)
+        assert summary["mean_memory_kb"] == pytest.approx(1.0)
+        assert summary["mean_changed_queries"] == pytest.approx(1.0)
+
+
+class TestSimulationResult:
+    def _result(self) -> SimulationResult:
+        return SimulationResult(
+            config_description={"k": 5},
+            metrics={
+                "OVH": _metrics("OVH", [0.4, 0.6]),
+                "IMA": _metrics("IMA", [0.2, 0.3]),
+            },
+        )
+
+    def test_accessors(self):
+        result = self._result()
+        assert result.algorithms() == ["OVH", "IMA"]
+        assert result.metrics_of("IMA").algorithm == "IMA"
+        assert result.mean_seconds_table()["OVH"] == pytest.approx(0.5)
+
+    def test_speedup_over_baseline(self):
+        result = self._result()
+        speedups = result.speedup_over("OVH")
+        assert speedups["OVH"] == pytest.approx(1.0)
+        assert speedups["IMA"] == pytest.approx(2.0)
+
+    def test_speedup_with_zero_time_is_infinite(self):
+        result = SimulationResult(
+            config_description={},
+            metrics={"OVH": _metrics("OVH", [0.5]), "IMA": _metrics("IMA", [0.0])},
+        )
+        assert result.speedup_over("OVH")["IMA"] == float("inf")

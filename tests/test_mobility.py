@@ -1,0 +1,170 @@
+"""Tests for placement distributions, the mobility models and the traffic model."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import SimulationError
+from repro.mobility.brinkhoff import DEFAULT_CLASSES, BrinkhoffGenerator, ObjectClass
+from repro.mobility.distributions import place, place_gaussian, place_uniform
+from repro.mobility.random_walk import RandomWalkModel
+from repro.mobility.traffic import TrafficModel
+from repro.network.distance import network_distance
+from repro.network.graph import NetworkLocation
+
+
+class TestDistributions:
+    def test_uniform_placement_count_and_validity(self, small_city):
+        locations = place_uniform(small_city, 50, seed=1)
+        assert len(locations) == 50
+        for location in locations:
+            small_city.validate_location(location)
+
+    def test_uniform_placement_is_deterministic(self, small_city):
+        assert place_uniform(small_city, 10, seed=3) == place_uniform(small_city, 10, seed=3)
+
+    def test_gaussian_placement_clusters_near_center(self, small_city):
+        center = small_city.bounding_box().center
+        gaussian = place_gaussian(small_city, 60, std_fraction=0.1, seed=2)
+        uniform = place_uniform(small_city, 60, seed=2)
+
+        def mean_distance(locations):
+            return sum(
+                small_city.location_point(loc).distance_to(center) for loc in locations
+            ) / len(locations)
+
+        assert mean_distance(gaussian) < mean_distance(uniform)
+
+    def test_place_dispatches_by_name(self, small_city):
+        assert len(place(small_city, 5, "uniform", seed=1)) == 5
+        assert len(place(small_city, 5, "gaussian", seed=1)) == 5
+        with pytest.raises(SimulationError):
+            place(small_city, 5, "zipf", seed=1)
+
+
+class TestRandomWalk:
+    def test_step_respects_agility(self, small_city):
+        locations = {i: loc for i, loc in enumerate(place_uniform(small_city, 40, seed=3))}
+        model = RandomWalkModel(small_city, locations, speed=1.0, agility=0.5, seed=4)
+        movements = model.step()
+        assert 0 < len(movements) <= 20 + 1
+
+    def test_zero_agility_produces_no_movement(self, small_city):
+        locations = {i: loc for i, loc in enumerate(place_uniform(small_city, 10, seed=3))}
+        model = RandomWalkModel(small_city, locations, speed=1.0, agility=0.0, seed=4)
+        assert model.step() == []
+
+    def test_movement_distance_bounded_by_speed(self, small_city):
+        locations = {i: loc for i, loc in enumerate(place_uniform(small_city, 20, seed=5))}
+        speed = 2.0
+        model = RandomWalkModel(small_city, locations, speed=speed, agility=1.0, seed=6)
+        budget = speed * small_city.average_edge_weight()
+        for entity_id, old, new in model.step():
+            travelled = network_distance(small_city, old, new)
+            assert travelled <= budget + 1e-6
+
+    def test_locations_stay_consistent(self, small_city):
+        locations = {i: loc for i, loc in enumerate(place_uniform(small_city, 15, seed=7))}
+        model = RandomWalkModel(small_city, locations, speed=1.0, agility=1.0, seed=8)
+        for _ in range(5):
+            model.step()
+        for entity_id, location in model.locations().items():
+            small_city.validate_location(location)
+            assert model.location_of(entity_id) == location
+
+    def test_add_and_remove_entity(self, small_city):
+        model = RandomWalkModel(small_city, {}, seed=1)
+        model.add_entity(5, NetworkLocation(next(small_city.edge_ids()), 0.5))
+        assert len(model) == 1
+        with pytest.raises(SimulationError):
+            model.add_entity(5, NetworkLocation(next(small_city.edge_ids()), 0.1))
+        model.remove_entity(5)
+        assert len(model) == 0
+        with pytest.raises(SimulationError):
+            model.remove_entity(5)
+
+    def test_dead_end_walker_stops_at_terminal(self, line_network):
+        model = RandomWalkModel(
+            line_network, {1: NetworkLocation(3, 0.5)}, speed=20.0, agility=1.0, seed=2
+        )
+        model.step()
+        location = model.location_of(1)
+        line_network.validate_location(location)
+
+
+class TestBrinkhoff:
+    def test_requires_classes(self, small_city):
+        with pytest.raises(SimulationError):
+            BrinkhoffGenerator(small_city, {}, classes=[], seed=1)
+
+    def test_step_moves_objects_along_network(self, small_city):
+        locations = {i: loc for i, loc in enumerate(place_uniform(small_city, 25, seed=9))}
+        generator = BrinkhoffGenerator(small_city, locations, agility=1.0, seed=10)
+        movements = generator.step()
+        assert movements
+        for _, old, new in movements:
+            small_city.validate_location(new)
+            assert old != new
+
+    def test_classes_are_assigned(self, small_city):
+        locations = {i: loc for i, loc in enumerate(place_uniform(small_city, 30, seed=9))}
+        generator = BrinkhoffGenerator(small_city, locations, seed=11)
+        names = {generator.class_of(i).name for i in range(30)}
+        assert names.issubset({cls.name for cls in DEFAULT_CLASSES})
+
+    def test_faster_class_travels_farther_on_average(self, small_city):
+        locations = {i: loc for i, loc in enumerate(place_uniform(small_city, 40, seed=12))}
+        slow_only = BrinkhoffGenerator(
+            small_city, dict(locations), classes=[ObjectClass("slow", 0.25)], seed=13
+        )
+        fast_only = BrinkhoffGenerator(
+            small_city, dict(locations), classes=[ObjectClass("fast", 2.0)], seed=13
+        )
+
+        def total_travel(generator):
+            return sum(
+                network_distance(small_city, old, new) for _, old, new in generator.step()
+            )
+
+        assert total_travel(fast_only) > total_travel(slow_only)
+
+
+class TestTraffic:
+    def test_step_changes_requested_fraction(self, small_city):
+        model = TrafficModel(small_city, edge_agility=0.1, seed=1)
+        changes = model.step()
+        expected = round(0.1 * small_city.edge_count)
+        assert abs(len(changes) - expected) <= 2
+
+    def test_changes_are_plus_minus_magnitude(self, small_city):
+        model = TrafficModel(small_city, edge_agility=0.2, magnitude=0.1, seed=2)
+        for edge_id, old, new in model.step():
+            assert new == pytest.approx(old * 1.1) or new == pytest.approx(old * 0.9)
+
+    def test_drift_is_bounded(self, small_city):
+        model = TrafficModel(
+            small_city, edge_agility=1.0, magnitude=0.1, max_drift_factor=1.5, seed=3
+        )
+        for _ in range(60):
+            for edge_id, _, new in model.step():
+                small_city.set_edge_weight(edge_id, new)
+        for edge in small_city.edges():
+            assert edge.base_weight / 1.5 - 1e-9 <= edge.weight <= edge.base_weight * 1.5 + 1e-9
+
+    def test_correlated_mode_selects_connected_patches(self, small_city):
+        model = TrafficModel(small_city, edge_agility=0.1, correlated=True, seed=4)
+        changes = model.step()
+        assert changes
+        changed_edges = {edge_id for edge_id, _, _ in changes}
+        # At least one pair of changed edges shares an endpoint (patch shape).
+        shared = 0
+        for edge_id in changed_edges:
+            edge = small_city.edge(edge_id)
+            for other_id in small_city.incident_edges(edge.start):
+                if other_id != edge_id and other_id in changed_edges:
+                    shared += 1
+        assert shared > 0
+
+    def test_invalid_magnitude_raises(self, small_city):
+        with pytest.raises(SimulationError):
+            TrafficModel(small_city, magnitude=1.5)

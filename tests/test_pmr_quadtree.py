@@ -1,0 +1,187 @@
+"""Tests for the PMR quadtree spatial index over network edges."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import SpatialIndexError
+from repro.spatial.geometry import Point, Rect, Segment
+from repro.spatial.pmr_quadtree import PMRQuadtree
+
+BOUNDS = Rect(0.0, 0.0, 100.0, 100.0)
+
+
+def _horizontal(y: float, x0: float = 0.0, x1: float = 100.0) -> Segment:
+    return Segment(Point(x0, y), Point(x1, y))
+
+
+class TestConstruction:
+    def test_invalid_split_threshold_raises(self):
+        with pytest.raises(SpatialIndexError):
+            PMRQuadtree(BOUNDS, split_threshold=0)
+
+    def test_invalid_max_depth_raises(self):
+        with pytest.raises(SpatialIndexError):
+            PMRQuadtree(BOUNDS, max_depth=0)
+
+    def test_insert_and_len(self):
+        tree = PMRQuadtree(BOUNDS)
+        tree.insert(1, _horizontal(10))
+        assert len(tree) == 1
+        assert 1 in tree
+
+    def test_duplicate_insert_raises(self):
+        tree = PMRQuadtree(BOUNDS)
+        tree.insert(1, _horizontal(10))
+        with pytest.raises(SpatialIndexError):
+            tree.insert(1, _horizontal(20))
+
+    def test_insert_outside_bounds_raises(self):
+        tree = PMRQuadtree(BOUNDS)
+        with pytest.raises(SpatialIndexError):
+            tree.insert(1, Segment(Point(200, 200), Point(300, 300)))
+
+    def test_bulk_load(self):
+        tree = PMRQuadtree(BOUNDS)
+        tree.bulk_load((i, _horizontal(float(i))) for i in range(1, 20))
+        assert len(tree) == 19
+
+    def test_split_happens_beyond_threshold(self):
+        tree = PMRQuadtree(BOUNDS, split_threshold=2)
+        for i in range(6):
+            tree.insert(i, _horizontal(5.0 + i, 1.0, 9.0))
+        assert tree.depth() >= 1
+        assert tree.leaf_count() > 1
+
+    def test_segment_of_returns_inserted_segment(self):
+        tree = PMRQuadtree(BOUNDS)
+        segment = _horizontal(42.0)
+        tree.insert(7, segment)
+        assert tree.segment_of(7) == segment
+
+    def test_segment_of_missing_raises(self):
+        with pytest.raises(SpatialIndexError):
+            PMRQuadtree(BOUNDS).segment_of(404)
+
+
+class TestQueries:
+    def test_find_edge_exact_hit(self):
+        tree = PMRQuadtree(BOUNDS)
+        tree.insert(1, _horizontal(10))
+        tree.insert(2, _horizontal(50))
+        assert tree.find_edge(Point(30, 10)) == 1
+        assert tree.find_edge(Point(30, 50)) == 2
+
+    def test_find_edge_outside_tolerance_returns_none(self):
+        tree = PMRQuadtree(BOUNDS)
+        tree.insert(1, _horizontal(10))
+        assert tree.find_edge(Point(30, 40)) is None
+
+    def test_nearest_edge_on_empty_index_raises(self):
+        with pytest.raises(SpatialIndexError):
+            PMRQuadtree(BOUNDS).nearest_edge(Point(1, 1))
+
+    def test_nearest_edge_returns_closest(self):
+        tree = PMRQuadtree(BOUNDS)
+        tree.insert(1, _horizontal(10))
+        tree.insert(2, _horizontal(80))
+        edge_id, distance = tree.nearest_edge(Point(50, 30))
+        assert edge_id == 1
+        assert distance == pytest.approx(20.0)
+
+    def test_edges_in_rect(self):
+        tree = PMRQuadtree(BOUNDS)
+        tree.insert(1, _horizontal(10))
+        tree.insert(2, _horizontal(80))
+        found = tree.edges_in_rect(Rect(0, 0, 100, 40))
+        assert found == {1}
+
+    def test_remove_edge(self):
+        tree = PMRQuadtree(BOUNDS)
+        tree.insert(1, _horizontal(10))
+        tree.remove(1)
+        assert len(tree) == 0
+        assert tree.find_edge(Point(30, 10)) is None
+
+    def test_remove_missing_raises(self):
+        with pytest.raises(SpatialIndexError):
+            PMRQuadtree(BOUNDS).remove(3)
+
+    def test_statistics_reports_counts(self):
+        tree = PMRQuadtree(BOUNDS, split_threshold=2)
+        for i in range(10):
+            tree.insert(i, _horizontal(float(i * 7 + 1)))
+        stats = tree.statistics()
+        assert stats["edges"] == 10
+        assert stats["leaves"] >= 1
+        assert stats["entries"] >= 10
+
+
+class TestAgainstBruteForce:
+    def test_nearest_edge_matches_linear_scan(self):
+        rng = random.Random(3)
+        tree = PMRQuadtree(BOUNDS, split_threshold=4)
+        segments = {}
+        for edge_id in range(60):
+            a = Point(rng.uniform(0, 100), rng.uniform(0, 100))
+            b = Point(rng.uniform(0, 100), rng.uniform(0, 100))
+            segment = Segment(a, b)
+            segments[edge_id] = segment
+            tree.insert(edge_id, segment)
+        for _ in range(50):
+            probe = Point(rng.uniform(0, 100), rng.uniform(0, 100))
+            found_id, found_distance = tree.nearest_edge(probe)
+            best = min(segments.values(), key=lambda s: s.distance_to_point(probe))
+            assert found_distance == pytest.approx(best.distance_to_point(probe), abs=1e-9)
+            assert segments[found_id].distance_to_point(probe) == pytest.approx(
+                found_distance, abs=1e-9
+            )
+
+    def test_edges_in_rect_matches_linear_scan(self):
+        rng = random.Random(8)
+        tree = PMRQuadtree(BOUNDS, split_threshold=3)
+        segments = {}
+        for edge_id in range(40):
+            a = Point(rng.uniform(0, 100), rng.uniform(0, 100))
+            b = Point(rng.uniform(0, 100), rng.uniform(0, 100))
+            segments[edge_id] = Segment(a, b)
+            tree.insert(edge_id, segments[edge_id])
+        for _ in range(20):
+            x0, x1 = sorted((rng.uniform(0, 100), rng.uniform(0, 100)))
+            y0, y1 = sorted((rng.uniform(0, 100), rng.uniform(0, 100)))
+            rect = Rect(x0, y0, x1, y1)
+            expected = {
+                edge_id
+                for edge_id, segment in segments.items()
+                if segment.intersects_rect(rect)
+            }
+            assert tree.edges_in_rect(rect) == expected
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    st.lists(
+        st.tuples(
+            st.floats(0, 100), st.floats(0, 100), st.floats(0, 100), st.floats(0, 100)
+        ),
+        min_size=1,
+        max_size=40,
+    ),
+    st.tuples(st.floats(0, 100), st.floats(0, 100)),
+)
+def test_property_nearest_edge_is_truly_nearest(segment_coords, probe_coords):
+    """The reported nearest edge is never farther than any other edge."""
+    tree = PMRQuadtree(BOUNDS, split_threshold=3)
+    segments = {}
+    for edge_id, (ax, ay, bx, by) in enumerate(segment_coords):
+        segment = Segment(Point(ax, ay), Point(bx, by))
+        segments[edge_id] = segment
+        tree.insert(edge_id, segment)
+    probe = Point(*probe_coords)
+    _, distance = tree.nearest_edge(probe)
+    best = min(segment.distance_to_point(probe) for segment in segments.values())
+    assert distance == pytest.approx(best, abs=1e-6)

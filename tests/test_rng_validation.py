@@ -1,0 +1,139 @@
+"""Tests for the RNG helpers and argument validation utilities."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.utils.rng import (
+    DEFAULT_SEED,
+    bounded_gauss,
+    derive_rng,
+    make_rng,
+    sample_fraction,
+    shuffled,
+    weighted_choice,
+)
+from repro.utils.validation import (
+    almost_equal,
+    require_fraction,
+    require_in_range,
+    require_non_negative,
+    require_non_negative_int,
+    require_positive,
+    require_positive_int,
+)
+
+
+class TestRng:
+    def test_make_rng_from_none_is_deterministic(self):
+        assert make_rng(None).random() == make_rng(None).random()
+
+    def test_make_rng_from_int_seed(self):
+        assert make_rng(7).random() == random.Random(7).random()
+
+    def test_make_rng_passes_through_generator(self):
+        rng = random.Random(1)
+        assert make_rng(rng) is rng
+
+    def test_derive_rng_is_reproducible(self):
+        first = derive_rng(make_rng(3), "objects").random()
+        second = derive_rng(make_rng(3), "objects").random()
+        assert first == second
+
+    def test_derive_rng_differs_per_label(self):
+        base = make_rng(3)
+        a = derive_rng(base, "a")
+        base = make_rng(3)
+        b = derive_rng(base, "b")
+        assert a.random() != b.random()
+
+    def test_sample_fraction_counts(self):
+        rng = make_rng(1)
+        items = list(range(100))
+        assert len(sample_fraction(rng, items, 0.1)) == 10
+        assert sample_fraction(rng, items, 0.0) == []
+        assert len(sample_fraction(rng, items, 1.0)) == 100
+
+    def test_sample_fraction_invalid_fraction(self):
+        with pytest.raises(ValueError):
+            sample_fraction(make_rng(1), [1, 2, 3], 1.5)
+
+    def test_bounded_gauss_respects_bounds(self):
+        rng = make_rng(2)
+        for _ in range(100):
+            value = bounded_gauss(rng, 0.0, 10.0, -1.0, 1.0)
+            assert -1.0 <= value <= 1.0
+
+    def test_bounded_gauss_invalid_bounds(self):
+        with pytest.raises(ValueError):
+            bounded_gauss(make_rng(1), 0, 1, 5, 2)
+
+    def test_weighted_choice_prefers_heavy_items(self):
+        rng = make_rng(5)
+        counts = {"a": 0, "b": 0}
+        for _ in range(2000):
+            counts[weighted_choice(rng, ["a", "b"], [9.0, 1.0])] += 1
+        assert counts["a"] > counts["b"] * 4
+
+    def test_weighted_choice_validates_inputs(self):
+        with pytest.raises(ValueError):
+            weighted_choice(make_rng(1), ["a"], [1.0, 2.0])
+        with pytest.raises(ValueError):
+            weighted_choice(make_rng(1), [], [])
+        with pytest.raises(ValueError):
+            weighted_choice(make_rng(1), ["a"], [0.0])
+
+    def test_shuffled_returns_permutation(self):
+        items = list(range(20))
+        result = shuffled(make_rng(3), items)
+        assert sorted(result) == items
+        assert result != items  # overwhelmingly likely with 20 items
+
+
+class TestValidation:
+    def test_require_positive_accepts_and_rejects(self):
+        assert require_positive(3, "x") == 3.0
+        with pytest.raises(ValueError):
+            require_positive(0, "x")
+        with pytest.raises(ValueError):
+            require_positive(float("nan"), "x")
+        with pytest.raises(TypeError):
+            require_positive("3", "x")
+
+    def test_require_non_negative(self):
+        assert require_non_negative(0, "x") == 0.0
+        with pytest.raises(ValueError):
+            require_non_negative(-1, "x")
+
+    def test_require_fraction(self):
+        assert require_fraction(0.5, "x") == 0.5
+        with pytest.raises(ValueError):
+            require_fraction(1.5, "x")
+
+    def test_require_positive_int(self):
+        assert require_positive_int(2, "x") == 2
+        with pytest.raises(ValueError):
+            require_positive_int(0, "x")
+        with pytest.raises(TypeError):
+            require_positive_int(2.0, "x")
+        with pytest.raises(TypeError):
+            require_positive_int(True, "x")
+
+    def test_require_non_negative_int(self):
+        assert require_non_negative_int(0, "x") == 0
+        with pytest.raises(ValueError):
+            require_non_negative_int(-1, "x")
+
+    def test_require_in_range(self):
+        assert require_in_range(5, "x", low=0, high=10) == 5.0
+        with pytest.raises(ValueError):
+            require_in_range(11, "x", low=0, high=10)
+        with pytest.raises(ValueError):
+            require_in_range(-1, "x", low=0)
+
+    def test_almost_equal_uses_relative_tolerance(self):
+        assert almost_equal(1000.0, 1000.0000001)
+        assert not almost_equal(1.0, 1.1)
+        assert almost_equal(0.0, 0.0)

@@ -1,0 +1,192 @@
+"""Tests for the network expansion engine (the Figure-2 search)."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.results import results_equal
+from repro.core.search import SearchCounters, expand_knn
+from repro.exceptions import InvalidQueryError
+from repro.network.builders import city_network
+from repro.network.distance import brute_force_knn
+from repro.network.edge_table import EdgeTable
+from repro.network.graph import NetworkLocation
+
+
+class TestBasicSearch:
+    def test_requires_a_source(self, populated_line):
+        network, table = populated_line
+        with pytest.raises(InvalidQueryError):
+            expand_knn(network, table, 1)
+
+    def test_requires_positive_k(self, populated_line):
+        network, table = populated_line
+        with pytest.raises(InvalidQueryError):
+            expand_knn(network, table, 0, query_location=NetworkLocation(0, 0.0))
+
+    def test_single_nearest_neighbor_on_line(self, populated_line):
+        network, table = populated_line
+        outcome = expand_knn(network, table, 1, query_location=NetworkLocation(0, 0.0))
+        assert outcome.neighbors == [(0, pytest.approx(50.0))]
+        assert outcome.radius == pytest.approx(50.0)
+
+    def test_multiple_neighbors_sorted(self, populated_line):
+        network, table = populated_line
+        outcome = expand_knn(network, table, 3, query_location=NetworkLocation(0, 0.0))
+        assert outcome.object_ids == (0, 1, 2)
+        distances = [d for _, d in outcome.neighbors]
+        assert distances == sorted(distances)
+
+    def test_source_node_search(self, populated_line):
+        network, table = populated_line
+        outcome = expand_knn(network, table, 2, source_node=4)
+        # From node 4 (x=400): object 2 at x=390 -> 10; object 1 at 225 -> 175.
+        assert outcome.neighbors[0] == (2, pytest.approx(10.0))
+        assert outcome.neighbors[1] == (1, pytest.approx(175.0))
+
+    def test_fewer_objects_than_k_gives_infinite_radius(self, populated_line):
+        network, table = populated_line
+        outcome = expand_knn(network, table, 10, query_location=NetworkLocation(0, 0.0))
+        assert len(outcome.neighbors) == 3
+        assert outcome.radius == float("inf")
+
+    def test_excluded_objects_are_ignored(self, populated_line):
+        network, table = populated_line
+        outcome = expand_knn(
+            network,
+            table,
+            1,
+            query_location=NetworkLocation(0, 0.0),
+            excluded_objects={0},
+        )
+        assert outcome.object_ids == (1,)
+
+    def test_counters_accumulate(self, populated_line):
+        network, table = populated_line
+        counters = SearchCounters()
+        expand_knn(network, table, 2, query_location=NetworkLocation(0, 0.0), counters=counters)
+        assert counters.searches == 1
+        assert counters.nodes_expanded > 0
+        assert counters.objects_considered > 0
+        snapshot = counters.snapshot()
+        counters.merge(SearchCounters(searches=1))
+        assert counters.searches == snapshot["searches"] + 1
+        counters.reset()
+        assert counters.searches == 0
+
+    def test_expansion_state_contains_exact_distances(self, populated_line):
+        network, table = populated_line
+        outcome = expand_knn(network, table, 3, query_location=NetworkLocation(0, 0.0))
+        # Node 1 is at x=100, node 2 at 200, ... from the query at x=0.
+        for node_id, distance in outcome.state.node_dist.items():
+            assert distance == pytest.approx(node_id * 100.0)
+
+
+class TestSeededSearch:
+    def test_candidates_do_not_change_the_result(self, populated_city):
+        network, table, _ = populated_city
+        rng = random.Random(0)
+        edges = list(network.edge_ids())
+        for _ in range(10):
+            query = NetworkLocation(rng.choice(edges), rng.random())
+            plain = expand_knn(network, table, 5, query_location=query)
+            # Seed with loose upper bounds for a few arbitrary objects.
+            seeded = expand_knn(
+                network,
+                table,
+                5,
+                query_location=query,
+                candidates=[(object_id, 1e6) for object_id in range(10)],
+            )
+            assert results_equal(plain.neighbors, seeded.neighbors)
+
+    def test_preverified_resume_matches_fresh_search(self, populated_city):
+        network, table, _ = populated_city
+        rng = random.Random(1)
+        edges = list(network.edge_ids())
+        for _ in range(10):
+            query = NetworkLocation(rng.choice(edges), rng.random())
+            fresh = expand_knn(network, table, 4, query_location=query)
+            resumed = expand_knn(
+                network,
+                table,
+                4,
+                query_location=query,
+                preverified=fresh.state.node_dist,
+                preverified_parent=fresh.state.parent,
+            )
+            assert results_equal(fresh.neighbors, resumed.neighbors)
+
+    def test_coverage_radius_with_complete_candidates_matches(self, populated_city):
+        network, table, _ = populated_city
+        rng = random.Random(2)
+        edges = list(network.edge_ids())
+        for _ in range(10):
+            query = NetworkLocation(rng.choice(edges), rng.random())
+            fresh = expand_knn(network, table, 4, query_location=query)
+            resumed = expand_knn(
+                network,
+                table,
+                4,
+                query_location=query,
+                preverified=fresh.state.node_dist,
+                preverified_parent=fresh.state.parent,
+                candidates=fresh.neighbors,
+                coverage_radius=fresh.radius,
+            )
+            assert results_equal(fresh.neighbors, resumed.neighbors)
+
+    def test_barrier_truncation_with_monitored_neighbors_is_exact(self, populated_city):
+        network, table, _ = populated_city
+        rng = random.Random(3)
+        edges = list(network.edge_ids())
+        k = 4
+        intersections = [n for n in network.node_ids() if network.degree(n) >= 3]
+        for _ in range(8):
+            query = NetworkLocation(rng.choice(edges), rng.random())
+            barrier_nodes = rng.sample(intersections, min(3, len(intersections)))
+            barriers = {}
+            for node_id in barrier_nodes:
+                node_outcome = expand_knn(network, table, k, source_node=node_id)
+                barriers[node_id] = node_outcome.neighbors
+            truth = brute_force_knn(network, table, query, k)
+            truncated = expand_knn(
+                network, table, k, query_location=query, barrier_candidates=barriers
+            )
+            assert results_equal(truth, truncated.neighbors)
+
+
+class TestAgainstBruteForce:
+    @pytest.mark.parametrize("k", [1, 3, 8])
+    def test_matches_brute_force_on_random_queries(self, populated_city, k):
+        network, table, _ = populated_city
+        rng = random.Random(42 + k)
+        edges = list(network.edge_ids())
+        for _ in range(15):
+            query = NetworkLocation(rng.choice(edges), rng.random())
+            expected = brute_force_knn(network, table, query, k)
+            actual = expand_knn(network, table, k, query_location=query)
+            assert results_equal(expected, actual.neighbors)
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        seed=st.integers(0, 10_000),
+        k=st.integers(1, 6),
+        fraction=st.floats(0.0, 1.0),
+    )
+    def test_property_search_equals_brute_force(self, seed, k, fraction):
+        """On random small scenarios the expansion equals the quadratic oracle."""
+        rng = random.Random(seed)
+        network = city_network(60, seed=seed)
+        table = EdgeTable(network, build_spatial_index=False)
+        edges = list(network.edge_ids())
+        for object_id in range(25):
+            table.insert_object(object_id, NetworkLocation(rng.choice(edges), rng.random()))
+        query = NetworkLocation(rng.choice(edges), fraction)
+        expected = brute_force_knn(network, table, query, k)
+        actual = expand_knn(network, table, k, query_location=query)
+        assert results_equal(expected, actual.neighbors)

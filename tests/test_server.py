@@ -1,0 +1,138 @@
+"""Tests for the MonitoringServer facade (the public user-facing API)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.server import ALGORITHMS, MonitoringServer
+from repro.exceptions import (
+    DuplicateObjectError,
+    DuplicateQueryError,
+    MonitoringError,
+    UnknownObjectError,
+    UnknownQueryError,
+)
+from repro.network.graph import NetworkLocation
+
+
+class TestConstruction:
+    def test_algorithm_by_name(self, line_network):
+        for name in ("ovh", "IMA", "gma"):
+            server = MonitoringServer(line_network, algorithm=name)
+            assert server.algorithm_name in ("OVH", "IMA", "GMA")
+
+    def test_unknown_algorithm_raises(self, line_network):
+        with pytest.raises(MonitoringError):
+            MonitoringServer(line_network, algorithm="quantum")
+
+    def test_algorithm_instance_passthrough(self, line_network):
+        from repro.core.ima import ImaMonitor
+        from repro.network.edge_table import EdgeTable
+
+        table = EdgeTable(line_network)
+        monitor = ImaMonitor(line_network, table)
+        server = MonitoringServer(line_network, algorithm=monitor, edge_table=table)
+        assert server.monitor is monitor
+
+    def test_registry_contains_three_algorithms(self):
+        assert set(ALGORITHMS) == {"ovh", "ima", "gma"}
+
+
+class TestLifecycle:
+    def test_objects_queries_and_tick(self, line_network):
+        server = MonitoringServer(line_network, algorithm="ima")
+        server.add_object(1, NetworkLocation(0, 0.5))
+        server.add_object(2, NetworkLocation(3, 0.5))
+        server.add_query(100, NetworkLocation(1, 0.0), 1)
+        report = server.tick()
+        assert report.timestamp == 0
+        assert server.current_timestamp == 1
+        assert server.result_of(100).object_ids == (1,)
+
+    def test_coordinate_based_api_snaps_to_edges(self, line_network):
+        server = MonitoringServer(line_network, algorithm="ovh")
+        location = server.add_object_at(1, x=150.0, y=20.0)
+        assert location.edge_id == 1
+        query_location = server.add_query_at(100, x=90.0, y=-5.0, k=1)
+        assert query_location.edge_id == 0
+        server.tick()
+        assert server.result_of(100).object_ids == (1,)
+
+    def test_move_and_remove_object(self, line_network):
+        server = MonitoringServer(line_network, algorithm="ima")
+        server.add_object(1, NetworkLocation(0, 0.5))
+        server.add_object(2, NetworkLocation(3, 0.9))
+        server.add_query(100, NetworkLocation(0, 0.0), 1)
+        server.tick()
+        assert server.result_of(100).object_ids == (1,)
+        server.move_object(1, NetworkLocation(3, 0.5))
+        server.tick()
+        assert server.result_of(100).object_ids == (1,)
+        server.remove_object(1)
+        server.tick()
+        assert server.result_of(100).object_ids == (2,)
+        assert server.object_ids() == {2}
+
+    def test_move_and_remove_query(self, line_network):
+        server = MonitoringServer(line_network, algorithm="gma")
+        server.add_object(1, NetworkLocation(0, 0.5))
+        server.add_query(100, NetworkLocation(0, 0.0), 1)
+        server.tick()
+        server.move_query(100, NetworkLocation(3, 0.5))
+        server.tick()
+        assert server.result_of(100).object_ids == (1,)
+        server.remove_query(100)
+        server.tick()
+        assert server.query_ids() == set()
+        with pytest.raises(UnknownQueryError):
+            server.result_of(100)
+
+    def test_edge_weight_update_through_server(self, line_network):
+        server = MonitoringServer(line_network, algorithm="ima")
+        server.add_object(1, NetworkLocation(0, 0.5))
+        server.add_object(2, NetworkLocation(2, 0.5))
+        server.add_query(100, NetworkLocation(1, 0.5), 1)
+        server.tick()
+        assert server.result_of(100).object_ids == (1,)
+        # Making edge 0 very heavy flips the nearest neighbor to object 2.
+        server.update_edge_weight(0, 1000.0)
+        server.tick()
+        assert server.result_of(100).object_ids == (2,)
+        assert server.network.edge(0).weight == pytest.approx(1000.0)
+
+    def test_duplicate_and_unknown_ids_raise(self, line_network):
+        server = MonitoringServer(line_network, algorithm="ima")
+        server.add_object(1, NetworkLocation(0, 0.5))
+        with pytest.raises(DuplicateObjectError):
+            server.add_object(1, NetworkLocation(0, 0.6))
+        with pytest.raises(UnknownObjectError):
+            server.move_object(9, NetworkLocation(0, 0.5))
+        with pytest.raises(UnknownObjectError):
+            server.remove_object(9)
+        server.add_query(100, NetworkLocation(0, 0.0), 1)
+        with pytest.raises(DuplicateQueryError):
+            server.add_query(100, NetworkLocation(0, 0.0), 1)
+        with pytest.raises(UnknownQueryError):
+            server.move_query(999, NetworkLocation(0, 0.0))
+        with pytest.raises(UnknownQueryError):
+            server.remove_query(999)
+
+    def test_updates_are_buffered_until_tick(self, line_network):
+        server = MonitoringServer(line_network, algorithm="ima")
+        server.add_object(1, NetworkLocation(0, 0.5))
+        server.add_object(2, NetworkLocation(3, 0.9))
+        server.add_query(100, NetworkLocation(0, 0.0), 1)
+        server.tick()
+        server.move_object(1, NetworkLocation(3, 0.99))
+        # Not processed yet: result still names object 1 at its old distance.
+        assert server.result_of(100).object_ids == (1,)
+        server.tick()
+        assert server.result_of(100).object_ids == (2,)
+
+    def test_results_returns_all_queries(self, line_network):
+        server = MonitoringServer(line_network, algorithm="ovh")
+        server.add_object(1, NetworkLocation(0, 0.5))
+        server.add_query(100, NetworkLocation(0, 0.0), 1)
+        server.add_query(101, NetworkLocation(3, 0.5), 1)
+        server.tick()
+        assert set(server.results()) == {100, 101}

@@ -1,0 +1,172 @@
+"""Tests for the workload config, simulator, datasets and experiment harness."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import ExperimentError, SimulationError
+from repro.experiments.config import SCALED_DEFAULTS, SMOKE_DEFAULTS, scale_cardinality, table2_rows
+from repro.experiments.figures import EXPERIMENTS, get_experiment, list_experiments
+from repro.experiments.reporting import format_experiment, format_table, format_table2
+from repro.experiments.runner import run_experiment, run_point
+from repro.experiments.cli import main as cli_main
+from repro.sim.simulator import QUERY_ID_BASE, Simulator
+from repro.sim.workload import PAPER_DEFAULTS, WorkloadConfig
+
+
+class TestWorkloadConfig:
+    def test_defaults_are_valid(self):
+        config = WorkloadConfig()
+        assert config.num_objects > 0
+        assert config.describe()["k"] == config.k
+
+    def test_invalid_values_rejected(self):
+        with pytest.raises(ValueError):
+            WorkloadConfig(num_objects=0)
+        with pytest.raises(ValueError):
+            WorkloadConfig(edge_agility=1.5)
+        with pytest.raises(SimulationError):
+            WorkloadConfig(object_distribution="weird")
+        with pytest.raises(SimulationError):
+            WorkloadConfig(mobility_model="teleport")
+
+    def test_with_overrides_returns_new_config(self):
+        config = WorkloadConfig()
+        other = config.with_overrides(k=3)
+        assert other.k == 3
+        assert config.k != 3 or config.k == 3  # original unchanged object
+        assert other is not config
+
+    def test_paper_scale_matches_table2(self):
+        config = WorkloadConfig.paper_scale()
+        assert config.num_objects == PAPER_DEFAULTS["num_objects"]
+        assert config.k == PAPER_DEFAULTS["k"]
+        assert config.network_edges == PAPER_DEFAULTS["network_edges"]
+
+
+class TestSimulator:
+    @pytest.fixture(scope="class")
+    def tiny_config(self):
+        return WorkloadConfig(
+            num_objects=120, num_queries=12, k=3, network_edges=120, timestamps=3, seed=5
+        )
+
+    def test_build_places_objects_and_queries(self, tiny_config):
+        simulator = Simulator(tiny_config)
+        assert simulator.edge_table.object_count == 120
+        assert len(simulator.query_locations()) == 12
+        assert min(simulator.query_locations()) >= QUERY_ID_BASE
+
+    def test_generate_batch_respects_agilities(self, tiny_config):
+        simulator = Simulator(tiny_config)
+        batch = simulator.generate_batch(0)
+        assert len(batch.object_updates) <= 120
+        assert len(batch.query_updates) <= 12
+        assert len(batch.edge_updates) <= simulator.network.edge_count
+
+    def test_run_produces_metrics_for_all_algorithms(self, tiny_config):
+        result = Simulator(tiny_config).run(validate=True)
+        assert set(result.metrics) == {"OVH", "IMA", "GMA"}
+        assert result.validation_mismatches == 0
+        for metrics in result.metrics.values():
+            assert metrics.timestamps == 3
+            assert metrics.mean_seconds() >= 0.0
+            assert metrics.mean_memory_kb() > 0.0
+        assert result.speedup_over("OVH")["OVH"] == pytest.approx(1.0)
+
+    def test_run_is_reproducible_across_instances(self, tiny_config):
+        first = Simulator(tiny_config)
+        second = Simulator(tiny_config)
+        batch_a = first.generate_batch(0)
+        batch_b = second.generate_batch(0)
+        assert len(batch_a.object_updates) == len(batch_b.object_updates)
+        assert [u.object_id for u in batch_a.object_updates] == [
+            u.object_id for u in batch_b.object_updates
+        ]
+
+    def test_unknown_algorithm_rejected(self, tiny_config):
+        with pytest.raises(SimulationError):
+            Simulator(tiny_config).build_monitors(["FANCY"])
+
+    def test_brinkhoff_mobility_model(self):
+        config = WorkloadConfig(
+            num_objects=80,
+            num_queries=8,
+            k=2,
+            network_edges=100,
+            timestamps=2,
+            mobility_model="brinkhoff",
+            seed=9,
+        )
+        result = Simulator(config).run(algorithms=("OVH", "GMA"), validate=True)
+        assert result.validation_mismatches == 0
+
+
+class TestExperimentRegistry:
+    def test_every_figure_of_the_paper_is_registered(self):
+        expected = {
+            "fig13a", "fig13b", "fig14a", "fig14b", "fig15a", "fig15b",
+            "fig16a", "fig16b", "fig17a", "fig17b", "fig18a", "fig18b",
+            "fig19a", "fig19b",
+        }
+        assert expected == set(EXPERIMENTS)
+
+    def test_every_experiment_has_points_and_shape(self):
+        for experiment in list_experiments():
+            assert len(experiment.points) >= 4
+            assert experiment.metric in ("cpu", "memory")
+            assert experiment.expected_shape
+
+    def test_get_experiment_unknown_id_raises(self):
+        with pytest.raises(ExperimentError):
+            get_experiment("fig99z")
+
+    def test_scale_cardinality(self):
+        assert scale_cardinality(100_000, scale=25) == 4000
+        assert scale_cardinality(10, scale=1000) == 1
+
+    def test_table2_lists_all_parameters(self):
+        parameters = {row["parameter"] for row in table2_rows()}
+        assert any("objects" in p for p in parameters)
+        assert any("agility" in p.lower() for p in parameters)
+        assert len(parameters) >= 10
+
+
+class TestRunnerAndReporting:
+    def test_run_point_smoke(self):
+        result = run_point(SMOKE_DEFAULTS, ("OVH", "IMA"), validate=True)
+        assert result.validation_mismatches == 0
+        assert set(result.metrics) == {"OVH", "IMA"}
+
+    def test_run_experiment_produces_row_per_point(self):
+        experiment = get_experiment("fig15b")
+        # Shrink the sweep drastically for test speed: reuse only the runner
+        # machinery with one timestamp.
+        result = run_experiment(experiment, algorithms=("OVH",), timestamps=1)
+        assert len(result.rows) == len(experiment.points)
+        assert all("OVH" in row.cpu_seconds for row in result.rows)
+        report = format_experiment(result)
+        assert "Figure 15(b)" in report
+        assert "OVH" in report
+
+    def test_format_table_alignment(self):
+        text = format_table(["a", "bb"], [[1, 22], [333, 4]])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert lines[0].startswith("a")
+
+    def test_format_table2_mentions_scaled_defaults(self):
+        text = format_table2()
+        assert "Scaled default" in text
+        assert str(SCALED_DEFAULTS.network_edges) in text
+
+    def test_cli_list_and_table2(self, capsys):
+        assert cli_main(["list"]) == 0
+        assert "fig13a" in capsys.readouterr().out
+        assert cli_main(["table2"]) == 0
+        assert "Table 2" in capsys.readouterr().out
+
+    def test_cli_run_single_experiment(self, capsys):
+        assert cli_main(["run", "fig15b", "--timestamps", "1", "--algorithms", "OVH"]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 15(b)" in out
