@@ -19,7 +19,7 @@ import random
 
 import pytest
 
-from repro.core.search import SearchCounters, expand_knn
+from repro.core.search import expand_knn
 from repro.experiments.config import SCALED_DEFAULTS
 from repro.network.graph import NetworkLocation
 from repro.sim.simulator import Simulator

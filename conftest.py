@@ -1,0 +1,18 @@
+"""Root pytest configuration.
+
+Registers the ``--quick`` flag used by the benchmark suite (see
+``benchmarks/``): it shrinks the workloads so the whole core-operations
+benchmark finishes in well under a minute, which is what the CI
+benchmark-smoke job runs.  The flag is registered here — the root conftest
+is always an *initial* conftest — so it is available no matter which test
+path is passed on the command line.
+"""
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--quick",
+        action="store_true",
+        default=False,
+        help="run benchmarks on the smoke-sized workload (CI benchmark smoke)",
+    )

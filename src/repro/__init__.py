@@ -18,6 +18,20 @@ Quickstart::
     server.add_query_at(100, x=200.0, y=200.0, k=1)
     server.tick()
     print(server.result_of(100).neighbors)
+
+Performance architecture.  The expansion hot path (:func:`expand_knn`)
+runs over a flat-array CSR snapshot of the network
+(:func:`csr_snapshot` / :class:`CSRGraph`): dense integer indices,
+parallel adjacency columns, a C-level binary heap, and incremental weight
+refresh on ``set_edge_weight``.  The original dict-based search is kept as
+:func:`expand_knn_legacy` for differential testing and benchmarking.
+
+High-volume feeds use the server's batched ingestion path —
+``add_objects_at([...])`` / ``move_objects_at([...])`` snap whole
+coordinate batches through one vectorized PMR-quadtree pass, and
+``apply_updates(batch)`` buffers a pre-built
+:class:`UpdateBatch` wholesale — so one :meth:`MonitoringServer.tick`
+processes thousands of updates without per-update call overhead.
 """
 
 from repro.core import (
@@ -36,13 +50,16 @@ from repro.core import (
     UpdateBatch,
     apply_batch,
     expand_knn,
+    expand_knn_legacy,
 )
 from repro.exceptions import ReproError
 from repro.network import (
+    CSRGraph,
     EdgeTable,
     NetworkLocation,
     RoadNetwork,
     SequenceTable,
+    csr_snapshot,
     brute_force_knn,
     city_network,
     grid_network,
@@ -73,11 +90,14 @@ __all__ = [
     "SearchCounters",
     "apply_batch",
     "expand_knn",
+    "expand_knn_legacy",
     "ALGORITHMS",
     # network
     "RoadNetwork",
     "NetworkLocation",
     "EdgeTable",
+    "CSRGraph",
+    "csr_snapshot",
     "SequenceTable",
     "city_network",
     "grid_network",

@@ -19,6 +19,7 @@ from repro.core.influence import InfluenceIndex
 from repro.core.ovh import OvhMonitor
 from repro.core.results import KnnResult, NeighborList, results_equal
 from repro.core.search import SearchCounters, SearchOutcome, expand_knn
+from repro.core.search_legacy import expand_knn_legacy
 from repro.core.server import ALGORITHMS, MonitoringServer
 
 __all__ = [
@@ -39,6 +40,7 @@ __all__ = [
     "SearchCounters",
     "SearchOutcome",
     "expand_knn",
+    "expand_knn_legacy",
     "OvhMonitor",
     "ImaMonitor",
     "GmaMonitor",

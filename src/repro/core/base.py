@@ -14,7 +14,7 @@ from __future__ import annotations
 import abc
 import time
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Mapping, Optional, Set, Tuple
+from typing import Dict, List, Optional, Set
 
 from repro.core.events import UpdateBatch
 from repro.core.results import KnnResult, Neighbor

@@ -22,7 +22,7 @@ lock-step on identical inputs.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional
 
 from repro.exceptions import InvalidQueryError, SimulationError
 from repro.network.edge_table import EdgeTable
@@ -165,6 +165,11 @@ class UpdateBatch:
             if previous is None:
                 merged_objects[update.object_id] = update
                 object_order.append(update.object_id)
+            elif previous.old_location is None and update.new_location is None:
+                # Appeared and disappeared within the same timestamp: the net
+                # effect is nothing at all, so the entity vanishes from the
+                # batch (a later re-appearance starts a fresh update).
+                del merged_objects[update.object_id]
             else:
                 merged_objects[update.object_id] = ObjectUpdate(
                     update.object_id, previous.old_location, update.new_location
@@ -177,6 +182,9 @@ class UpdateBatch:
             if previous is None:
                 merged_queries[update.query_id] = update
                 query_order.append(update.query_id)
+            elif previous.old_location is None and update.new_location is None:
+                # Installed and terminated within the same timestamp.
+                del merged_queries[update.query_id]
             else:
                 merged_queries[update.query_id] = QueryUpdate(
                     update.query_id,
@@ -197,10 +205,22 @@ class UpdateBatch:
                     update.edge_id, previous.old_weight, update.new_weight
                 )
 
+        # Cancelled entities were dropped from the merged maps (and an entity
+        # re-appearing after a cancellation re-enters the order list), so the
+        # order lists may hold gaps and duplicates — emit each survivor once.
+        def emit(order: List[int], merged: Dict[int, object]) -> List[object]:
+            emitted: set = set()
+            result: List[object] = []
+            for entity_id in order:
+                if entity_id in merged and entity_id not in emitted:
+                    emitted.add(entity_id)
+                    result.append(merged[entity_id])
+            return result
+
         return UpdateBatch(
             timestamp=self.timestamp,
-            object_updates=[merged_objects[i] for i in object_order],
-            query_updates=[merged_queries[i] for i in query_order],
+            object_updates=emit(object_order, merged_objects),
+            query_updates=emit(query_order, merged_queries),
             edge_updates=[
                 merged_edges[i]
                 for i in edge_order

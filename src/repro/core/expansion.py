@@ -24,9 +24,8 @@ algorithm.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Mapping, Optional, Set, Tuple
+from typing import Dict, Iterable, List, Optional, Set
 
-from repro.network.edge_table import EdgeTable
 from repro.network.graph import Edge, NetworkLocation, RoadNetwork
 from repro.utils.intervals import (
     Spans,

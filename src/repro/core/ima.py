@@ -39,7 +39,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Set, Tuple
 
 from repro.core.base import MonitorBase
-from repro.core.events import EdgeWeightUpdate, ObjectUpdate, QueryUpdate, UpdateBatch
+from repro.core.events import EdgeWeightUpdate, ObjectUpdate, UpdateBatch
 from repro.core.expansion import (
     ExpansionState,
     compute_influence_map,

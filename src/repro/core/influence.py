@@ -23,7 +23,7 @@ subscriber last saw.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, Iterator, List, Mapping, Optional, Set, Tuple
+from typing import Dict, Iterator, Mapping, Optional, Set, Tuple
 
 from repro.utils.intervals import Spans, point_in_spans
 

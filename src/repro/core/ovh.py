@@ -9,7 +9,7 @@ IMA and GMA against.
 
 from __future__ import annotations
 
-from typing import Dict, Set
+from typing import Set
 
 from repro.core.base import MonitorBase
 from repro.core.events import UpdateBatch

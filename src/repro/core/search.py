@@ -13,6 +13,14 @@ This module implements one algorithm used everywhere in the library:
   tight initial radius so that the expansion terminates almost immediately;
 * the per-timestamp recomputation of the OVH baseline.
 
+The hot loop runs over the flat-array CSR snapshot of the network
+(:mod:`repro.network.csr`): adjacency is three parallel columns indexed by
+dense node ids, the frontier is a plain :mod:`heapq` binary heap of
+``(distance, node_index)`` pairs with lazy deletion, and per-search state
+lives in reusable flat buffers instead of dictionaries.  The original
+dict-based implementation is preserved in
+:mod:`repro.core.search_legacy` for differential testing and benchmarking.
+
 Correctness sketch.  The search is a multi-source Dijkstra whose sources
 are the query position (seeding its edge's endpoints) and the pre-verified
 nodes (whose distances the caller guarantees to be exact).  Nodes are
@@ -28,15 +36,21 @@ a closer object, so the returned top-k is exact.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
+from heapq import heappop, heappush
 from typing import Dict, Iterable, List, Mapping, Optional, Set, Tuple
 
 from repro.core.expansion import ExpansionState
-from repro.core.results import Neighbor, NeighborList
-from repro.exceptions import InvalidQueryError
+from repro.core.results import Neighbor
+from repro.exceptions import InvalidQueryError, NodeNotFoundError
+from repro.network.csr import csr_snapshot
 from repro.network.edge_table import EdgeTable
 from repro.network.graph import NetworkLocation, RoadNetwork
-from repro.utils.heap import IndexedMinHeap
+
+_INF = float("inf")
+
+#: Shared empty exclusion set — avoids allocating one per search.
+_NO_EXCLUDED: frozenset = frozenset()
 
 
 @dataclass
@@ -169,114 +183,292 @@ def expand_knn(
         counters = SearchCounters()
     counters.searches += 1
 
-    excluded = excluded_objects or set()
+    excluded = excluded_objects or _NO_EXCLUDED
     barriers = barrier_candidates or {}
-    neighbors = NeighborList(k)
+    # Candidate bookkeeping is inlined as plain dict operations: ``cand``
+    # maps object id -> best offered distance, ``radius`` caches the k-th
+    # smallest distance (the paper's ``q.kNN_dist``) and is recomputed —
+    # a keyless C-level sort over the values — only when an offer lands
+    # strictly below it.
+    cand: Dict[int, float] = {}
+    cand_get = cand.get
     for object_id, distance in candidates:
         if object_id not in excluded:
-            neighbors.offer(object_id, distance)
+            previous = cand_get(object_id)
+            if previous is None or distance < previous:
+                cand[object_id] = distance
+    radius = sorted(cand.values())[k - 1] if len(cand) >= k else _INF
 
-    node_dist: Dict[int, float] = dict(preverified or {})
-    parent: Dict[int, Optional[int]] = {
-        node_id: (preverified_parent or {}).get(node_id) for node_id in node_dist
-    }
-    heap = IndexedMinHeap()
-    tentative_parent: Dict[int, Optional[int]] = {}
+    csr = csr_snapshot(network)
+    indptr = csr.indptr
+    adj_node = csr.adj_node
+    adj_eid = csr.adj_eid
+    adj_weight = csr.adj_weight
+    adj_forward = csr.adj_forward
+    node_index = csr.node_index
+    node_ids = csr.node_ids
+    fractions_of = edge_table.edge_object_fractions
+    fraction_cache_get = edge_table.fraction_cache.get
 
-    def scan_edge_objects(from_node: int, edge_id: int, from_distance: float) -> None:
-        """Offer every object on *edge_id* its distance through *from_node*."""
-        edge = network.edge(edge_id)
-        counters.edges_scanned += 1
-        for object_id, fraction in edge_table.objects_with_fractions_on(edge_id):
-            if object_id in excluded:
-                continue
-            if from_node == edge.start:
-                offset = fraction * edge.weight
+    scratch = csr.acquire_scratch()
+    best = scratch.best
+    tentative = scratch.tentative
+    settled = scratch.settled
+    tparent = scratch.tentative_parent
+    touched: List[int] = []
+    heap: List[Tuple[float, int]] = []
+    settled_new: List[int] = []
+
+    # Barrier node ids -> dense indices (barriers outside the network never
+    # settle, exactly as in the legacy implementation).
+    barrier_by_idx: Dict[int, Iterable[Neighbor]] = {}
+    if barriers:
+        for node_id, barrier_list in barriers.items():
+            idx = node_index.get(node_id)
+            if idx is not None:
+                barrier_by_idx[idx] = barrier_list
+
+    edges_scanned = 0
+    objects_considered = 0
+    heap_pushes = 0
+    nodes_expanded = 0
+    radius_dirty = False
+    # Root seeds relaxed with no parent: the query edge's endpoints and/or
+    # the source node, collected first and pushed in one inlined loop.
+    seeds: List[Tuple[int, float]] = []
+
+    try:
+        # --------------------------------------------------------------
+        # seeding
+        # --------------------------------------------------------------
+        if preverified:
+            for node_id, distance in preverified.items():
+                idx = node_index.get(node_id)
+                if idx is None:
+                    raise NodeNotFoundError(node_id)
+                settled[idx] = 1
+                best[idx] = distance
+                touched.append(idx)
+
+        if query_location is not None:
+            edge_pos = csr.index_of_edge(query_location.edge_id)
+            weight = csr.edge_weight[edge_pos]
+            query_fraction = query_location.fraction
+            query_offset = query_fraction * weight
+            oneway = csr.edge_oneway[edge_pos]
+            # Objects on the query's own edge are reached directly along it.
+            pairs = fractions_of(query_location.edge_id)
+            if pairs:
+                if excluded:
+                    pairs = [pair for pair in pairs if pair[0] not in excluded]
+                if oneway:
+                    pairs = [pair for pair in pairs if pair[1] >= query_fraction]
+                objects_considered += len(pairs)
+                for object_id, fraction in pairs:
+                    total = (fraction - query_fraction) * weight
+                    if total < 0.0:
+                        total = -total
+                    # An offer strictly above the current radius can never
+                    # reach the final top-k (the radius only shrinks and the
+                    # k candidates below it never worsen), so skip it.
+                    if total > radius:
+                        continue
+                    previous = cand_get(object_id)
+                    if previous is None or total < previous:
+                        cand[object_id] = total
+                        if total < radius:
+                            radius_dirty = True
+            if oneway:
+                seeds.append((csr.edge_end[edge_pos], weight - query_offset))
             else:
-                offset = (1.0 - fraction) * edge.weight
-            counters.objects_considered += 1
-            neighbors.offer(object_id, from_distance + offset)
+                seeds.append((csr.edge_start[edge_pos], query_offset))
+                seeds.append((csr.edge_end[edge_pos], weight - query_offset))
 
-    def relax(to_node: int, distance: float, via: Optional[int]) -> None:
-        """Dijkstra relaxation of a frontier node."""
-        if to_node in node_dist:
-            return
-        counters.heap_pushes += 1
-        if heap.push(to_node, distance):
-            tentative_parent[to_node] = via
+        if source_node is not None:
+            seeds.append((csr.index_of_node(source_node), 0.0))
 
-    # ------------------------------------------------------------------
-    # seeding
-    # ------------------------------------------------------------------
-    if query_location is not None:
-        query_edge = network.edge(query_location.edge_id)
-        weight = query_edge.weight
-        query_offset = query_location.offset(weight)
-        # Objects on the query's own edge are reached directly along it.
-        for object_id, fraction in edge_table.objects_with_fractions_on(query_edge.edge_id):
-            if object_id in excluded:
+        for v, nd in seeds:
+            if not settled[v]:
+                heap_pushes += 1
+                if nd < tentative[v]:
+                    if tentative[v] == _INF:
+                        touched.append(v)
+                    tentative[v] = nd
+                    tparent[v] = -1
+                    heappush(heap, (nd, v))
+
+        # Resume from the pre-verified frontier: relax the settled nodes'
+        # unverified neighbors and re-scan the objects of their incident
+        # edges.  When the caller guarantees (via coverage_radius) that every
+        # object closer than that radius is already among the candidates,
+        # edges lying entirely inside the covered region are skipped — only
+        # the partially covered boundary edges (the paper's marks) are
+        # re-scanned.
+        if preverified:
+            for node_id, settled_distance in preverified.items():
+                u = node_index[node_id]
+                for slot in range(indptr[u], indptr[u + 1]):
+                    w = adj_weight[slot]
+                    v = adj_node[slot]
+                    fully_covered = False
+                    if coverage_radius is not None and settled[v]:
+                        farthest = (settled_distance + best[v] + w) / 2.0
+                        fully_covered = farthest <= coverage_radius + 1e-9
+                    if not fully_covered:
+                        edges_scanned += 1
+                        eid = adj_eid[slot]
+                        pairs = fraction_cache_get(eid)
+                        if pairs is None:
+                            pairs = fractions_of(eid)
+                        if pairs:
+                            if excluded:
+                                pairs = [
+                                    pair for pair in pairs if pair[0] not in excluded
+                                ]
+                            objects_considered += len(pairs)
+                            if adj_forward[slot]:
+                                for object_id, fraction in pairs:
+                                    total = settled_distance + fraction * w
+                                    if total > radius:
+                                        continue  # can never reach the top-k
+                                    previous = cand_get(object_id)
+                                    if previous is None or total < previous:
+                                        cand[object_id] = total
+                                        if total < radius:
+                                            radius_dirty = True
+                            else:
+                                for object_id, fraction in pairs:
+                                    total = settled_distance + (1.0 - fraction) * w
+                                    if total > radius:
+                                        continue  # can never reach the top-k
+                                    previous = cand_get(object_id)
+                                    if previous is None or total < previous:
+                                        cand[object_id] = total
+                                        if total < radius:
+                                            radius_dirty = True
+                    if not settled[v]:
+                        heap_pushes += 1
+                        nd = settled_distance + w
+                        if nd < tentative[v]:
+                            if tentative[v] == _INF:
+                                touched.append(v)
+                            tentative[v] = nd
+                            tparent[v] = u
+                            heappush(heap, (nd, v))
+
+        # --------------------------------------------------------------
+        # main Dijkstra loop (Figure 2, lines 7-23)
+        # --------------------------------------------------------------
+        while heap:
+            d, u = heappop(heap)
+            if settled[u] or d > tentative[u]:
                 continue
-            if query_edge.oneway and fraction < query_location.fraction:
+            if radius_dirty:
+                radius = sorted(cand.values())[k - 1] if len(cand) >= k else _INF
+                radius_dirty = False
+            if d >= radius:
+                break
+            settled[u] = 1
+            best[u] = d
+            settled_new.append(u)
+            nodes_expanded += 1
+            barrier = barrier_by_idx.get(u)
+            if barrier is not None:
+                # Active-node barrier: merge its monitored neighbors and stop
+                # the expansion here (the shared-execution core of GMA).  The
+                # list is sorted by distance, so once a candidate cannot beat
+                # the current radius none of the following ones can either.
+                for object_id, from_node_distance in barrier:
+                    if radius_dirty:
+                        radius = (
+                            sorted(cand.values())[k - 1]
+                            if len(cand) >= k
+                            else _INF
+                        )
+                        radius_dirty = False
+                    total = d + from_node_distance
+                    if total >= radius:
+                        break
+                    if object_id not in excluded:
+                        objects_considered += 1
+                        previous = cand_get(object_id)
+                        if previous is None or total < previous:
+                            cand[object_id] = total
+                            radius_dirty = True
                 continue
-            counters.objects_considered += 1
-            neighbors.offer(object_id, abs(fraction - query_location.fraction) * weight)
-        if query_edge.oneway:
-            relax(query_edge.end, weight - query_offset, None)
+            for slot in range(indptr[u], indptr[u + 1]):
+                w = adj_weight[slot]
+                edges_scanned += 1
+                eid = adj_eid[slot]
+                pairs = fraction_cache_get(eid)
+                if pairs is None:
+                    pairs = fractions_of(eid)
+                if pairs:
+                    if excluded:
+                        pairs = [pair for pair in pairs if pair[0] not in excluded]
+                    objects_considered += len(pairs)
+                    if adj_forward[slot]:
+                        for object_id, fraction in pairs:
+                            total = d + fraction * w
+                            if total > radius:
+                                continue  # can never reach the top-k
+                            previous = cand_get(object_id)
+                            if previous is None or total < previous:
+                                cand[object_id] = total
+                                if total < radius:
+                                    radius_dirty = True
+                    else:
+                        for object_id, fraction in pairs:
+                            total = d + (1.0 - fraction) * w
+                            if total > radius:
+                                continue  # can never reach the top-k
+                            previous = cand_get(object_id)
+                            if previous is None or total < previous:
+                                cand[object_id] = total
+                                if total < radius:
+                                    radius_dirty = True
+                v = adj_node[slot]
+                if not settled[v]:
+                    heap_pushes += 1
+                    nd = d + w
+                    if nd < tentative[v]:
+                        if tentative[v] == _INF:
+                            touched.append(v)
+                        tentative[v] = nd
+                        tparent[v] = u
+                        heappush(heap, (nd, v))
+
+        # --------------------------------------------------------------
+        # result assembly
+        # --------------------------------------------------------------
+        node_dist: Dict[int, float] = dict(preverified) if preverified else {}
+        if preverified_parent:
+            parent: Dict[int, Optional[int]] = {
+                node_id: preverified_parent.get(node_id) for node_id in node_dist
+            }
         else:
-            relax(query_edge.start, query_offset, None)
-            relax(query_edge.end, weight - query_offset, None)
+            parent = dict.fromkeys(node_dist)
+        for u in settled_new:
+            node_id = node_ids[u]
+            node_dist[node_id] = best[u]
+            via = tparent[u]
+            parent[node_id] = node_ids[via] if via >= 0 else None
+    finally:
+        scratch.release(touched)
 
-    if source_node is not None and source_node not in node_dist:
-        relax(source_node, 0.0, None)
+    counters.nodes_expanded += nodes_expanded
+    counters.edges_scanned += edges_scanned
+    counters.objects_considered += objects_considered
+    counters.heap_pushes += heap_pushes
 
-    # Resume from the pre-verified frontier: relax the settled nodes'
-    # unverified neighbors and re-scan the objects of their incident edges.
-    # When the caller guarantees (via coverage_radius) that every object
-    # closer than that radius is already among the candidates, edges lying
-    # entirely inside the covered region are skipped — only the partially
-    # covered boundary edges (the paper's marks) are re-scanned.
-    for settled_node, settled_distance in list(node_dist.items()):
-        for edge_id, neighbor_node, weight in network.neighbors(settled_node):
-            fully_covered = False
-            if coverage_radius is not None:
-                other_distance = node_dist.get(neighbor_node)
-                if other_distance is not None:
-                    farthest_point = (settled_distance + other_distance + weight) / 2.0
-                    fully_covered = farthest_point <= coverage_radius + 1e-9
-            if not fully_covered:
-                scan_edge_objects(settled_node, edge_id, settled_distance)
-            relax(neighbor_node, settled_distance + weight, settled_node)
-
-    # ------------------------------------------------------------------
-    # main Dijkstra loop (Figure 2, lines 7-23)
-    # ------------------------------------------------------------------
-    while heap and heap.min_key() < neighbors.radius:
-        current_node, current_distance = heap.pop()
-        if current_node in node_dist:
-            continue
-        node_dist[current_node] = current_distance
-        parent[current_node] = tentative_parent.get(current_node)
-        counters.nodes_expanded += 1
-        if current_node in barriers:
-            # Active-node barrier: merge its monitored neighbors and stop the
-            # expansion here (the shared-execution core of GMA).  The list is
-            # sorted by distance, so once a candidate cannot beat the current
-            # radius none of the following ones can either.
-            for object_id, from_node_distance in barriers[current_node]:
-                total = current_distance + from_node_distance
-                if total >= neighbors.radius:
-                    break
-                if object_id not in excluded:
-                    counters.objects_considered += 1
-                    neighbors.offer(object_id, total)
-            continue
-        for edge_id, neighbor_node, weight in network.neighbors(current_node):
-            scan_edge_objects(current_node, edge_id, current_distance)
-            relax(neighbor_node, current_distance + weight, current_node)
-
+    if radius_dirty:
+        radius = sorted(cand.values())[k - 1] if len(cand) >= k else _INF
+    # Sort (distance, id) tuples so ties break by object id, matching
+    # NeighborList.top_k().
+    top = sorted(zip(cand.values(), cand.keys()))[:k]
     state = ExpansionState(node_dist=node_dist, parent=parent)
     return SearchOutcome(
-        neighbors=neighbors.top_k(),
-        radius=neighbors.radius,
+        neighbors=[(oid, d) for d, oid in top],
+        radius=radius,
         state=state,
     )

@@ -1,0 +1,158 @@
+"""Reference implementation of the Figure-2 expansion over the object graph.
+
+This is the original dict-and-dataclass implementation of
+:func:`repro.core.search.expand_knn`, kept verbatim when the hot path was
+rewritten over the flat-array CSR kernel (:mod:`repro.network.csr`).  It
+serves two purposes:
+
+* the **differential tests** assert that the kernel returns identical k-NN
+  results on seeded random networks, which is the correctness argument for
+  the refactor;
+* the **benchmarks** report the kernel-vs-legacy speedup on the expansion
+  hot path.
+
+It must behave exactly like the kernel; see :mod:`repro.core.search` for the
+full parameter documentation and the correctness sketch.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Mapping, Optional, Set
+
+from repro.core.expansion import ExpansionState
+from repro.core.results import Neighbor, NeighborList
+from repro.core.search import SearchCounters, SearchOutcome
+from repro.exceptions import InvalidQueryError
+from repro.network.edge_table import EdgeTable
+from repro.network.graph import NetworkLocation, RoadNetwork
+from repro.utils.heap import IndexedMinHeap
+
+
+def expand_knn_legacy(
+    network: RoadNetwork,
+    edge_table: EdgeTable,
+    k: int,
+    query_location: Optional[NetworkLocation] = None,
+    source_node: Optional[int] = None,
+    preverified: Optional[Mapping[int, float]] = None,
+    preverified_parent: Optional[Mapping[int, Optional[int]]] = None,
+    candidates: Iterable[Neighbor] = (),
+    barrier_candidates: Optional[Mapping[int, Iterable[Neighbor]]] = None,
+    coverage_radius: Optional[float] = None,
+    excluded_objects: Optional[Set[int]] = None,
+    counters: Optional[SearchCounters] = None,
+) -> SearchOutcome:
+    """Dict-based reference expansion; same contract as ``expand_knn``."""
+    if k < 1:
+        raise InvalidQueryError(f"k must be >= 1, got {k}")
+    if query_location is None and source_node is None:
+        raise InvalidQueryError("expand_knn needs a query_location or a source_node")
+    if counters is None:
+        counters = SearchCounters()
+    counters.searches += 1
+
+    excluded = excluded_objects or set()
+    barriers = barrier_candidates or {}
+    neighbors = NeighborList(k)
+    for object_id, distance in candidates:
+        if object_id not in excluded:
+            neighbors.offer(object_id, distance)
+
+    node_dist: Dict[int, float] = dict(preverified or {})
+    parent: Dict[int, Optional[int]] = {
+        node_id: (preverified_parent or {}).get(node_id) for node_id in node_dist
+    }
+    heap = IndexedMinHeap()
+    tentative_parent: Dict[int, Optional[int]] = {}
+
+    def scan_edge_objects(from_node: int, edge_id: int, from_distance: float) -> None:
+        """Offer every object on *edge_id* its distance through *from_node*."""
+        edge = network.edge(edge_id)
+        counters.edges_scanned += 1
+        for object_id, fraction in edge_table.objects_with_fractions_on(edge_id):
+            if object_id in excluded:
+                continue
+            if from_node == edge.start:
+                offset = fraction * edge.weight
+            else:
+                offset = (1.0 - fraction) * edge.weight
+            counters.objects_considered += 1
+            neighbors.offer(object_id, from_distance + offset)
+
+    def relax(to_node: int, distance: float, via: Optional[int]) -> None:
+        """Dijkstra relaxation of a frontier node."""
+        if to_node in node_dist:
+            return
+        counters.heap_pushes += 1
+        if heap.push(to_node, distance):
+            tentative_parent[to_node] = via
+
+    # ------------------------------------------------------------------
+    # seeding
+    # ------------------------------------------------------------------
+    if query_location is not None:
+        query_edge = network.edge(query_location.edge_id)
+        weight = query_edge.weight
+        query_offset = query_location.offset(weight)
+        # Objects on the query's own edge are reached directly along it.
+        for object_id, fraction in edge_table.objects_with_fractions_on(query_edge.edge_id):
+            if object_id in excluded:
+                continue
+            if query_edge.oneway and fraction < query_location.fraction:
+                continue
+            counters.objects_considered += 1
+            neighbors.offer(object_id, abs(fraction - query_location.fraction) * weight)
+        if query_edge.oneway:
+            relax(query_edge.end, weight - query_offset, None)
+        else:
+            relax(query_edge.start, query_offset, None)
+            relax(query_edge.end, weight - query_offset, None)
+
+    if source_node is not None and source_node not in node_dist:
+        relax(source_node, 0.0, None)
+
+    # Resume from the pre-verified frontier: relax the settled nodes'
+    # unverified neighbors and re-scan the objects of their incident edges.
+    for settled_node, settled_distance in list(node_dist.items()):
+        for edge_id, neighbor_node, weight in network.neighbors(settled_node):
+            fully_covered = False
+            if coverage_radius is not None:
+                other_distance = node_dist.get(neighbor_node)
+                if other_distance is not None:
+                    farthest_point = (settled_distance + other_distance + weight) / 2.0
+                    fully_covered = farthest_point <= coverage_radius + 1e-9
+            if not fully_covered:
+                scan_edge_objects(settled_node, edge_id, settled_distance)
+            relax(neighbor_node, settled_distance + weight, settled_node)
+
+    # ------------------------------------------------------------------
+    # main Dijkstra loop (Figure 2, lines 7-23)
+    # ------------------------------------------------------------------
+    while heap and heap.min_key() < neighbors.radius:
+        current_node, current_distance = heap.pop()
+        if current_node in node_dist:
+            continue
+        node_dist[current_node] = current_distance
+        parent[current_node] = tentative_parent.get(current_node)
+        counters.nodes_expanded += 1
+        if current_node in barriers:
+            # Active-node barrier: merge its monitored neighbors and stop the
+            # expansion here (the shared-execution core of GMA).
+            for object_id, from_node_distance in barriers[current_node]:
+                total = current_distance + from_node_distance
+                if total >= neighbors.radius:
+                    break
+                if object_id not in excluded:
+                    counters.objects_considered += 1
+                    neighbors.offer(object_id, total)
+            continue
+        for edge_id, neighbor_node, weight in network.neighbors(current_node):
+            scan_edge_objects(current_node, edge_id, current_distance)
+            relax(neighbor_node, current_distance + weight, current_node)
+
+    state = ExpansionState(node_dist=node_dist, parent=parent)
+    return SearchOutcome(
+        neighbors=neighbors.top_k(),
+        radius=neighbors.radius,
+        state=state,
+    )

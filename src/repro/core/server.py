@@ -22,7 +22,7 @@ Example::
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Set, Union
+from typing import Dict, Iterable, List, Optional, Set, Tuple, Union
 
 from repro.core.base import MonitorBase, TimestepReport
 from repro.core.events import (
@@ -122,6 +122,11 @@ class MonitoringServer:
         """Snap workspace coordinates to the nearest network edge."""
         return self._edge_table.snap_point(Point(x, y))
 
+    def snap_many(self, coordinates: Iterable[Tuple[float, float]]) -> List[NetworkLocation]:
+        """Snap a batch of ``(x, y)`` pairs in one vectorized quadtree pass."""
+        points = [Point(x, y) for x, y in coordinates]
+        return self._edge_table.snap_points(points)
+
     # ------------------------------------------------------------------
     # data objects
     # ------------------------------------------------------------------
@@ -162,6 +167,170 @@ class MonitoringServer:
         if old_location is None:
             raise UnknownObjectError(object_id)
         self._pending.object_updates.append(ObjectUpdate(object_id, old_location, None))
+
+    # ------------------------------------------------------------------
+    # batched ingestion
+    # ------------------------------------------------------------------
+    def add_objects_at(
+        self, items: Iterable[Tuple[int, float, float]]
+    ) -> Dict[int, NetworkLocation]:
+        """Register many data objects by ``(object_id, x, y)`` in one pass.
+
+        All coordinates are snapped through one vectorized quadtree batch and
+        the whole group is validated before anything is buffered, so a
+        duplicate id leaves the server unchanged.
+
+        Returns:
+            object id -> snapped location.
+
+        Raises:
+            DuplicateObjectError: if any id is already registered (or appears
+                twice in the batch).
+        """
+        batch = list(items)
+        seen: Set[int] = set()
+        for object_id, _, _ in batch:
+            if object_id in self._object_locations or object_id in seen:
+                raise DuplicateObjectError(object_id)
+            seen.add(object_id)
+        locations = self.snap_many((x, y) for _, x, y in batch)
+        snapped: Dict[int, NetworkLocation] = {}
+        for (object_id, _, _), location in zip(batch, locations):
+            self._object_locations[object_id] = location
+            self._pending.object_updates.append(ObjectUpdate(object_id, None, location))
+            snapped[object_id] = location
+        return snapped
+
+    def move_objects_at(
+        self, items: Iterable[Tuple[int, float, float]]
+    ) -> Dict[int, NetworkLocation]:
+        """Report many data-object movements by ``(object_id, x, y)``.
+
+        The batch counterpart of :meth:`move_object_at`; ids never added to
+        the server are rejected up front, before any update is buffered.
+
+        Returns:
+            object id -> snapped location.
+
+        Raises:
+            UnknownObjectError: if any id has never been added.
+        """
+        batch = list(items)
+        for object_id, _, _ in batch:
+            if object_id not in self._object_locations:
+                raise UnknownObjectError(object_id)
+        locations = self.snap_many((x, y) for _, x, y in batch)
+        snapped: Dict[int, NetworkLocation] = {}
+        for (object_id, _, _), location in zip(batch, locations):
+            old_location = self._object_locations[object_id]
+            self._object_locations[object_id] = location
+            self._pending.object_updates.append(
+                ObjectUpdate(object_id, old_location, location)
+            )
+            snapped[object_id] = location
+        return snapped
+
+    def apply_updates(self, batch: UpdateBatch) -> None:
+        """Buffer a pre-built :class:`UpdateBatch` in one call.
+
+        The bulk ingestion path for callers that already know network
+        locations (simulators, feed adapters): equivalent to issuing every
+        contained update through the per-entity methods, minus the
+        per-update method-call and snapping overhead.  Old locations /
+        weights are re-derived from the server's own view, so the caller
+        only needs ids and new values; the batch object itself is not
+        retained.  Updates take effect at the next :meth:`tick`.
+
+        Raises:
+            DuplicateObjectError / UnknownObjectError / DuplicateQueryError /
+            UnknownQueryError: on id misuse, before anything is buffered.
+        """
+        object_locations = self._object_locations
+        query_locations = self._query_locations
+        # Validate the whole batch first so a bad update leaves the pending
+        # buffer untouched (insertions may be referenced by later moves of
+        # the same batch, hence the running `added` / `removed` sets).
+        added: Set[int] = set()
+        removed: Set[int] = set()
+        for update in batch.object_updates:
+            known = (
+                update.object_id in object_locations or update.object_id in added
+            ) and update.object_id not in removed
+            if update.is_insertion:
+                if known:
+                    raise DuplicateObjectError(update.object_id)
+                added.add(update.object_id)
+                removed.discard(update.object_id)
+            else:
+                if not known:
+                    raise UnknownObjectError(update.object_id)
+                if update.is_deletion:
+                    removed.add(update.object_id)
+                    added.discard(update.object_id)
+            if update.new_location is not None:
+                self._network.validate_location(update.new_location)
+        added.clear()
+        removed.clear()
+        for update in batch.query_updates:
+            known = (
+                update.query_id in query_locations or update.query_id in added
+            ) and update.query_id not in removed
+            if update.is_installation:
+                if known:
+                    raise DuplicateQueryError(update.query_id)
+                added.add(update.query_id)
+                removed.discard(update.query_id)
+            else:
+                if not known:
+                    raise UnknownQueryError(update.query_id)
+                if update.is_termination:
+                    removed.add(update.query_id)
+                    added.discard(update.query_id)
+            if update.new_location is not None:
+                self._network.validate_location(update.new_location)
+        for edge_update in batch.edge_updates:
+            self._network.edge(edge_update.edge_id)  # raises if unknown
+
+        pending = self._pending
+        for update in batch.object_updates:
+            if update.is_insertion:
+                object_locations[update.object_id] = update.new_location
+                pending.object_updates.append(update)
+            elif update.is_deletion:
+                old_location = object_locations.pop(update.object_id)
+                pending.object_updates.append(
+                    ObjectUpdate(update.object_id, old_location, None)
+                )
+            else:
+                old_location = object_locations[update.object_id]
+                object_locations[update.object_id] = update.new_location
+                pending.object_updates.append(
+                    ObjectUpdate(update.object_id, old_location, update.new_location)
+                )
+        for update in batch.query_updates:
+            if update.is_installation:
+                query_locations[update.query_id] = update.new_location
+                self._query_k[update.query_id] = update.k
+                pending.query_updates.append(update)
+            elif update.is_termination:
+                old_location = query_locations.pop(update.query_id)
+                self._query_k.pop(update.query_id, None)
+                pending.query_updates.append(
+                    QueryUpdate(update.query_id, old_location, None)
+                )
+            else:
+                old_location = query_locations[update.query_id]
+                query_locations[update.query_id] = update.new_location
+                pending.query_updates.append(
+                    QueryUpdate(update.query_id, old_location, update.new_location)
+                )
+        for edge_update in batch.edge_updates:
+            old_weight = self._network.edge(edge_update.edge_id).weight
+            pending.edge_updates.append(
+                EdgeWeightUpdate(
+                    edge_update.edge_id, old_weight, edge_update.new_weight
+                )
+            )
 
     def object_ids(self) -> Set[int]:
         return set(self._object_locations)

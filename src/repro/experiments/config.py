@@ -19,7 +19,7 @@ EXPERIMENTS.md can state both the paper's axis values and the scaled ones.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, List
 
 from repro.sim.workload import PAPER_DEFAULTS, WorkloadConfig
 

@@ -9,8 +9,8 @@ series against.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Sequence, Tuple
 
 from repro.exceptions import ExperimentError
 from repro.experiments.config import SCALED_DEFAULTS, SweepPoint, scale_cardinality

@@ -9,7 +9,7 @@ script that regenerates EXPERIMENTS.md.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Sequence
 
 from repro.experiments.config import table2_rows
 from repro.experiments.runner import ExperimentResult

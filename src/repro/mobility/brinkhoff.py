@@ -21,14 +21,14 @@ the random-walk experiments.  The substitution is documented in DESIGN.md.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Sequence, Tuple
 
 from repro.exceptions import SimulationError
 from repro.mobility.random_walk import Movement
 from repro.network.distance import shortest_path_nodes
 from repro.network.graph import NetworkLocation, RoadNetwork
 from repro.utils.rng import RandomLike, make_rng
-from repro.utils.validation import require_fraction, require_positive_int
+from repro.utils.validation import require_fraction
 
 
 @dataclass

@@ -16,7 +16,7 @@ experiments rely on.
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence
+from typing import List, Sequence
 
 from repro.exceptions import SimulationError
 from repro.network.edge_table import EdgeTable

@@ -15,7 +15,7 @@ benchmarks exercise:
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence, Set, Tuple
+from typing import List, Set, Tuple
 
 from repro.exceptions import SimulationError
 from repro.network.graph import RoadNetwork

@@ -9,6 +9,7 @@ from repro.network.builders import (
     star_network,
     subdivide_edges,
 )
+from repro.network.csr import CSRGraph, csr_snapshot
 from repro.network.distance import (
     approximate_center_node,
     brute_force_knn,
@@ -35,6 +36,8 @@ __all__ = [
     "Edge",
     "NetworkLocation",
     "EdgeTable",
+    "CSRGraph",
+    "csr_snapshot",
     "SequenceTable",
     "SequenceInfo",
     "build_network",

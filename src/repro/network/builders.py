@@ -18,7 +18,7 @@ All generators are deterministic given a seed.
 from __future__ import annotations
 
 import math
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, Optional, Sequence, Tuple
 
 from repro.exceptions import NetworkError
 from repro.network.graph import RoadNetwork

@@ -1,0 +1,287 @@
+"""Flat-array CSR snapshot of a :class:`~repro.network.graph.RoadNetwork`.
+
+The monitoring hot path (the Figure-2 expansion and every resumed search)
+spends most of its time iterating adjacency.  Doing that over per-node dicts
+of :class:`~repro.network.graph.Edge` dataclasses costs several attribute
+lookups and a tuple allocation per neighbor; at production scale the Python
+overhead dwarfs the algorithmic work the paper's IMA/GMA save.  This module
+provides a compressed-sparse-row view of the network:
+
+* nodes and edges are mapped to dense integer indices,
+* adjacency is three parallel flat columns (``adj_node``, ``adj_eid``,
+  ``adj_weight``) sliced per node by ``indptr``, with one entry per
+  *traversable* direction (one-way edges appear once),
+* ``adj_forward`` records whether an entry leaves the edge's start node, so
+  object offsets along the edge can be computed without touching the edge.
+
+The snapshot registers a weight listener with the network, so a
+``set_edge_weight`` call patches the affected column entries in O(degree)
+instead of forcing a rebuild; topology edits (add/remove node or edge) bump
+the network's ``topology_version`` and cause a lazy full rebuild on the next
+:func:`csr_snapshot` call.  One snapshot is cached per network.
+"""
+
+from __future__ import annotations
+
+import weakref
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.exceptions import EdgeNotFoundError, NodeNotFoundError
+from repro.network.graph import RoadNetwork
+
+_INF = float("inf")
+
+
+class _Scratch:
+    """Reusable per-search work arrays, reset via the touched-index list.
+
+    Allocating four O(n) buffers per search dominates small searches on
+    large networks; instead the kernel borrows these and resets only the
+    entries it wrote.  ``in_use`` guards against (unexpected) reentrancy, in
+    which case the caller falls back to fresh allocations.
+    """
+
+    __slots__ = ("best", "tentative", "settled", "tentative_parent", "in_use")
+
+    def __init__(self, size: int) -> None:
+        self.best: List[float] = [_INF] * size
+        self.tentative: List[float] = [_INF] * size
+        self.settled = bytearray(size)
+        self.tentative_parent: List[int] = [-1] * size
+        self.in_use = False
+
+    def release(self, touched: List[int]) -> None:
+        """Reset every touched slot and hand the buffers back."""
+        best = self.best
+        tentative = self.tentative
+        settled = self.settled
+        parent = self.tentative_parent
+        for index in touched:
+            best[index] = _INF
+            tentative[index] = _INF
+            settled[index] = 0
+            parent[index] = -1
+        self.in_use = False
+
+
+class CSRGraph:
+    """Immutable flat-array adjacency snapshot of a road network.
+
+    Attributes (all parallel / index-based; treat as read-only):
+        node_ids: dense index -> original node id.
+        node_index: original node id -> dense index.
+        edge_ids: dense edge index -> original edge id.
+        edge_index: original edge id -> dense edge index.
+        indptr: per-node slice boundaries into the ``adj_*`` columns.
+        adj_node: neighbor *node index* per adjacency entry.
+        adj_eid: original *edge id* per entry (for edge-table lookups).
+        adj_weight: current weight per entry (kept fresh incrementally).
+        adj_forward: 1 when the entry leaves the edge's start node.
+        edge_weight: current weight per dense edge index.
+        edge_start / edge_end: endpoint node indices per dense edge index.
+        edge_oneway: 1 for one-way edges.
+    """
+
+    def __init__(self, network: RoadNetwork) -> None:
+        # Weak references in both directions: a strong back-reference would
+        # keep the snapshot-cache key alive forever, and registering a bound
+        # method as the listener would pin every snapshot for the network's
+        # whole lifetime.  The wrapper below forwards weight changes while
+        # the snapshot lives and unregisters itself once it is gone, so
+        # loop-constructed snapshots cost at most one stale closure until
+        # the next weight change.
+        self._network_ref = weakref.ref(network)
+        self._weights_stale = False
+        self.rebuild()
+        self_ref = weakref.ref(self)
+        network_ref = self._network_ref
+
+        def _forward(edge_id: Optional[int], weight: float) -> None:
+            snapshot = self_ref()
+            if snapshot is None:
+                live_network = network_ref()
+                if live_network is not None:
+                    live_network.remove_weight_listener(_forward)
+                return
+            snapshot._on_weight_change(edge_id, weight)
+
+        self._listener: Optional[Callable[[Optional[int], float], None]] = _forward
+        network.add_weight_listener(_forward)
+
+    def close(self) -> None:
+        """Detach from the network's weight notifications (idempotent).
+
+        After closing, the snapshot no longer tracks weight changes; use it
+        only if you know the weights are frozen, or build a fresh one.
+        """
+        network = self._network_ref()
+        if network is not None and self._listener is not None:
+            network.remove_weight_listener(self._listener)
+        self._listener = None
+
+    # ------------------------------------------------------------------
+    # construction / refresh
+    # ------------------------------------------------------------------
+    def rebuild(self) -> None:
+        """Rebuild every column from the network's current state."""
+        network = self.network
+        self.node_ids: List[int] = list(network.node_ids())
+        self.node_index: Dict[int, int] = {
+            node_id: index for index, node_id in enumerate(self.node_ids)
+        }
+        self.edge_ids: List[int] = list(network.edge_ids())
+        self.edge_index: Dict[int, int] = {
+            edge_id: index for index, edge_id in enumerate(self.edge_ids)
+        }
+
+        node_index = self.node_index
+        edge_weight: List[float] = []
+        edge_start: List[int] = []
+        edge_end: List[int] = []
+        edge_oneway = bytearray(len(self.edge_ids))
+        for position, edge_id in enumerate(self.edge_ids):
+            edge = network.edge(edge_id)
+            edge_weight.append(edge.weight)
+            edge_start.append(node_index[edge.start])
+            edge_end.append(node_index[edge.end])
+            if edge.oneway:
+                edge_oneway[position] = 1
+        self.edge_weight = edge_weight
+        self.edge_start = edge_start
+        self.edge_end = edge_end
+        self.edge_oneway = edge_oneway
+
+        indptr: List[int] = [0]
+        adj_node: List[int] = []
+        adj_eid: List[int] = []
+        adj_weight: List[float] = []
+        adj_forward = bytearray()
+        # Adjacency slots of each dense edge, for incremental weight patching.
+        entry_slots: List[List[int]] = [[] for _ in self.edge_ids]
+        for node_id in self.node_ids:
+            for edge_id in network.incident_edges(node_id):
+                edge = network.edge(edge_id)
+                if edge.oneway and edge.start != node_id:
+                    continue
+                slot = len(adj_node)
+                position = self.edge_index[edge_id]
+                adj_node.append(node_index[edge.other_endpoint(node_id)])
+                adj_eid.append(edge_id)
+                adj_weight.append(edge.weight)
+                adj_forward.append(1 if edge.start == node_id else 0)
+                entry_slots[position].append(slot)
+            indptr.append(len(adj_node))
+        self.indptr = indptr
+        self.adj_node = adj_node
+        self.adj_eid = adj_eid
+        self.adj_weight = adj_weight
+        self.adj_forward = adj_forward
+        self._entry_slots = entry_slots
+        self._topology_version = network.topology_version
+        self._weights_stale = False
+        self._scratch = _Scratch(len(self.node_ids))
+
+    def _on_weight_change(self, edge_id: Optional[int], new_weight: float) -> None:
+        if edge_id is None:
+            self._weights_stale = True
+            return
+        position = self.edge_index.get(edge_id)
+        if position is None:
+            # Edge added after the snapshot; the topology version already
+            # differs, so the next csr_snapshot() call rebuilds everything.
+            return
+        self.edge_weight[position] = new_weight
+        adj_weight = self.adj_weight
+        for slot in self._entry_slots[position]:
+            adj_weight[slot] = new_weight
+
+    def refresh(self) -> "CSRGraph":
+        """Bring the snapshot up to date with the network; returns self."""
+        if self._topology_version != self.network.topology_version:
+            self.rebuild()
+        elif self._weights_stale:
+            network = self.network
+            edge_weight = self.edge_weight
+            adj_weight = self.adj_weight
+            for position, edge_id in enumerate(self.edge_ids):
+                weight = network.edge(edge_id).weight
+                edge_weight[position] = weight
+                for slot in self._entry_slots[position]:
+                    adj_weight[slot] = weight
+            self._weights_stale = False
+        return self
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    @property
+    def network(self) -> RoadNetwork:
+        network = self._network_ref()
+        if network is None:
+            raise ReferenceError("the RoadNetwork behind this CSR snapshot is gone")
+        return network
+
+    @property
+    def node_count(self) -> int:
+        return len(self.node_ids)
+
+    @property
+    def edge_count(self) -> int:
+        return len(self.edge_ids)
+
+    def index_of_node(self, node_id: int) -> int:
+        """Dense index of *node_id*; raises :class:`NodeNotFoundError`."""
+        try:
+            return self.node_index[node_id]
+        except KeyError as exc:
+            raise NodeNotFoundError(node_id) from exc
+
+    def index_of_edge(self, edge_id: int) -> int:
+        """Dense index of *edge_id*; raises :class:`EdgeNotFoundError`."""
+        try:
+            return self.edge_index[edge_id]
+        except KeyError as exc:
+            raise EdgeNotFoundError(edge_id) from exc
+
+    def neighbors_of_index(self, node_idx: int) -> List[Tuple[int, int, float]]:
+        """``(edge_id, neighbor_index, weight)`` triples (diagnostics/tests)."""
+        start, stop = self.indptr[node_idx], self.indptr[node_idx + 1]
+        return [
+            (self.adj_eid[slot], self.adj_node[slot], self.adj_weight[slot])
+            for slot in range(start, stop)
+        ]
+
+    # ------------------------------------------------------------------
+    # scratch buffers
+    # ------------------------------------------------------------------
+    def acquire_scratch(self) -> _Scratch:
+        """Borrow the reusable work arrays (fresh ones under reentrancy)."""
+        scratch = self._scratch
+        if scratch.in_use:
+            return _Scratch(len(self.node_ids))
+        scratch.in_use = True
+        return scratch
+
+
+#: One cached snapshot per live network (weakly keyed so networks can die).
+_SNAPSHOTS: "weakref.WeakKeyDictionary[RoadNetwork, CSRGraph]" = (
+    weakref.WeakKeyDictionary()
+)
+
+
+def csr_snapshot(network: RoadNetwork) -> CSRGraph:
+    """Return the up-to-date cached CSR snapshot of *network*."""
+    snapshot = _SNAPSHOTS.get(network)
+    if snapshot is None:
+        snapshot = CSRGraph(network)
+        _SNAPSHOTS[network] = snapshot
+        return snapshot
+    # Inline fast path of refresh(): this runs once per search, so skip the
+    # property indirection when nothing changed (the overwhelmingly common
+    # case).
+    if (
+        snapshot._topology_version != network._topology_version
+        or snapshot._weights_stale
+    ):
+        snapshot.refresh()
+    return snapshot

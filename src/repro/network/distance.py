@@ -13,7 +13,7 @@ generator needs (objects follow shortest paths towards random destinations).
 from __future__ import annotations
 
 import heapq
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.exceptions import DisconnectedNetworkError, NodeNotFoundError
 from repro.network.edge_table import EdgeTable

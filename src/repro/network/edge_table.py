@@ -20,7 +20,7 @@ harness compares OVH / IMA / GMA on identical inputs.
 
 from __future__ import annotations
 
-from typing import Dict, Iterator, Optional, Set, Tuple
+from typing import Dict, Iterator, List, Optional, Sequence, Set, Tuple
 
 from repro.exceptions import (
     DuplicateObjectError,
@@ -47,6 +47,10 @@ class EdgeTable:
         self._network = network
         self._objects: Dict[int, NetworkLocation] = {}
         self._objects_on_edge: Dict[int, Set[int]] = {}
+        # Per-edge ``[(object_id, fraction), ...]`` lists, built lazily and
+        # invalidated on mutation; the search kernel scans these on its hot
+        # path instead of re-deriving fractions through per-object lookups.
+        self._fraction_cache: Dict[int, Tuple[Tuple[int, float], ...]] = {}
         self._spatial_index: Optional[PMRQuadtree] = None
         if build_spatial_index and network.edge_count > 0:
             self.rebuild_spatial_index()
@@ -98,6 +102,28 @@ class EdgeTable:
         fraction = segment.project_fraction(point)
         return NetworkLocation(edge_id, fraction)
 
+    def snap_points(self, points: Sequence[Point]) -> List[NetworkLocation]:
+        """Snap a whole batch of workspace coordinates to their nearest edges.
+
+        The bulk path of the monitoring server: one vectorized PMR-quadtree
+        pass replaces per-update :meth:`snap_point` calls.  When several
+        edges are exactly equidistant from a point the chosen edge may
+        differ from the single-point path, but the snapped position is
+        always an equally near location.
+
+        Raises:
+            EdgeNotFoundError: if the spatial index has not been built or the
+                network has no edges.
+        """
+        if self._spatial_index is None or len(self._spatial_index) == 0:
+            raise EdgeNotFoundError(-1)
+        index = self._spatial_index
+        locations: List[NetworkLocation] = []
+        for point, (edge_id, _) in zip(points, index.nearest_edges_bulk(points)):
+            fraction = index.segment_of(edge_id).project_fraction(point)
+            locations.append(NetworkLocation(edge_id, fraction))
+        return locations
+
     # ------------------------------------------------------------------
     # object bookkeeping
     # ------------------------------------------------------------------
@@ -113,6 +139,7 @@ class EdgeTable:
         self._network.validate_location(location)
         self._objects[object_id] = location
         self._objects_on_edge.setdefault(location.edge_id, set()).add(object_id)
+        self._fraction_cache.pop(location.edge_id, None)
 
     def remove_object(self, object_id: int) -> NetworkLocation:
         """Unregister a data object, returning its last location.
@@ -128,6 +155,7 @@ class EdgeTable:
             on_edge.discard(object_id)
             if not on_edge:
                 del self._objects_on_edge[location.edge_id]
+        self._fraction_cache.pop(location.edge_id, None)
         return location
 
     def move_object(self, object_id: int, new_location: NetworkLocation) -> NetworkLocation:
@@ -167,8 +195,37 @@ class EdgeTable:
 
     def objects_with_fractions_on(self, edge_id: int) -> Iterator[Tuple[int, float]]:
         """Iterate ``(object_id, fraction)`` for the objects on *edge_id*."""
-        for object_id in self._objects_on_edge.get(edge_id, ()):
-            yield object_id, self._objects[object_id].fraction
+        return iter(self.edge_object_fractions(edge_id))
+
+    @property
+    def fraction_cache(self) -> Dict[int, Tuple[Tuple[int, float], ...]]:
+        """The per-edge fraction cache backing :meth:`edge_object_fractions`.
+
+        Exposed for the search kernel, which probes it directly (one dict
+        lookup per scanned edge) and falls back to the method on a miss.
+        Treat as read-only.
+        """
+        return self._fraction_cache
+
+    def edge_object_fractions(self, edge_id: int) -> Tuple[Tuple[int, float], ...]:
+        """``(object_id, fraction)`` pairs on *edge_id* (hot-path accessor).
+
+        The returned tuple is cached until an object on the edge moves, so
+        repeated scans by concurrent searches cost a single dict lookup.
+        """
+        cached = self._fraction_cache.get(edge_id)
+        if cached is not None:
+            return cached
+        ids = self._objects_on_edge.get(edge_id)
+        if not ids:
+            pairs: Tuple[Tuple[int, float], ...] = ()
+        else:
+            objects = self._objects
+            pairs = tuple(
+                (object_id, objects[object_id].fraction) for object_id in ids
+            )
+        self._fraction_cache[edge_id] = pairs
+        return pairs
 
     def all_objects(self) -> Iterator[Tuple[int, NetworkLocation]]:
         """Iterate over ``(object_id, location)`` pairs for every object."""

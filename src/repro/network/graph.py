@@ -20,7 +20,7 @@ with the weight.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
+from typing import Callable, Dict, Iterator, List, Optional, Sequence, Set, Tuple
 
 from repro.exceptions import (
     DuplicateEdgeError,
@@ -143,6 +143,8 @@ class RoadNetwork:
         self._adjacency: Dict[int, List[int]] = {}
         self._edge_by_endpoints: Dict[Tuple[int, int], int] = {}
         self._weight_version = 0
+        self._topology_version = 0
+        self._weight_listeners: List[Callable[[Optional[int], float], None]] = []
 
     # ------------------------------------------------------------------
     # basic protocol
@@ -165,6 +167,42 @@ class RoadNetwork:
         """Monotonic counter bumped on every weight change (cache invalidation)."""
         return self._weight_version
 
+    @property
+    def topology_version(self) -> int:
+        """Monotonic counter bumped whenever nodes or edges are added/removed.
+
+        Snapshots of the topology (e.g. the CSR kernel in
+        :mod:`repro.network.csr`) compare this counter to decide whether a
+        full rebuild is needed, as opposed to the cheap incremental weight
+        refresh driven by :meth:`add_weight_listener`.
+        """
+        return self._topology_version
+
+    # ------------------------------------------------------------------
+    # change notification
+    # ------------------------------------------------------------------
+    def add_weight_listener(
+        self, listener: Callable[[Optional[int], float], None]
+    ) -> None:
+        """Register a callback invoked on every weight change.
+
+        The callback receives ``(edge_id, new_weight)`` for a single-edge
+        update and ``(None, 0.0)`` when every weight may have changed at once
+        (:meth:`reset_weights`).  Listeners enable derived structures such as
+        the CSR snapshot to refresh incrementally instead of rebuilding.
+        """
+        if listener not in self._weight_listeners:
+            self._weight_listeners.append(listener)
+
+    def remove_weight_listener(
+        self, listener: Callable[[Optional[int], float], None]
+    ) -> None:
+        """Unregister a weight listener; no-op when it is not registered."""
+        try:
+            self._weight_listeners.remove(listener)
+        except ValueError:
+            pass
+
     # ------------------------------------------------------------------
     # construction
     # ------------------------------------------------------------------
@@ -179,6 +217,7 @@ class RoadNetwork:
         node = Node(node_id, Point(float(x), float(y)))
         self._nodes[node_id] = node
         self._adjacency[node_id] = []
+        self._topology_version += 1
         return node
 
     def add_edge(
@@ -219,6 +258,7 @@ class RoadNetwork:
         self._adjacency[end].append(edge_id)
         self._edge_by_endpoints[(start, end)] = edge_id
         self._edge_by_endpoints.setdefault((end, start), edge_id)
+        self._topology_version += 1
         return edge
 
     def remove_edge(self, edge_id: int) -> None:
@@ -236,6 +276,7 @@ class RoadNetwork:
             if self._edge_by_endpoints.get(key) == edge_id:
                 del self._edge_by_endpoints[key]
         self._weight_version += 1
+        self._topology_version += 1
 
     # ------------------------------------------------------------------
     # lookups
@@ -337,6 +378,9 @@ class RoadNetwork:
         previous = edge.weight
         edge.weight = float(weight)
         self._weight_version += 1
+        # Iterate a copy: listeners may unregister themselves when notified.
+        for listener in tuple(self._weight_listeners):
+            listener(edge_id, edge.weight)
         return previous
 
     def scale_edge_weight(self, edge_id: int, factor: float) -> float:
@@ -354,6 +398,8 @@ class RoadNetwork:
         for edge in self._edges.values():
             edge.weight = edge.base_weight
         self._weight_version += 1
+        for listener in tuple(self._weight_listeners):
+            listener(None, 0.0)
 
     def total_weight(self) -> float:
         """Sum of all current edge weights."""

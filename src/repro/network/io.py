@@ -15,7 +15,7 @@ from __future__ import annotations
 
 import os
 from pathlib import Path
-from typing import Iterable, Tuple, Union
+from typing import Iterable, Union
 
 from repro.exceptions import NetworkError
 from repro.network.graph import RoadNetwork

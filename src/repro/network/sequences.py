@@ -22,9 +22,9 @@ Special cases handled here:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterator, List, Optional, Sequence as Seq, Set, Tuple
+from typing import Dict, Iterator, List, Sequence as Seq, Set, Tuple
 
-from repro.exceptions import EdgeNotFoundError, NetworkError
+from repro.exceptions import EdgeNotFoundError
 from repro.network.graph import NetworkLocation, RoadNetwork
 
 

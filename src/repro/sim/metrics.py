@@ -13,7 +13,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 from statistics import mean
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List
 
 
 @dataclass

@@ -18,9 +18,9 @@ The simulator reproduces the paper's experimental methodology (Section 6):
 from __future__ import annotations
 
 import time
-from typing import Dict, Iterable, List, Optional, Sequence, Type
+from typing import Dict, List, Optional, Sequence, Type
 
-from repro.core.base import MonitorBase
+from repro.core.base import MonitorBase, TimestepReport
 from repro.core.events import (
     EdgeWeightUpdate,
     ObjectUpdate,
@@ -32,6 +32,7 @@ from repro.core.gma import GmaMonitor
 from repro.core.ima import ImaMonitor
 from repro.core.ovh import OvhMonitor
 from repro.core.results import results_equal
+from repro.core.server import MonitoringServer
 from repro.exceptions import SimulationError
 from repro.mobility.brinkhoff import BrinkhoffGenerator
 from repro.mobility.distributions import place
@@ -165,6 +166,40 @@ class Simulator:
             batch.query_updates.append(QueryUpdate(query_id, old_location, new_location))
             self._query_locations[query_id] = new_location
         return batch
+
+    # ------------------------------------------------------------------
+    # server-driven runs (the batched ingestion path)
+    # ------------------------------------------------------------------
+    def make_server(self, algorithm: str = "ima") -> MonitoringServer:
+        """Build a :class:`MonitoringServer` sharing this scenario's state.
+
+        The server reuses the simulator's network and edge table, so the
+        pre-placed data objects are already registered; the configured
+        queries are installed through the server's pending buffer and take
+        effect at its first tick.
+        """
+        server = MonitoringServer(self._network, algorithm, edge_table=self._edge_table)
+        for query_id, location in self._query_locations.items():
+            server.add_query(query_id, location, self._config.k)
+        return server
+
+    def drive_server(
+        self, server: MonitoringServer, timestamps: Optional[int] = None
+    ) -> List[TimestepReport]:
+        """Feed generated update batches through the server's batch API.
+
+        Each timestamp's updates are ingested with one
+        :meth:`~repro.core.server.MonitoringServer.apply_updates` call
+        followed by one tick — the pipeline production feeds use — instead
+        of thousands of per-entity method calls.  Returns the per-timestamp
+        :class:`~repro.core.base.TimestepReport` list.
+        """
+        rounds = self._config.timestamps if timestamps is None else timestamps
+        reports = []
+        for timestamp in range(rounds):
+            server.apply_updates(self.generate_batch(timestamp))
+            reports.append(server.tick())
+        return reports
 
     # ------------------------------------------------------------------
     # running

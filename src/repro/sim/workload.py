@@ -10,7 +10,7 @@ scaled-down default but accepts the paper's full-size values unchanged).
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import Dict, Optional
+from typing import Dict
 
 from repro.exceptions import SimulationError
 from repro.utils.validation import (

@@ -174,7 +174,12 @@ class Segment:
         dy = self.end.y - self.start.y
         norm_sq = dx * dx + dy * dy
         if norm_sq <= _EPS:
-            return 0.0
+            # Degenerate segment: the parametric projection is numerically
+            # meaningless, so snap to whichever endpoint is closer (snapping
+            # always to the start can be off by the full segment length).
+            if point.distance_to(self.start) <= point.distance_to(self.end):
+                return 0.0
+            return 1.0
         t = ((point.x - self.start.x) * dx + (point.y - self.start.y) * dy) / norm_sq
         return min(1.0, max(0.0, t))
 

@@ -21,10 +21,15 @@ The index supports:
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, Iterator, List, Optional, Set, Tuple
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
 
 from repro.exceptions import SpatialIndexError
 from repro.spatial.geometry import Point, Rect, Segment
+
+try:  # numpy accelerates the bulk nearest-edge path; pure Python otherwise.
+    import numpy as _np
+except ImportError:  # pragma: no cover - exercised only without numpy
+    _np = None
 
 #: Default number of edges a leaf holds before it splits on insertion.
 DEFAULT_SPLIT_THRESHOLD = 8
@@ -183,6 +188,84 @@ class PMRQuadtree:
                 stack.extend(ordered)
         assert best_id is not None
         return best_id, best_dist
+
+    def nearest_edges_bulk(self, points: Sequence[Point]) -> List[Tuple[int, float]]:
+        """Vectorized :meth:`nearest_edge` for a batch of points.
+
+        Points are grouped by the leaf quad that contains them; each group is
+        matched against the leaf's edges in one numpy broadcast.  A per-point
+        answer is exact whenever the best in-leaf distance does not exceed
+        the point's distance to the leaf boundary (every edge *not* stored in
+        the leaf misses the leaf entirely, so it lies at least that far
+        away); the remaining points fall back to the exact best-first search.
+        Without numpy the method degrades to a plain per-point loop.
+
+        Raises:
+            SpatialIndexError: if the index is empty.
+        """
+        if not self._segments:
+            raise SpatialIndexError("nearest_edges_bulk on an empty index")
+        if _np is None or len(points) < 4:
+            return [self.nearest_edge(point) for point in points]
+
+        results: List[Optional[Tuple[int, float]]] = [None] * len(points)
+        groups: Dict[int, List[int]] = {}
+        leaves: Dict[int, _QuadNode] = {}
+        root = self._root
+        for position, point in enumerate(points):
+            node = root
+            if not node.rect.contains_point(point):
+                continue  # outside the workspace: exact fallback below
+            while not node.is_leaf:
+                assert node.children is not None
+                for child in node.children:
+                    if child.rect.contains_point(point):
+                        node = child
+                        break
+                else:  # pragma: no cover - quadrants tile the parent
+                    break
+            if node.is_leaf and node.edge_ids:
+                key = id(node)
+                groups.setdefault(key, []).append(position)
+                leaves[key] = node
+
+        for key, positions in groups.items():
+            leaf = leaves[key]
+            segments = [self._segments[edge_id] for edge_id in leaf.edge_ids]
+            sx = _np.array([seg.start.x for seg in segments])
+            sy = _np.array([seg.start.y for seg in segments])
+            dx = _np.array([seg.end.x - seg.start.x for seg in segments])
+            dy = _np.array([seg.end.y - seg.start.y for seg in segments])
+            norm_sq = dx * dx + dy * dy
+            safe_norm = _np.where(norm_sq > 0.0, norm_sq, 1.0)
+            px = _np.array([points[p].x for p in positions])[:, None]
+            py = _np.array([points[p].y for p in positions])[:, None]
+            t = ((px - sx) * dx + (py - sy) * dy) / safe_norm
+            t = _np.clip(_np.where(norm_sq > 0.0, t, 0.0), 0.0, 1.0)
+            cx = sx + t * dx
+            cy = sy + t * dy
+            dist = _np.hypot(px - cx, py - cy)
+            best_column = _np.argmin(dist, axis=1)
+            best_dist = dist[_np.arange(len(positions)), best_column]
+            rect = leaf.rect
+            for row, position in enumerate(positions):
+                point = points[position]
+                border = min(
+                    point.x - rect.min_x,
+                    rect.max_x - point.x,
+                    point.y - rect.min_y,
+                    rect.max_y - point.y,
+                )
+                if best_dist[row] <= border:
+                    results[position] = (
+                        leaf.edge_ids[int(best_column[row])],
+                        float(best_dist[row]),
+                    )
+
+        return [
+            result if result is not None else self.nearest_edge(points[position])
+            for position, result in enumerate(results)
+        ]
 
     def edges_in_rect(self, rect: Rect) -> Set[int]:
         """Return the ids of all edges intersecting *rect*."""

@@ -13,7 +13,7 @@ which makes ``decrease_key`` and membership checks O(log n) / O(1).
 
 from __future__ import annotations
 
-from typing import Hashable, Iterator, Optional, Tuple
+from typing import Hashable, Iterator, Tuple
 
 
 class IndexedMinHeap:

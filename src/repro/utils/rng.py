@@ -12,7 +12,7 @@ from __future__ import annotations
 
 import math
 import random
-from typing import Iterable, Optional, Sequence, TypeVar, Union
+from typing import Iterable, Sequence, TypeVar, Union
 
 T = TypeVar("T")
 

@@ -1,0 +1,297 @@
+"""Tests of the flat-array CSR kernel (:mod:`repro.network.csr`).
+
+Three layers of coverage:
+
+* **snapshot equivalence** — the CSR adjacency columns describe exactly the
+  same traversable graph as :meth:`RoadNetwork.neighbors`;
+* **refresh protocol** — ``set_edge_weight`` patches the columns in place
+  (no rebuild), topology edits trigger a rebuild;
+* **differential testing** — the CSR-based :func:`expand_knn` returns
+  results identical to the preserved dict-based reference implementation on
+  seeded random networks, across fresh searches, source-node searches,
+  exclusions, candidate seeding and resumed (pre-verified) searches.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.search import expand_knn
+from repro.core.search_legacy import expand_knn_legacy
+from repro.exceptions import EdgeNotFoundError
+from repro.network.builders import city_network, grid_network
+from repro.network.csr import CSRGraph, csr_snapshot
+from repro.network.edge_table import EdgeTable
+from repro.network.graph import NetworkLocation, RoadNetwork
+
+
+def _adjacency_from_csr(csr: CSRGraph, node_id: int):
+    """``{(edge_id, neighbor_id, weight)}`` reachable from *node_id*."""
+    idx = csr.index_of_node(node_id)
+    return {
+        (edge_id, csr.node_ids[neighbor_idx], weight)
+        for edge_id, neighbor_idx, weight in csr.neighbors_of_index(idx)
+    }
+
+
+class TestSnapshotEquivalence:
+    def test_matches_network_adjacency(self, small_city):
+        csr = csr_snapshot(small_city)
+        assert csr.node_count == small_city.node_count
+        assert csr.edge_count == small_city.edge_count
+        for node_id in small_city.node_ids():
+            expected = set(small_city.neighbors(node_id))
+            assert _adjacency_from_csr(csr, node_id) == expected
+
+    def test_oneway_edges_traversable_one_direction(self):
+        network = RoadNetwork()
+        network.add_node(0, 0.0, 0.0)
+        network.add_node(1, 100.0, 0.0)
+        network.add_node(2, 200.0, 0.0)
+        network.add_edge(0, 0, 1, oneway=True)
+        network.add_edge(1, 1, 2)
+        csr = csr_snapshot(network)
+        assert _adjacency_from_csr(csr, 0) == {(0, 1, 100.0)}
+        # Node 1 cannot go back through the one-way edge.
+        assert _adjacency_from_csr(csr, 1) == {(1, 2, 100.0)}
+
+    def test_snapshot_is_cached_per_network(self, small_grid):
+        assert csr_snapshot(small_grid) is csr_snapshot(small_grid)
+
+    def test_distinct_networks_get_distinct_snapshots(self, small_grid, line_network):
+        assert csr_snapshot(small_grid) is not csr_snapshot(line_network)
+
+    def test_snapshot_cache_does_not_leak_networks(self):
+        """Regression: the cached snapshot must not keep its network alive."""
+        import gc
+        import weakref
+
+        network = grid_network(3, 3, spacing=10.0)
+        csr_snapshot(network)
+        probe = weakref.ref(network)
+        del network
+        gc.collect()
+        assert probe() is None
+
+    def test_direct_snapshots_do_not_pin_listeners(self):
+        """Regression: loop-constructed CSRGraphs must not accumulate on the
+        network's listener list once garbage-collected."""
+        import gc
+
+        network = grid_network(3, 3, spacing=10.0)
+        for _ in range(10):
+            CSRGraph(network)
+        gc.collect()
+        # The next weight change lets every dead wrapper unregister itself.
+        edge_id = next(network.edge_ids())
+        network.set_edge_weight(edge_id, 123.0)
+        assert len(network._weight_listeners) <= 1  # at most the cached one
+
+    def test_close_detaches_snapshot(self, small_grid):
+        snapshot = CSRGraph(small_grid)
+        edge_id = next(small_grid.edge_ids())
+        snapshot.close()
+        snapshot.close()  # idempotent
+        small_grid.set_edge_weight(edge_id, 321.0)
+        position = snapshot.index_of_edge(edge_id)
+        assert snapshot.edge_weight[position] != 321.0  # no longer tracking
+
+
+class TestWeightRefresh:
+    def test_set_edge_weight_patches_in_place(self, small_city):
+        csr = csr_snapshot(small_city)
+        edge_id = next(small_city.edge_ids())
+        small_city.set_edge_weight(edge_id, 123.5)
+        refreshed = csr_snapshot(small_city)
+        assert refreshed is csr  # incremental patch, not a rebuild
+        position = refreshed.index_of_edge(edge_id)
+        assert refreshed.edge_weight[position] == 123.5
+        edge = small_city.edge(edge_id)
+        for endpoint in (edge.start, edge.end):
+            weights = {
+                weight
+                for eid, _, weight in refreshed.neighbors_of_index(
+                    refreshed.index_of_node(endpoint)
+                )
+                if eid == edge_id
+            }
+            if weights:  # one-way edges appear only at the start node
+                assert weights == {123.5}
+
+    def test_scale_edge_weight_propagates(self, small_grid):
+        csr = csr_snapshot(small_grid)
+        edge_id = next(small_grid.edge_ids())
+        before = small_grid.edge(edge_id).weight
+        small_grid.scale_edge_weight(edge_id, 2.0)
+        position = csr.index_of_edge(edge_id)
+        assert csr_snapshot(small_grid).edge_weight[position] == pytest.approx(
+            2.0 * before
+        )
+
+    def test_reset_weights_refreshes_all(self, small_grid):
+        csr = csr_snapshot(small_grid)
+        edge_ids = list(small_grid.edge_ids())
+        for edge_id in edge_ids[:5]:
+            small_grid.set_edge_weight(edge_id, 999.0)
+        small_grid.reset_weights()
+        refreshed = csr_snapshot(small_grid)
+        assert refreshed is csr
+        for edge_id in edge_ids[:5]:
+            position = refreshed.index_of_edge(edge_id)
+            assert refreshed.edge_weight[position] == small_grid.edge(edge_id).weight
+
+
+class TestTopologyRebuild:
+    def test_add_edge_triggers_rebuild(self, small_grid):
+        csr = csr_snapshot(small_grid)
+        nodes = list(small_grid.node_ids())
+        new_edge = small_grid.add_edge(99_999, nodes[0], nodes[-1], weight=42.0)
+        refreshed = csr_snapshot(small_grid)
+        assert refreshed.edge_count == small_grid.edge_count
+        position = refreshed.index_of_edge(new_edge.edge_id)
+        assert refreshed.edge_weight[position] == 42.0
+        assert csr is refreshed  # same object, rebuilt columns
+
+    def test_remove_edge_triggers_rebuild(self, small_grid):
+        csr_snapshot(small_grid)
+        edge_id = next(small_grid.edge_ids())
+        small_grid.remove_edge(edge_id)
+        refreshed = csr_snapshot(small_grid)
+        with pytest.raises(EdgeNotFoundError):
+            refreshed.index_of_edge(edge_id)
+        assert refreshed.edge_count == small_grid.edge_count
+
+    def test_weight_update_after_rebuild_still_incremental(self, small_grid):
+        csr_snapshot(small_grid)
+        nodes = list(small_grid.node_ids())
+        small_grid.add_edge(88_888, nodes[0], nodes[-2], weight=10.0)
+        refreshed = csr_snapshot(small_grid)
+        small_grid.set_edge_weight(88_888, 20.0)
+        assert (
+            csr_snapshot(small_grid).edge_weight[refreshed.index_of_edge(88_888)]
+            == 20.0
+        )
+
+
+def _assert_same_outcome(actual, expected):
+    assert actual.neighbors == expected.neighbors
+    assert actual.radius == expected.radius
+    assert actual.state.node_dist == expected.state.node_dist
+    assert actual.state.parent == expected.state.parent
+
+
+class TestDifferentialAgainstLegacy:
+    """The kernel must be indistinguishable from the reference search."""
+
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3])
+    @pytest.mark.parametrize("k", [1, 4, 10])
+    def test_fresh_searches_identical(self, seed, k):
+        rng = random.Random(seed)
+        network = city_network(150, seed=seed)
+        edge_table = EdgeTable(network, build_spatial_index=False)
+        edge_ids = list(network.edge_ids())
+        for object_id in range(60):
+            edge_table.insert_object(
+                object_id, NetworkLocation(rng.choice(edge_ids), rng.random())
+            )
+        for _ in range(25):
+            query = NetworkLocation(rng.choice(edge_ids), rng.random())
+            fast = expand_knn(network, edge_table, k, query_location=query)
+            slow = expand_knn_legacy(network, edge_table, k, query_location=query)
+            _assert_same_outcome(fast, slow)
+
+    def test_fresh_searches_identical_after_weight_updates(self):
+        rng = random.Random(42)
+        network = grid_network(8, 8, spacing=50.0)
+        edge_table = EdgeTable(network, build_spatial_index=False)
+        edge_ids = list(network.edge_ids())
+        for object_id in range(40):
+            edge_table.insert_object(
+                object_id, NetworkLocation(rng.choice(edge_ids), rng.random())
+            )
+        for round_number in range(10):
+            for edge_id in rng.sample(edge_ids, 12):
+                network.scale_edge_weight(edge_id, rng.uniform(0.7, 1.4))
+            query = NetworkLocation(rng.choice(edge_ids), rng.random())
+            fast = expand_knn(network, edge_table, 5, query_location=query)
+            slow = expand_knn_legacy(network, edge_table, 5, query_location=query)
+            _assert_same_outcome(fast, slow)
+
+    def test_source_node_searches_identical(self, populated_city):
+        network, edge_table, _ = populated_city
+        rng = random.Random(5)
+        nodes = list(network.node_ids())
+        for _ in range(15):
+            source = rng.choice(nodes)
+            fast = expand_knn(network, edge_table, 3, source_node=source)
+            slow = expand_knn_legacy(network, edge_table, 3, source_node=source)
+            _assert_same_outcome(fast, slow)
+
+    def test_excluded_objects_identical(self, populated_city):
+        network, edge_table, locations = populated_city
+        rng = random.Random(6)
+        excluded = set(rng.sample(sorted(locations), 20))
+        edge_ids = list(network.edge_ids())
+        for _ in range(10):
+            query = NetworkLocation(rng.choice(edge_ids), rng.random())
+            fast = expand_knn(
+                network, edge_table, 4, query_location=query, excluded_objects=excluded
+            )
+            slow = expand_knn_legacy(
+                network, edge_table, 4, query_location=query, excluded_objects=excluded
+            )
+            _assert_same_outcome(fast, slow)
+
+    def test_resumed_searches_identical(self, populated_city):
+        """Pre-verified trees + candidates + coverage radius (IMA's resume)."""
+        network, edge_table, _ = populated_city
+        rng = random.Random(8)
+        edge_ids = list(network.edge_ids())
+        for _ in range(10):
+            query = NetworkLocation(rng.choice(edge_ids), rng.random())
+            initial = expand_knn(network, edge_table, 6, query_location=query)
+            preverified = dict(initial.state.node_dist)
+            parents = dict(initial.state.parent)
+            candidates = list(initial.neighbors)
+            coverage = initial.radius * 0.8 if initial.radius != float("inf") else None
+            fast = expand_knn(
+                network,
+                edge_table,
+                6,
+                query_location=query,
+                preverified=preverified,
+                preverified_parent=parents,
+                candidates=candidates,
+                coverage_radius=coverage,
+            )
+            slow = expand_knn_legacy(
+                network,
+                edge_table,
+                6,
+                query_location=query,
+                preverified=preverified,
+                preverified_parent=parents,
+                candidates=candidates,
+                coverage_radius=coverage,
+            )
+            _assert_same_outcome(fast, slow)
+
+    def test_counters_track_same_work(self, populated_city):
+        network, edge_table, _ = populated_city
+        from repro.core.search import SearchCounters
+
+        rng = random.Random(9)
+        edge_ids = list(network.edge_ids())
+        fast_counters = SearchCounters()
+        slow_counters = SearchCounters()
+        for _ in range(10):
+            query = NetworkLocation(rng.choice(edge_ids), rng.random())
+            expand_knn(
+                network, edge_table, 5, query_location=query, counters=fast_counters
+            )
+            expand_knn_legacy(
+                network, edge_table, 5, query_location=query, counters=slow_counters
+            )
+        assert fast_counters.snapshot() == slow_counters.snapshot()

@@ -8,7 +8,7 @@ import networkx as nx
 import pytest
 
 from repro.exceptions import DisconnectedNetworkError, NodeNotFoundError
-from repro.network.builders import city_network, linear_network
+from repro.network.builders import city_network
 from repro.network.distance import (
     approximate_center_node,
     brute_force_knn,
@@ -19,7 +19,6 @@ from repro.network.distance import (
     node_distances,
     shortest_path_nodes,
 )
-from repro.network.edge_table import EdgeTable
 from repro.network.graph import NetworkLocation, RoadNetwork
 
 

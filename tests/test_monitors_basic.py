@@ -9,7 +9,7 @@ from __future__ import annotations
 
 import pytest
 
-from repro.core.events import EdgeWeightUpdate, ObjectUpdate, QueryUpdate, UpdateBatch, apply_batch
+from repro.core.events import ObjectUpdate, QueryUpdate, UpdateBatch, apply_batch
 from repro.core.gma import GmaMonitor
 from repro.core.ima import ImaMonitor
 from repro.core.ovh import OvhMonitor

@@ -7,7 +7,6 @@ import random
 import pytest
 
 from repro.utils.rng import (
-    DEFAULT_SEED,
     bounded_gauss,
     derive_rng,
     make_rng,

@@ -1,0 +1,252 @@
+"""Tests of the monitoring server's batched ingestion path.
+
+Covers :meth:`MonitoringServer.apply_updates`, the bulk coordinate methods
+(:meth:`add_objects_at` / :meth:`move_objects_at` with vectorized quadtree
+snapping), the id-misuse regressions (``UnknownObjectError`` on the batch
+path), and the equivalence of a server driven through the batch API with
+one driven through the per-entity methods.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.events import EdgeWeightUpdate, ObjectUpdate, QueryUpdate, UpdateBatch
+from repro.core.server import MonitoringServer
+from repro.exceptions import (
+    DuplicateObjectError,
+    DuplicateQueryError,
+    UnknownObjectError,
+    UnknownQueryError,
+)
+from repro.experiments.config import SMOKE_DEFAULTS
+from repro.network.builders import city_network
+from repro.network.graph import NetworkLocation
+from repro.sim.simulator import Simulator
+from repro.spatial.geometry import Point
+
+
+@pytest.fixture
+def city_server():
+    network = city_network(150, seed=11)
+    return MonitoringServer(network, algorithm="ima")
+
+
+class TestBulkCoordinateIngestion:
+    def test_add_objects_at_matches_single_path(self, city_server):
+        box = city_server.network.bounding_box()
+        rng = random.Random(3)
+        items = [
+            (i, rng.uniform(box.min_x, box.max_x), rng.uniform(box.min_y, box.max_y))
+            for i in range(50)
+        ]
+        snapped = city_server.add_objects_at(items)
+        assert set(snapped) == {i for i, _, _ in items}
+        index = city_server.edge_table.spatial_index
+        for object_id, x, y in items:
+            bulk_loc = snapped[object_id]
+            single_loc = city_server.snap(x, y)
+            point = Point(x, y)
+            bulk_dist = index.segment_of(bulk_loc.edge_id).distance_to_point(point)
+            single_dist = index.segment_of(single_loc.edge_id).distance_to_point(point)
+            # Equidistant ties may pick a different edge; never a worse one.
+            assert bulk_dist == pytest.approx(single_dist, abs=1e-9)
+
+    def test_add_objects_at_duplicate_rejected_atomically(self, city_server):
+        city_server.add_objects_at([(1, 10.0, 10.0)])
+        with pytest.raises(DuplicateObjectError):
+            city_server.add_objects_at([(2, 0.0, 0.0), (1, 5.0, 5.0)])
+        # The whole batch was rejected: id 2 was never buffered.
+        assert city_server.object_ids() == {1}
+
+    def test_add_objects_at_duplicate_within_batch(self, city_server):
+        with pytest.raises(DuplicateObjectError):
+            city_server.add_objects_at([(7, 0.0, 0.0), (7, 5.0, 5.0)])
+        assert city_server.object_ids() == set()
+
+    def test_move_objects_at_updates_positions(self, city_server):
+        city_server.add_objects_at([(1, 10.0, 10.0), (2, 90.0, 40.0)])
+        city_server.tick()
+        snapped = city_server.move_objects_at([(1, 55.0, 60.0), (2, 12.0, 88.0)])
+        city_server.tick()
+        for object_id, location in snapped.items():
+            assert city_server.edge_table.location_of(object_id) == location
+
+    def test_move_objects_at_unknown_id_raises(self, city_server):
+        """Regression: never-added ids must raise on the batch path too."""
+        city_server.add_objects_at([(1, 10.0, 10.0)])
+        with pytest.raises(UnknownObjectError):
+            city_server.move_objects_at([(1, 20.0, 20.0), (424242, 30.0, 30.0)])
+        # Atomic: the valid movement was not buffered either.
+        city_server.tick()
+        assert city_server.edge_table.has_object(1)
+
+    def test_move_objects_at_empty_server_raises(self, city_server):
+        with pytest.raises(UnknownObjectError):
+            city_server.move_objects_at([(5, 1.0, 1.0)])
+
+
+class TestApplyUpdates:
+    def _location(self, server, rng):
+        edge_ids = list(server.network.edge_ids())
+        return NetworkLocation(rng.choice(edge_ids), rng.random())
+
+    def test_batch_equivalent_to_per_entity_calls(self):
+        rng = random.Random(17)
+        network = city_network(150, seed=11)
+        batch_server = MonitoringServer(network, algorithm="ima")
+        single_server = MonitoringServer(network.copy(), algorithm="ima")
+
+        object_locations = {
+            object_id: self._location(batch_server, rng) for object_id in range(30)
+        }
+        query_location = self._location(batch_server, rng)
+
+        batch = UpdateBatch()
+        for object_id, location in object_locations.items():
+            batch.object_updates.append(ObjectUpdate(object_id, None, location))
+        batch.query_updates.append(QueryUpdate(100, None, query_location, k=3))
+        batch_server.apply_updates(batch)
+        batch_server.tick()
+
+        for object_id, location in object_locations.items():
+            single_server.add_object(object_id, location)
+        single_server.add_query(100, query_location, k=3)
+        single_server.tick()
+
+        assert (
+            batch_server.result_of(100).neighbors
+            == single_server.result_of(100).neighbors
+        )
+
+    def test_apply_updates_rederives_old_state(self, city_server):
+        rng = random.Random(23)
+        location = self._location(city_server, rng)
+        city_server.add_object(1, location)
+        city_server.tick()
+        new_location = self._location(city_server, rng)
+        # The caller's old_location is deliberately wrong; the server must
+        # use its own view instead of trusting it.
+        bogus_old = self._location(city_server, rng)
+        batch = UpdateBatch()
+        batch.object_updates.append(ObjectUpdate(1, bogus_old, new_location))
+        city_server.apply_updates(batch)
+        city_server.tick()
+        assert city_server.edge_table.location_of(1) == new_location
+
+    def test_apply_updates_validates_before_buffering(self, city_server):
+        rng = random.Random(29)
+        good = ObjectUpdate(1, None, self._location(city_server, rng))
+        unknown_move = ObjectUpdate(
+            999, self._location(city_server, rng), self._location(city_server, rng)
+        )
+        batch = UpdateBatch(object_updates=[good, unknown_move])
+        with pytest.raises(UnknownObjectError):
+            city_server.apply_updates(batch)
+        city_server.tick()
+        assert not city_server.edge_table.has_object(1)
+
+    def test_apply_updates_insert_then_delete_same_batch(self, city_server):
+        """Regression: a net no-op (appear + disappear in one timestamp) must
+        normalize away instead of crashing the tick."""
+        rng = random.Random(43)
+        location = self._location(city_server, rng)
+        survivor = self._location(city_server, rng)
+        batch = UpdateBatch(
+            object_updates=[
+                ObjectUpdate(1, None, location),
+                ObjectUpdate(1, location, None),
+                ObjectUpdate(2, None, survivor),
+            ]
+        )
+        city_server.apply_updates(batch)
+        city_server.tick()
+        assert not city_server.edge_table.has_object(1)
+        assert city_server.edge_table.location_of(2) == survivor
+
+    def test_add_then_remove_object_same_tick(self, city_server):
+        """The per-entity path hits the same normalize rule (seed crashed)."""
+        city_server.add_object_at(1, 10.0, 10.0)
+        city_server.remove_object(1)
+        report = city_server.tick()
+        assert report.timestamp == 0
+        assert not city_server.edge_table.has_object(1)
+
+    def test_query_install_then_terminate_same_tick(self, city_server):
+        rng = random.Random(47)
+        location = self._location(city_server, rng)
+        city_server.add_query(100, location, k=2)
+        city_server.remove_query(100)
+        city_server.tick()
+        assert city_server.query_ids() == set()
+
+    def test_apply_updates_insert_then_move_same_batch(self, city_server):
+        rng = random.Random(31)
+        first = self._location(city_server, rng)
+        second = self._location(city_server, rng)
+        batch = UpdateBatch(
+            object_updates=[
+                ObjectUpdate(1, None, first),
+                ObjectUpdate(1, first, second),
+            ]
+        )
+        city_server.apply_updates(batch)
+        city_server.tick()
+        assert city_server.edge_table.location_of(1) == second
+
+    def test_apply_updates_duplicate_query_rejected(self, city_server):
+        rng = random.Random(37)
+        location = self._location(city_server, rng)
+        city_server.add_query(100, location, k=2)
+        batch = UpdateBatch(
+            query_updates=[QueryUpdate(100, None, location, k=2)]
+        )
+        with pytest.raises(DuplicateQueryError):
+            city_server.apply_updates(batch)
+
+    def test_apply_updates_unknown_query_rejected(self, city_server):
+        rng = random.Random(41)
+        batch = UpdateBatch(
+            query_updates=[
+                QueryUpdate(100, self._location(city_server, rng), None)
+            ]
+        )
+        with pytest.raises(UnknownQueryError):
+            city_server.apply_updates(batch)
+
+    def test_apply_updates_edge_weights(self, city_server):
+        edge_id = next(city_server.network.edge_ids())
+        batch = UpdateBatch(
+            edge_updates=[EdgeWeightUpdate(edge_id, 1.0, 77.0)]
+        )
+        city_server.apply_updates(batch)
+        city_server.tick()
+        assert city_server.network.edge(edge_id).weight == 77.0
+
+
+class TestSimulatorServerWiring:
+    def test_drive_server_matches_manual_monitor(self):
+        config = SMOKE_DEFAULTS.with_overrides(timestamps=3)
+        sim = Simulator(config)
+        server = sim.make_server("ima")
+        reports = sim.drive_server(server)
+        assert len(reports) == 3
+
+        from repro.core.events import apply_batch
+
+        reference = Simulator(config)
+        monitor = reference.build_monitors(["IMA"])["IMA"]
+        for query_id, location in reference.query_locations().items():
+            monitor.register_query(query_id, location, config.k)
+        for timestamp in range(3):
+            batch = reference.generate_batch(timestamp)
+            apply_batch(reference.network, reference.edge_table, batch.normalized())
+            monitor.process_batch(batch)
+
+        for query_id in reference.query_locations():
+            assert (
+                server.result_of(query_id).neighbors
+                == monitor.result_of(query_id).neighbors
+            )
