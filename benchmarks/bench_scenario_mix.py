@@ -1,0 +1,72 @@
+"""IMA vs GMA throughput across the scenario-engine stress presets.
+
+Each benchmark drives one monitoring algorithm through the update stream of
+a :mod:`repro.testing.scenarios` preset — churn-heavy (objects constantly
+appearing / disappearing), weight-storm (a quarter of all edges changing
+per tick) and hotspot (movers piling onto a small edge pool) — and reports
+per-tick processing time through pytest-benchmark (the standard BENCH JSON
+uploaded by CI via ``--benchmark-json``).  Updates-per-second is recorded
+in ``extra_info`` for cross-preset comparison.
+
+Run with ``--quick`` for the CI smoke sizing.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.events import apply_batch
+from repro.experiments.config import SCALED_DEFAULTS, SMOKE_DEFAULTS
+from repro.sim.simulator import Simulator
+
+PRESETS = ("churn-heavy", "weight-storm", "hotspot")
+
+#: Ticks generated per scenario stream (cycled by the benchmark rounds).
+STREAM_TICKS = 8
+
+
+@pytest.fixture(scope="module")
+def bench_config(request):
+    base = SMOKE_DEFAULTS if request.config.getoption("--quick") else SCALED_DEFAULTS
+    return base.with_overrides(timestamps=1)
+
+
+def _prepared_stream(config, preset, algorithm):
+    """A registered monitor plus the preset's (unapplied) update batches.
+
+    Each batch is applied to the shared state by the benchmark loop right
+    before the tick that processes it, mirroring real per-tick operation.
+    """
+    simulator = Simulator(config)
+    engine = simulator.scenario_engine(preset, seed=config.seed + 1)
+    monitor = simulator.build_monitors([algorithm])[algorithm]
+    for query_id, (location, k) in engine.initial_queries().items():
+        monitor.register_query(query_id, location, k)
+    return simulator, monitor, list(engine.batches(STREAM_TICKS))
+
+
+@pytest.mark.parametrize("preset", PRESETS)
+@pytest.mark.parametrize("algorithm", ["IMA", "GMA"])
+def test_scenario_tick_throughput(benchmark, algorithm, preset, bench_config):
+    """One preset tick (apply + process) per algorithm (updates/s in extra_info)."""
+    simulator, monitor, batches = _prepared_stream(bench_config, preset, algorithm)
+    total_updates = sum(len(batch) for batch in batches)
+    cursor = {"index": 0}
+
+    def process():
+        batch = batches[cursor["index"]]
+        cursor["index"] += 1
+        apply_batch(simulator.network, simulator.edge_table, batch.normalized())
+        return monitor.process_batch(batch)
+
+    report = benchmark.pedantic(process, rounds=len(batches), iterations=1)
+    assert report.timestamp >= 0
+    mean_tick_seconds = benchmark.stats.stats.mean
+    benchmark.extra_info["scenario"] = preset
+    benchmark.extra_info["algorithm"] = algorithm
+    benchmark.extra_info["updates_per_tick"] = round(total_updates / len(batches), 1)
+    benchmark.extra_info["updates_per_second"] = (
+        round(total_updates / len(batches) / mean_tick_seconds)
+        if mean_tick_seconds > 0
+        else None
+    )

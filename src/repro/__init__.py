@@ -69,6 +69,13 @@ from repro.network import (
     save_network,
 )
 from repro.spatial import PMRQuadtree, Point, Rect, Segment
+from repro.testing import (
+    SCENARIO_PRESETS,
+    OracleMonitor,
+    ScenarioEngine,
+    ScenarioSpec,
+    run_differential_scenario,
+)
 
 __version__ = "1.0.0"
 
@@ -111,4 +118,10 @@ __all__ = [
     "Rect",
     "Segment",
     "PMRQuadtree",
+    # testing / verification harness
+    "OracleMonitor",
+    "ScenarioEngine",
+    "ScenarioSpec",
+    "SCENARIO_PRESETS",
+    "run_differential_scenario",
 ]

@@ -11,6 +11,8 @@ from repro.core.events import (
 from repro.core.expansion import (
     ExpansionState,
     compute_influence_map,
+    compute_influence_map_legacy,
+    object_distance_csr,
     object_distance_via_state,
 )
 from repro.core.gma import GmaMonitor
@@ -32,6 +34,8 @@ __all__ = [
     "apply_batch",
     "ExpansionState",
     "compute_influence_map",
+    "compute_influence_map_legacy",
+    "object_distance_csr",
     "object_distance_via_state",
     "InfluenceIndex",
     "KnnResult",

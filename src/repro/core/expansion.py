@@ -26,8 +26,10 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Set
 
+from repro.network.csr import CSRGraph, csr_snapshot
 from repro.network.graph import Edge, NetworkLocation, RoadNetwork
 from repro.utils.intervals import (
+    SPAN_EPS,
     Spans,
     influence_spans,
     merge_spans,
@@ -208,24 +210,17 @@ class ExpansionState:
 _MISSING = object()
 
 
-def compute_influence_map(
+def compute_influence_map_legacy(
     network: RoadNetwork,
     state: ExpansionState,
     radius: float,
     query_location: Optional[NetworkLocation] = None,
 ) -> Dict[int, Spans]:
-    """Influencing intervals of every edge affected by a query.
+    """Dict-walking reference implementation of :func:`compute_influence_map`.
 
-    An edge affects the query when some point on it lies within *radius*.
-    All such edges have at least one endpoint among the verified nodes (any
-    point within the radius is reached through one of its edge's endpoints,
-    whose distance is then also within the radius), so it suffices to scan
-    the edges incident to verified nodes, plus the query's own edge.
-
-    Distances of points are computed with the ``min`` formula over the two
-    endpoint distances; for one-way edges this may overestimate the
-    influence region (never underestimate it), which keeps update filtering
-    conservative and therefore correct.
+    Kept verbatim from before the CSR port for differential testing: it must
+    produce exactly the same ``edge_id -> spans`` mapping as the flat-array
+    version (the spans are pure functions of the same endpoint distances).
     """
     influences: Dict[int, Spans] = {}
     seen_edges: Set[int] = set()
@@ -264,6 +259,113 @@ def compute_influence_map(
     return influences
 
 
+def compute_influence_map(
+    network: RoadNetwork,
+    state: ExpansionState,
+    radius: float,
+    query_location: Optional[NetworkLocation] = None,
+    csr: Optional["CSRGraph"] = None,
+) -> Dict[int, Spans]:
+    """Influencing intervals of every edge affected by a query.
+
+    An edge affects the query when some point on it lies within *radius*.
+    All such edges have at least one endpoint among the verified nodes (any
+    point within the radius is reached through one of its edge's endpoints,
+    whose distance is then also within the radius), so it suffices to scan
+    the edges incident to verified nodes, plus the query's own edge.
+
+    Distances of points are computed with the ``min`` formula over the two
+    endpoint distances; for one-way edges this may overestimate the
+    influence region (never underestimate it), which keeps update filtering
+    conservative and therefore correct.
+
+    The edge walk runs over the CSR snapshot's incidence columns (pass a
+    pre-refreshed *csr* to skip the per-call staleness check); the dict-based
+    original is preserved as :func:`compute_influence_map_legacy`.
+    """
+    if csr is None:
+        csr = csr_snapshot(network)
+    node_dist = state.node_dist
+    node_index = csr.node_index
+    node_ids = csr.node_ids
+    inc_indptr = csr.inc_indptr
+    inc_edge = csr.inc_edge
+    edge_ids = csr.edge_ids
+    edge_weight = csr.edge_weight
+    edge_start = csr.edge_start
+    edge_end = csr.edge_end
+    node_dist_get = node_dist.get
+    inf = float("inf")
+
+    influences: Dict[int, Spans] = {}
+    scratch = csr.acquire_edge_scratch()
+    seen = scratch.seen
+    touched: List[int] = []
+    finite_radius = radius != inf
+    try:
+        for node_id, dist in node_dist.items():
+            if dist > radius:
+                continue
+            u = node_index[node_id]
+            for slot in range(inc_indptr[u], inc_indptr[u + 1]):
+                position = inc_edge[slot]
+                if seen[position]:
+                    continue
+                seen[position] = 1
+                touched.append(position)
+                weight = edge_weight[position]
+                dist_start = node_dist_get(node_ids[edge_start[position]], inf)
+                dist_end = node_dist_get(node_ids[edge_end[position]], inf)
+                if finite_radius:
+                    # influence_spans() inlined: one span grows from each
+                    # endpoint whose distance is within the radius; the two
+                    # merge into a full-edge span when they meet.
+                    if dist_start <= radius:
+                        reach = radius - dist_start
+                        low_piece = (0.0, weight if weight < reach else reach)
+                        if dist_end <= radius:
+                            reach = radius - dist_end
+                            anchor = weight - reach
+                            if anchor <= low_piece[1] + SPAN_EPS:
+                                spans: Spans = ((0.0, weight),)
+                            else:
+                                spans = (
+                                    low_piece,
+                                    (anchor if anchor > 0.0 else 0.0, weight),
+                                )
+                        else:
+                            spans = (low_piece,)
+                    elif dist_end <= radius:
+                        reach = radius - dist_end
+                        anchor = weight - reach
+                        spans = ((anchor if anchor > 0.0 else 0.0, weight),)
+                    else:
+                        continue
+                else:
+                    spans = influence_spans(weight, dist_start, dist_end, radius)
+                    if not spans:
+                        continue
+                influences[edge_ids[position]] = spans
+    finally:
+        scratch.release(touched)
+
+    if query_location is not None:
+        position = csr.index_of_edge(query_location.edge_id)
+        weight = edge_weight[position]
+        own = point_spans(weight, query_location.fraction * weight, radius)
+        endpoint_based = influence_spans(
+            weight,
+            node_dist_get(node_ids[edge_start[position]], inf),
+            node_dist_get(node_ids[edge_end[position]], inf),
+            radius,
+        )
+        combined = merge_spans(own, endpoint_based)
+        if combined:
+            influences[query_location.edge_id] = combined
+
+    return influences
+
+
 def object_distance_via_state(
     network: RoadNetwork,
     state: ExpansionState,
@@ -278,6 +380,10 @@ def object_distance_via_state(
     objects inside the influence region this value is exact (see the
     incoming-object argument in :mod:`repro.core.ima`); outside it, it is an
     upper bound.
+
+    This is the dict-walking reference; the monitoring hot paths use
+    :func:`object_distance_csr`, which computes the identical value off the
+    flat-array snapshot.
     """
     edge = network.edge(location.edge_id)
     offset = location.offset(edge.weight)
@@ -287,4 +393,48 @@ def object_distance_via_state(
     if query_location is not None and query_location.edge_id == location.edge_id:
         direct = abs(location.fraction - query_location.fraction) * edge.weight
         distance = min(distance, direct)
+    return distance
+
+
+def edge_offset(
+    network: RoadNetwork, location: NetworkLocation, csr: Optional["CSRGraph"] = None
+) -> float:
+    """Travel-cost offset of *location* from its edge's start node.
+
+    The kernel-dispatched helper behind the monitors' update filtering:
+    reads the weight off the CSR columns when a snapshot is supplied, off
+    the network's edge record otherwise.
+    """
+    if csr is not None:
+        return location.fraction * csr.edge_weight[csr.index_of_edge(location.edge_id)]
+    return location.offset(network.edge(location.edge_id).weight)
+
+
+def object_distance_csr(
+    csr: "CSRGraph",
+    state: ExpansionState,
+    location: NetworkLocation,
+    query_location: Optional[NetworkLocation] = None,
+) -> float:
+    """Flat-array version of :func:`object_distance_via_state` (hot path).
+
+    Identical semantics and arithmetic; the edge endpoints and weight come
+    from the CSR columns instead of an :class:`~repro.network.graph.Edge`
+    dataclass lookup.
+    """
+    position = csr.index_of_edge(location.edge_id)
+    weight = csr.edge_weight[position]
+    node_ids = csr.node_ids
+    node_dist_get = state.node_dist.get
+    inf = float("inf")
+    offset = location.fraction * weight
+    dist_start = node_dist_get(node_ids[csr.edge_start[position]], inf)
+    dist_end = node_dist_get(node_ids[csr.edge_end[position]], inf)
+    via_start = dist_start + offset if dist_start != inf else inf
+    via_end = dist_end + (weight - offset) if dist_end != inf else inf
+    distance = via_start if via_start < via_end else via_end
+    if query_location is not None and query_location.edge_id == location.edge_id:
+        direct = abs(location.fraction - query_location.fraction) * weight
+        if direct < distance:
+            distance = direct
     return distance

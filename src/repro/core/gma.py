@@ -38,12 +38,18 @@ from typing import Dict, List, Optional, Set, Tuple
 
 from repro.core.base import MonitorBase
 from repro.core.events import UpdateBatch
-from repro.core.expansion import compute_influence_map
-from repro.core.ima import ImaMonitor
+from repro.core.expansion import (
+    compute_influence_map,
+    compute_influence_map_legacy,
+    edge_offset,
+)
+from repro.core.ima import KERNELS, ImaMonitor
 from repro.core.influence import InfluenceIndex
 from repro.core.results import KnnResult, Neighbor
 from repro.core.search import SearchCounters, expand_knn
-from repro.exceptions import UnknownQueryError
+from repro.core.search_legacy import expand_knn_legacy
+from repro.exceptions import MonitoringError, UnknownQueryError
+from repro.network.csr import CSRGraph, csr_snapshot
 from repro.network.edge_table import EdgeTable
 from repro.network.graph import NetworkLocation, RoadNetwork
 from repro.network.sequences import SequenceTable
@@ -65,13 +71,35 @@ class GmaMonitor(MonitorBase):
         network: RoadNetwork,
         edge_table: EdgeTable,
         counters: Optional[SearchCounters] = None,
+        kernel: str = "csr",
     ) -> None:
+        """Create the monitor.
+
+        Args:
+            network: the shared road network.
+            edge_table: the shared data-object table.
+            counters: optional work counters shared with a caller.
+            kernel: ``"csr"`` (default) evaluates queries and refreshes
+                influence regions over the flat-array snapshot (refreshed
+                once per batch); ``"legacy"`` keeps the dict-walking paths
+                for differential testing.  The inner active-node monitor
+                runs on the same kernel.
+        """
         super().__init__(network, edge_table, counters)
+        if kernel not in KERNELS:
+            raise MonitoringError(
+                f"unknown kernel {kernel!r}; choose one of {KERNELS}"
+            )
+        self._kernel = kernel
+        self._use_csr = kernel == "csr"
+        self._batch_csr: Optional[CSRGraph] = None
         self._sequences = SequenceTable(network)
         # Active-node k-NN sets are maintained with the IMA machinery; the
         # inner monitor shares our counters so that the reported work is the
         # total work GMA performs.
-        self._node_monitor = ImaMonitor(network, edge_table, counters=self._counters)
+        self._node_monitor = ImaMonitor(
+            network, edge_table, counters=self._counters, kernel=kernel
+        )
         self._influence = InfluenceIndex()
         self._query_sequence: Dict[int, int] = {}
         self._node_queries: Dict[int, Set[int]] = {}
@@ -80,6 +108,11 @@ class GmaMonitor(MonitorBase):
     # ------------------------------------------------------------------
     # introspection helpers
     # ------------------------------------------------------------------
+    @property
+    def kernel(self) -> str:
+        """The search kernel this monitor runs on ("csr" or "legacy")."""
+        return self._kernel
+
     @property
     def sequence_table(self) -> SequenceTable:
         """The sequence decomposition used for grouping (read-only use)."""
@@ -124,6 +157,17 @@ class GmaMonitor(MonitorBase):
             self._detach_from_sequence(query_id, sequence_id)
 
     def _process(self, batch: UpdateBatch) -> Set[int]:
+        if self._use_csr:
+            # One snapshot lookup/refresh per batch, shared by every
+            # barrier-bounded evaluation and influence refresh below (the
+            # inner active-node monitor acquires the same cached snapshot).
+            self._batch_csr = csr_snapshot(self._network)
+        try:
+            return self._process_updates(batch)
+        finally:
+            self._batch_csr = None
+
+    def _process_updates(self, batch: UpdateBatch) -> Set[int]:
         changed: Set[int] = set()
 
         # Step 1 — maintain the active-node k-NN sets (IMA over static
@@ -165,9 +209,9 @@ class GmaMonitor(MonitorBase):
             for location in (update.old_location, update.new_location):
                 if location is None:
                     continue
-                edge = self._network.edge(location.edge_id)
                 affected |= self._influence.subscribers_at_point(
-                    edge.edge_id, location.offset(edge.weight)
+                    location.edge_id,
+                    edge_offset(self._network, location, self._batch_csr),
                 )
         for update in batch.edge_updates:
             affected |= self._influence.subscribers_on_edge(update.edge_id)
@@ -255,7 +299,12 @@ class GmaMonitor(MonitorBase):
         *barriers*), merging their k-NN sets instead of exploring beyond
         them.  This is the paper's shared execution: per query only the part
         of the sequence within ``kNN_dist`` is traversed.
+
+        Runs over the batch's CSR snapshot; :meth:`_evaluate_query_legacy`
+        preserves the dict path for differential testing.
         """
+        if not self._use_csr:
+            return self._evaluate_query_legacy(query_id, location, k)
         barriers = self._barrier_candidates_for(location, k)
         outcome = expand_knn(
             self._network,
@@ -264,8 +313,28 @@ class GmaMonitor(MonitorBase):
             query_location=location,
             barrier_candidates=barriers,
             counters=self._counters,
+            csr=self._batch_csr,
         )
         influences = compute_influence_map(
+            self._network, outcome.state, outcome.radius, location, csr=self._batch_csr
+        )
+        self._influence.replace_subscriber(query_id, influences)
+        return outcome.neighbors, outcome.radius
+
+    def _evaluate_query_legacy(
+        self, query_id: int, location: NetworkLocation, k: int
+    ) -> Tuple[List[Neighbor], float]:
+        """Dict-walking barrier-bounded evaluation, kept for differential tests."""
+        barriers = self._barrier_candidates_for(location, k)
+        outcome = expand_knn_legacy(
+            self._network,
+            self._edge_table,
+            k,
+            query_location=location,
+            barrier_candidates=barriers,
+            counters=self._counters,
+        )
+        influences = compute_influence_map_legacy(
             self._network, outcome.state, outcome.radius, location
         )
         self._influence.replace_subscriber(query_id, influences)

@@ -43,15 +43,24 @@ from repro.core.events import EdgeWeightUpdate, ObjectUpdate, UpdateBatch
 from repro.core.expansion import (
     ExpansionState,
     compute_influence_map,
+    compute_influence_map_legacy,
+    edge_offset,
+    object_distance_csr,
     object_distance_via_state,
 )
 from repro.core.influence import InfluenceIndex
 from repro.core.results import KnnResult, NeighborList
 from repro.core.search import expand_knn
+from repro.core.search_legacy import expand_knn_legacy
+from repro.exceptions import EdgeNotFoundError, MonitoringError
+from repro.network.csr import CSRGraph, csr_snapshot
 from repro.network.edge_table import EdgeTable
 from repro.network.graph import NetworkLocation, RoadNetwork
 
 _EPS = 1e-9
+
+#: Valid values of the monitors' ``kernel`` constructor argument.
+KERNELS = ("csr", "legacy")
 
 
 @dataclass
@@ -91,14 +100,42 @@ class ImaMonitor(MonitorBase):
         network: RoadNetwork,
         edge_table: EdgeTable,
         counters=None,
+        kernel: str = "csr",
     ) -> None:
+        """Create the monitor.
+
+        Args:
+            network: the shared road network.
+            edge_table: the shared data-object table.
+            counters: optional work counters shared with a caller.
+            kernel: ``"csr"`` (default) runs every search, influence refresh
+                and object-distance computation over the flat-array snapshot
+                of :mod:`repro.network.csr`, refreshed once per processed
+                batch; ``"legacy"`` keeps the original dict-walking paths
+                (:func:`~repro.core.search_legacy.expand_knn_legacy` and the
+                ``*_legacy`` helpers), which the differential tests compare
+                against.
+        """
         super().__init__(network, edge_table, counters)
+        if kernel not in KERNELS:
+            raise MonitoringError(
+                f"unknown kernel {kernel!r}; choose one of {KERNELS}"
+            )
+        self._kernel = kernel
+        self._use_csr = kernel == "csr"
+        #: CSR snapshot acquired once per processed batch (None outside).
+        self._batch_csr: Optional[CSRGraph] = None
         self._states: Dict[int, _QueryState] = {}
         self._influence = InfluenceIndex()
 
     # ------------------------------------------------------------------
     # introspection helpers (used by tests and memory accounting)
     # ------------------------------------------------------------------
+    @property
+    def kernel(self) -> str:
+        """The search kernel this monitor runs on ("csr" or "legacy")."""
+        return self._kernel
+
     @property
     def influence_index(self) -> InfluenceIndex:
         """The shared edge -> query influence index (read-only use)."""
@@ -136,6 +173,17 @@ class ImaMonitor(MonitorBase):
         self._states.pop(query_id, None)
 
     def _process(self, batch: UpdateBatch) -> Set[int]:
+        if self._use_csr:
+            # One snapshot lookup/refresh per batch: every resumed search,
+            # influence refresh and object-distance computation below reuses
+            # it instead of re-checking staleness per query.
+            self._batch_csr = csr_snapshot(self._network)
+        try:
+            return self._process_updates(batch)
+        finally:
+            self._batch_csr = None
+
+    def _process_updates(self, batch: UpdateBatch) -> Set[int]:
         pending: Dict[int, _Pending] = {}
         changed: Set[int] = set()
 
@@ -153,11 +201,8 @@ class ImaMonitor(MonitorBase):
             if query_state is None or update.new_location is None:
                 continue
             entry = pending_of(update.query_id)
-            move_distance = object_distance_via_state(
-                self._network,
-                query_state.state,
-                update.new_location,
-                query_state.location,
+            move_distance = self._object_distance(
+                query_state.state, update.new_location, query_state.location
             )
             if move_distance <= query_state.radius + _EPS:
                 entry.move_distance += move_distance
@@ -249,17 +294,37 @@ class ImaMonitor(MonitorBase):
                 self._prune_for_edge_increase(query_state, update)
             entry.needs_resume = True
 
+    def _edge_offset(self, location: NetworkLocation) -> float:
+        """Travel-cost offset of *location* from its edge's start node."""
+        return edge_offset(self._network, location, self._batch_csr)
+
+    def _object_distance(
+        self,
+        state: ExpansionState,
+        location: NetworkLocation,
+        query_location: Optional[NetworkLocation] = None,
+    ) -> float:
+        """Kernel-dispatched :func:`object_distance_via_state` equivalent."""
+        if self._use_csr:
+            csr = self._batch_csr
+            if csr is None:
+                csr = csr_snapshot(self._network)
+            return object_distance_csr(csr, state, location, query_location)
+        return object_distance_via_state(self._network, state, location, query_location)
+
     def _handle_object_update(self, update: ObjectUpdate, pending_of) -> None:
         old_affected: Set[int] = set()
         new_affected: Set[int] = set()
         if update.old_location is not None:
-            edge = self._network.edge(update.old_location.edge_id)
-            offset = update.old_location.offset(edge.weight)
-            old_affected = self._influence.subscribers_at_point(edge.edge_id, offset)
+            offset = self._edge_offset(update.old_location)
+            old_affected = self._influence.subscribers_at_point(
+                update.old_location.edge_id, offset
+            )
         if update.new_location is not None:
-            edge = self._network.edge(update.new_location.edge_id)
-            offset = update.new_location.offset(edge.weight)
-            new_affected = self._influence.subscribers_at_point(edge.edge_id, offset)
+            offset = self._edge_offset(update.new_location)
+            new_affected = self._influence.subscribers_at_point(
+                update.new_location.edge_id, offset
+            )
 
         for query_id in old_affected | new_affected:
             query_state = self._states.get(query_id)
@@ -271,11 +336,8 @@ class ImaMonitor(MonitorBase):
             entry.object_changes = True
             if query_id in new_affected:
                 assert update.new_location is not None
-                distance = object_distance_via_state(
-                    self._network,
-                    query_state.state,
-                    update.new_location,
-                    query_state.location,
+                distance = self._object_distance(
+                    query_state.state, update.new_location, query_state.location
                 )
                 # Incoming or moving neighbor.  When the tree is intact the
                 # distance is exact (the new position lies inside the
@@ -396,13 +458,23 @@ class ImaMonitor(MonitorBase):
     def _fresh_search(self, query_state: _QueryState) -> None:
         """Compute the query's result from scratch (Figure 2)."""
         query_state.state = ExpansionState()
-        outcome = expand_knn(
-            self._network,
-            self._edge_table,
-            query_state.k,
-            query_location=query_state.location,
-            counters=self._counters,
-        )
+        if self._use_csr:
+            outcome = expand_knn(
+                self._network,
+                self._edge_table,
+                query_state.k,
+                query_location=query_state.location,
+                counters=self._counters,
+                csr=self._batch_csr,
+            )
+        else:
+            outcome = expand_knn_legacy(
+                self._network,
+                self._edge_table,
+                query_state.k,
+                query_location=query_state.location,
+                counters=self._counters,
+            )
         self._adopt_outcome(query_state, outcome)
 
     def _resume_search(
@@ -419,14 +491,81 @@ class ImaMonitor(MonitorBase):
         lying entirely inside that radius need not be re-scanned; the search
         is told so through its ``coverage_radius`` parameter and only scans
         the boundary ("mark") edges plus newly explored territory.
+
+        The expansion and the candidate re-distancing run over the batch's
+        CSR snapshot; :meth:`_resume_search_legacy` preserves the dict path.
         """
+        if not self._use_csr:
+            return self._resume_search_legacy(query_state, entry)
+        state = query_state.state
+        csr = self._batch_csr
+        if csr is None:
+            csr = csr_snapshot(self._network)
+        pruned = entry is not None and (entry.needs_resume or entry.move_distance > 0)
+        if not pruned:
+            # Pure object-update deficit: the tree is intact, so the
+            # maintained candidate distances are already exact.  Order is
+            # irrelevant to the expansion, so the sorted view is skipped.
+            candidates = list(query_state.neighbors)
+        else:
+            # Re-distance every surviving candidate against the pruned tree:
+            # :func:`object_distance_csr` inlined (one call per candidate is
+            # measurable on storm ticks that resume hundreds of queries).
+            candidates = []
+            locations_get = self._edge_table.locations.get
+            edge_index = csr.edge_index
+            edge_weight = csr.edge_weight
+            edge_start = csr.edge_start
+            edge_end = csr.edge_end
+            node_ids = csr.node_ids
+            node_dist_get = state.node_dist.get
+            query_edge = query_state.location.edge_id
+            query_fraction = query_state.location.fraction
+            inf = float("inf")
+            for object_id, _ in query_state.neighbors:
+                location = locations_get(object_id)
+                if location is None:
+                    continue
+                position = edge_index.get(location.edge_id)
+                if position is None:
+                    # Same contract as object_distance_csr / the legacy path.
+                    raise EdgeNotFoundError(location.edge_id)
+                weight = edge_weight[position]
+                offset = location.fraction * weight
+                dist_start = node_dist_get(node_ids[edge_start[position]], inf)
+                dist_end = node_dist_get(node_ids[edge_end[position]], inf)
+                via_start = dist_start + offset if dist_start != inf else inf
+                via_end = dist_end + (weight - offset) if dist_end != inf else inf
+                distance = via_start if via_start < via_end else via_end
+                if location.edge_id == query_edge:
+                    direct = abs(location.fraction - query_fraction) * weight
+                    if direct < distance:
+                        distance = direct
+                if distance != inf:
+                    candidates.append((object_id, distance))
+        outcome = expand_knn(
+            self._network,
+            self._edge_table,
+            query_state.k,
+            query_location=query_state.location,
+            preverified=state.node_dist,
+            preverified_parent=state.parent,
+            candidates=candidates,
+            coverage_radius=self._coverage_radius(query_state, entry),
+            counters=self._counters,
+            csr=csr,
+        )
+        self._adopt_outcome(query_state, outcome)
+
+    def _resume_search_legacy(
+        self, query_state: _QueryState, entry: Optional[_Pending] = None
+    ) -> None:
+        """Dict-walking resume path, kept for differential testing."""
         state = query_state.state
         pruned = entry is not None and (entry.needs_resume or entry.move_distance > 0)
         candidates = []
         for object_id, stored_distance in query_state.neighbors.all_candidates():
             if not pruned:
-                # Pure object-update deficit: the tree is intact, so the
-                # maintained candidate distances are already exact.
                 candidates.append((object_id, stored_distance))
                 continue
             if not self._edge_table.has_object(object_id):
@@ -439,15 +578,7 @@ class ImaMonitor(MonitorBase):
             )
             if distance != float("inf"):
                 candidates.append((object_id, distance))
-        coverage = None
-        if query_state.radius != float("inf"):
-            slack = 0.0
-            if entry is not None:
-                slack = entry.decrease_delta + entry.move_distance
-            coverage = query_state.radius - slack
-            if coverage <= 0:
-                coverage = None
-        outcome = expand_knn(
+        outcome = expand_knn_legacy(
             self._network,
             self._edge_table,
             query_state.k,
@@ -455,16 +586,31 @@ class ImaMonitor(MonitorBase):
             preverified=state.node_dist,
             preverified_parent=state.parent,
             candidates=candidates,
-            coverage_radius=coverage,
+            coverage_radius=self._coverage_radius(query_state, entry),
             counters=self._counters,
         )
         self._adopt_outcome(query_state, outcome)
+
+    @staticmethod
+    def _coverage_radius(
+        query_state: _QueryState, entry: Optional[_Pending]
+    ) -> Optional[float]:
+        """Radius within which the maintained candidates are still complete."""
+        if query_state.radius == float("inf"):
+            return None
+        slack = 0.0
+        if entry is not None:
+            slack = entry.decrease_delta + entry.move_distance
+        coverage = query_state.radius - slack
+        return coverage if coverage > 0 else None
 
     def _adopt_outcome(self, query_state: _QueryState, outcome) -> None:
         query_state.state = outcome.state
         query_state.radius = outcome.radius
         query_state.state.shrink_to_radius(outcome.radius)
-        query_state.neighbors = NeighborList(query_state.k, outcome.neighbors)
+        query_state.neighbors = NeighborList.from_pairs(
+            query_state.k, outcome.neighbors
+        )
         self._refresh_influence(query_state)
 
     def _finalize_fast_path(self, query_state: _QueryState) -> None:
@@ -487,7 +633,20 @@ class ImaMonitor(MonitorBase):
             self._refresh_influence(query_state)
 
     def _refresh_influence(self, query_state: _QueryState) -> None:
+        if not self._use_csr:
+            return self._refresh_influence_legacy(query_state)
         influences = compute_influence_map(
+            self._network,
+            query_state.state,
+            query_state.radius,
+            query_state.location,
+            csr=self._batch_csr,
+        )
+        self._influence.replace_subscriber(query_state.query_id, influences)
+
+    def _refresh_influence_legacy(self, query_state: _QueryState) -> None:
+        """Dict-walking influence refresh, kept for differential testing."""
+        influences = compute_influence_map_legacy(
             self._network,
             query_state.state,
             query_state.radius,
@@ -507,7 +666,7 @@ class ImaMonitor(MonitorBase):
         via-endpoint distance is exact, so the test never misclassifies an
         inside position as outside.
         """
-        distance = object_distance_via_state(
-            self._network, query_state.state, location, query_state.location
+        distance = self._object_distance(
+            query_state.state, location, query_state.location
         )
         return distance <= query_state.radius + _EPS

@@ -9,12 +9,17 @@ IMA and GMA against.
 
 from __future__ import annotations
 
-from typing import Set
+from functools import partial
+from typing import Optional, Set
 
 from repro.core.base import MonitorBase
 from repro.core.events import UpdateBatch
+from repro.core.ima import KERNELS
 from repro.core.results import KnnResult
-from repro.core.search import expand_knn
+from repro.core.search import SearchCounters, expand_knn
+from repro.core.search_legacy import expand_knn_legacy
+from repro.exceptions import MonitoringError
+from repro.network.csr import csr_snapshot
 from repro.network.edge_table import EdgeTable
 from repro.network.graph import NetworkLocation, RoadNetwork
 
@@ -24,14 +29,32 @@ class OvhMonitor(MonitorBase):
 
     name = "OVH"
 
-    def __init__(self, network: RoadNetwork, edge_table: EdgeTable) -> None:
-        super().__init__(network, edge_table)
+    def __init__(
+        self,
+        network: RoadNetwork,
+        edge_table: EdgeTable,
+        counters: Optional[SearchCounters] = None,
+        kernel: str = "csr",
+    ) -> None:
+        super().__init__(network, edge_table, counters)
+        if kernel not in KERNELS:
+            raise MonitoringError(
+                f"unknown kernel {kernel!r}; choose one of {KERNELS}"
+            )
+        self._kernel = kernel
+        self._use_csr = kernel == "csr"
+
+    @property
+    def kernel(self) -> str:
+        """The search kernel this monitor runs on ("csr" or "legacy")."""
+        return self._kernel
 
     # ------------------------------------------------------------------
     # MonitorBase hooks
     # ------------------------------------------------------------------
     def _install_query(self, query_id: int, location: NetworkLocation, k: int) -> KnnResult:
-        outcome = expand_knn(
+        search = expand_knn if self._use_csr else expand_knn_legacy
+        outcome = search(
             self._network,
             self._edge_table,
             k,
@@ -51,14 +74,17 @@ class OvhMonitor(MonitorBase):
 
     def _process(self, batch: UpdateBatch) -> Set[int]:
         changed: Set[int] = set()
+        if self._use_csr:
+            # One snapshot refresh for the whole timestamp's recomputation.
+            search = partial(expand_knn, csr=csr_snapshot(self._network))
+        else:
+            search = expand_knn_legacy
         for query_id in list(self._query_k):
-            location = self._query_location[query_id]
-            k = self._query_k[query_id]
-            outcome = expand_knn(
+            outcome = search(
                 self._network,
                 self._edge_table,
-                k,
-                query_location=location,
+                self._query_k[query_id],
+                query_location=self._query_location[query_id],
                 counters=self._counters,
             )
             if self._store_result(query_id, outcome.neighbors, outcome.radius):

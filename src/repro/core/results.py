@@ -97,6 +97,18 @@ class NeighborList:
     def k(self) -> int:
         return self._k
 
+    @classmethod
+    def from_pairs(cls, k: int, pairs: Iterable[Neighbor]) -> "NeighborList":
+        """Build a list from pairs holding one distance per distinct object.
+
+        The hot-path constructor used when adopting a search outcome: the
+        expansion already guarantees one exact distance per object id, so
+        the per-:meth:`offer` minimum bookkeeping is skipped.
+        """
+        instance = cls(k)
+        instance._distances = dict(pairs)
+        return instance
+
     # ------------------------------------------------------------------
     # mutation
     # ------------------------------------------------------------------

@@ -43,7 +43,7 @@ from typing import Dict, Iterable, List, Mapping, Optional, Set, Tuple
 from repro.core.expansion import ExpansionState
 from repro.core.results import Neighbor
 from repro.exceptions import InvalidQueryError, NodeNotFoundError
-from repro.network.csr import csr_snapshot
+from repro.network.csr import CSRGraph, csr_snapshot
 from repro.network.edge_table import EdgeTable
 from repro.network.graph import NetworkLocation, RoadNetwork
 
@@ -127,6 +127,7 @@ def expand_knn(
     coverage_radius: Optional[float] = None,
     excluded_objects: Optional[Set[int]] = None,
     counters: Optional[SearchCounters] = None,
+    csr: Optional[CSRGraph] = None,
 ) -> SearchOutcome:
     """Expand the network around a query until its k NNs are known.
 
@@ -168,6 +169,10 @@ def expand_knn(
         excluded_objects: object ids to ignore entirely (used by tests and
             by what-if analyses).
         counters: optional work counters to update in place.
+        csr: an already-refreshed CSR snapshot of *network*.  Batch
+            processors pass the snapshot they acquired once per timestamp so
+            that the per-search staleness check is skipped; when omitted the
+            cached snapshot is looked up (and refreshed) per call.
 
     Returns:
         A :class:`SearchOutcome` with the exact top-k result.
@@ -199,7 +204,8 @@ def expand_knn(
                 cand[object_id] = distance
     radius = sorted(cand.values())[k - 1] if len(cand) >= k else _INF
 
-    csr = csr_snapshot(network)
+    if csr is None:
+        csr = csr_snapshot(network)
     indptr = csr.indptr
     adj_node = csr.adj_node
     adj_eid = csr.adj_eid
@@ -241,6 +247,7 @@ def expand_knn(
         # --------------------------------------------------------------
         # seeding
         # --------------------------------------------------------------
+        pre_entries: List[Tuple[int, float]] = []
         if preverified:
             for node_id, distance in preverified.items():
                 idx = node_index.get(node_id)
@@ -249,6 +256,7 @@ def expand_knn(
                 settled[idx] = 1
                 best[idx] = distance
                 touched.append(idx)
+                pre_entries.append((idx, distance))
 
         if query_location is not None:
             edge_pos = csr.index_of_edge(query_location.edge_id)
@@ -304,9 +312,8 @@ def expand_knn(
         # edges lying entirely inside the covered region are skipped — only
         # the partially covered boundary edges (the paper's marks) are
         # re-scanned.
-        if preverified:
-            for node_id, settled_distance in preverified.items():
-                u = node_index[node_id]
+        if pre_entries:
+            for u, settled_distance in pre_entries:
                 for slot in range(indptr[u], indptr[u + 1]):
                     w = adj_weight[slot]
                     v = adj_node[slot]

@@ -63,6 +63,7 @@ class MonitoringServer:
         network: RoadNetwork,
         algorithm: Union[str, MonitorBase] = "ima",
         edge_table: Optional[EdgeTable] = None,
+        kernel: str = "csr",
     ) -> None:
         """Create a server over *network* running *algorithm*.
 
@@ -72,6 +73,10 @@ class MonitoringServer:
                 an already constructed monitor instance bound to the same
                 network and edge table.
             edge_table: optionally a pre-populated edge table to share.
+            kernel: search kernel for by-name algorithms — ``"csr"``
+                (default) or ``"legacy"`` (the dict-walking reference paths,
+                used for differential testing).  Ignored when *algorithm* is
+                an already constructed monitor.
         """
         self._network = network
         self._edge_table = edge_table if edge_table is not None else EdgeTable(network)
@@ -83,7 +88,7 @@ class MonitoringServer:
                 raise MonitoringError(
                     f"unknown algorithm {algorithm!r}; choose one of {sorted(ALGORITHMS)}"
                 )
-            self._monitor = ALGORITHMS[key](self._network, self._edge_table)
+            self._monitor = ALGORITHMS[key](self._network, self._edge_table, kernel=kernel)
         self._pending = UpdateBatch(timestamp=0)
         self._timestamp = 0
         self._object_locations: Dict[int, NetworkLocation] = {

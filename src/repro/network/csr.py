@@ -64,6 +64,29 @@ class _Scratch:
         self.in_use = False
 
 
+class _EdgeScratch:
+    """Reusable per-walk edge-marking buffer, reset via the touched list.
+
+    The influence-map computation visits the edges incident to every
+    verified node and must process each edge once; marking dense edge
+    positions in a shared bytearray avoids allocating a fresh set per query
+    (thousands of times per timestamp on update-heavy workloads).
+    """
+
+    __slots__ = ("seen", "in_use")
+
+    def __init__(self, size: int) -> None:
+        self.seen = bytearray(size)
+        self.in_use = False
+
+    def release(self, touched: List[int]) -> None:
+        """Reset every touched slot and hand the buffer back."""
+        seen = self.seen
+        for index in touched:
+            seen[index] = 0
+        self.in_use = False
+
+
 class CSRGraph:
     """Immutable flat-array adjacency snapshot of a road network.
 
@@ -80,6 +103,12 @@ class CSRGraph:
         edge_weight: current weight per dense edge index.
         edge_start / edge_end: endpoint node indices per dense edge index.
         edge_oneway: 1 for one-way edges.
+        inc_indptr: per-node slice boundaries into ``inc_edge``.
+        inc_edge: dense edge *positions* incident to each node.  Unlike the
+            ``adj_*`` columns this incidence view contains every incident
+            edge regardless of traversability (a one-way edge appears at
+            both endpoints), which is what influence-region computations
+            need.
     """
 
     def __init__(self, network: RoadNetwork) -> None:
@@ -156,30 +185,37 @@ class CSRGraph:
         adj_eid: List[int] = []
         adj_weight: List[float] = []
         adj_forward = bytearray()
+        inc_indptr: List[int] = [0]
+        inc_edge: List[int] = []
         # Adjacency slots of each dense edge, for incremental weight patching.
         entry_slots: List[List[int]] = [[] for _ in self.edge_ids]
         for node_id in self.node_ids:
             for edge_id in network.incident_edges(node_id):
                 edge = network.edge(edge_id)
+                position = self.edge_index[edge_id]
+                inc_edge.append(position)
                 if edge.oneway and edge.start != node_id:
                     continue
                 slot = len(adj_node)
-                position = self.edge_index[edge_id]
                 adj_node.append(node_index[edge.other_endpoint(node_id)])
                 adj_eid.append(edge_id)
                 adj_weight.append(edge.weight)
                 adj_forward.append(1 if edge.start == node_id else 0)
                 entry_slots[position].append(slot)
             indptr.append(len(adj_node))
+            inc_indptr.append(len(inc_edge))
         self.indptr = indptr
         self.adj_node = adj_node
         self.adj_eid = adj_eid
         self.adj_weight = adj_weight
         self.adj_forward = adj_forward
+        self.inc_indptr = inc_indptr
+        self.inc_edge = inc_edge
         self._entry_slots = entry_slots
         self._topology_version = network.topology_version
         self._weights_stale = False
         self._scratch = _Scratch(len(self.node_ids))
+        self._edge_scratch = _EdgeScratch(len(self.edge_ids))
 
     def _on_weight_change(self, edge_id: Optional[int], new_weight: float) -> None:
         if edge_id is None:
@@ -259,6 +295,14 @@ class CSRGraph:
         scratch = self._scratch
         if scratch.in_use:
             return _Scratch(len(self.node_ids))
+        scratch.in_use = True
+        return scratch
+
+    def acquire_edge_scratch(self) -> _EdgeScratch:
+        """Borrow the reusable edge-marking buffer (fresh under reentrancy)."""
+        scratch = self._edge_scratch
+        if scratch.in_use:
+            return _EdgeScratch(len(self.edge_ids))
         scratch.in_use = True
         return scratch
 

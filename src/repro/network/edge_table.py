@@ -198,6 +198,16 @@ class EdgeTable:
         return iter(self.edge_object_fractions(edge_id))
 
     @property
+    def locations(self) -> Dict[int, NetworkLocation]:
+        """The object id -> location map backing :meth:`location_of`.
+
+        Exposed for the search kernel's candidate re-distancing loop (one
+        dict probe per candidate instead of a has/lookup method pair).
+        Treat as read-only.
+        """
+        return self._objects
+
+    @property
     def fraction_cache(self) -> Dict[int, Tuple[Tuple[int, float], ...]]:
         """The per-edge fraction cache backing :meth:`edge_object_fractions`.
 

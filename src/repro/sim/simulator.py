@@ -43,6 +43,8 @@ from repro.network.graph import NetworkLocation, RoadNetwork
 from repro.sim.datasets import san_francisco_like
 from repro.sim.metrics import AlgorithmMetrics, SimulationResult
 from repro.sim.workload import WorkloadConfig
+from repro.testing.oracle import OracleMonitor
+from repro.testing.scenarios import ScenarioEngine, resolve_scenario
 from repro.utils.rng import derive_rng, make_rng
 
 _MONITOR_CLASSES: Dict[str, Type[MonitorBase]] = {
@@ -202,6 +204,113 @@ class Simulator:
         return reports
 
     # ------------------------------------------------------------------
+    # scenario-driven runs (the testing/fuzz workload engine)
+    # ------------------------------------------------------------------
+    def scenario_engine(self, scenario, seed: Optional[int] = None) -> ScenarioEngine:
+        """A :class:`~repro.testing.scenarios.ScenarioEngine` over this scenario.
+
+        The engine adopts the simulator's pre-placed objects and configured
+        queries as its initial state and generates update batches by
+        composing the scenario's stressors instead of the mobility models.
+        Drive it with :meth:`run_scenario`, or feed its batches through
+        :meth:`~repro.core.server.MonitoringServer.apply_updates` yourself.
+        """
+        return ScenarioEngine(
+            self._network,
+            resolve_scenario(scenario),
+            seed=self._config.seed if seed is None else seed,
+            initial_objects=dict(self._object_locations),
+            initial_queries={
+                query_id: (location, self._config.k)
+                for query_id, location in self._query_locations.items()
+            },
+        )
+
+    def run_scenario(
+        self,
+        scenario,
+        algorithms: Sequence[str] = ("OVH", "IMA", "GMA"),
+        seed: Optional[int] = None,
+        timestamps: Optional[int] = None,
+        validate: bool = False,
+        oracle: bool = False,
+        collect_memory: bool = False,
+    ) -> SimulationResult:
+        """Run the monitors over a scenario stream instead of the mobility models.
+
+        Args:
+            scenario: a preset name from
+                :data:`~repro.testing.scenarios.SCENARIO_PRESETS` or a
+                :class:`~repro.testing.scenarios.ScenarioSpec`.
+            algorithms: which monitors to run.
+            seed: scenario stream seed (defaults to the workload seed).
+            timestamps: stream length (defaults to the scenario's).
+            validate: compare every monitor against the reference at every
+                timestamp and count mismatches.
+            oracle: when validating, use a brute-force
+                :class:`~repro.testing.oracle.OracleMonitor` as the
+                reference instead of the first listed algorithm (slower,
+                but an independent ground truth).
+            collect_memory: sample memory footprints per timestamp.
+
+        Note: like :meth:`run`, this consumes the simulator's shared state;
+        use a fresh :class:`Simulator` per run.
+
+        Raises:
+            SimulationError: when the validation arguments cannot check
+                anything — ``oracle=True`` without ``validate=True``, or
+                ``validate=True`` against nothing (a single algorithm with
+                no oracle).
+        """
+        if oracle and not validate:
+            raise SimulationError("oracle=True requires validate=True")
+        if validate and not oracle and len(algorithms) < 2:
+            raise SimulationError(
+                "validate=True needs either oracle=True or at least two "
+                "algorithms to compare"
+            )
+        engine = self.scenario_engine(scenario, seed=seed)
+        monitors = self.build_monitors(algorithms)
+        oracle_monitor: Optional[MonitorBase] = None
+        if validate and oracle:
+            oracle_monitor = OracleMonitor(self._network, self._edge_table)
+        metrics = {name: AlgorithmMetrics(algorithm=name) for name in monitors}
+
+        for name, monitor in monitors.items():
+            start = time.perf_counter()
+            for query_id, (location, k) in engine.initial_queries().items():
+                monitor.register_query(query_id, location, k)
+            metrics[name].initial_seconds = time.perf_counter() - start
+        if oracle_monitor is not None:
+            for query_id, (location, k) in engine.initial_queries().items():
+                oracle_monitor.register_query(query_id, location, k)
+
+        validator = None
+        if validate:
+            reference = oracle_monitor or next(iter(monitors.values()))
+
+            def validator(batch):
+                if oracle_monitor is not None:
+                    oracle_monitor.process_batch(batch)
+                return self._validate_against(reference, monitors, engine.live_queries())
+
+        rounds = engine.spec.timestamps if timestamps is None else timestamps
+        mismatches = self._drive_batches(
+            monitors, metrics, engine.batches(rounds), collect_memory, validator
+        )
+
+        return SimulationResult(
+            config_description={
+                **self._config.describe(),
+                "scenario": engine.spec.name,
+                "scenario_seed": engine.seed,
+            },
+            metrics=metrics,
+            validation_mismatches=mismatches,
+            validated=validate,
+        )
+
+    # ------------------------------------------------------------------
     # running
     # ------------------------------------------------------------------
     def build_monitors(self, algorithms: Sequence[str]) -> Dict[str, MonitorBase]:
@@ -245,10 +354,49 @@ class Simulator:
                 monitor.register_query(query_id, location, self._config.k)
             metrics[name].initial_seconds = time.perf_counter() - start
 
+        validator = None
+        if validate and len(monitors) > 1:
+            reference = next(iter(monitors.values()))
+
+            def validator(batch):
+                return self._validate_against(
+                    reference, monitors, self._query_locations
+                )
+
+        batches = (
+            self.generate_batch(timestamp)
+            for timestamp in range(self._config.timestamps)
+        )
+        mismatches = self._drive_batches(
+            monitors, metrics, batches, collect_memory, validator
+        )
+
+        return SimulationResult(
+            config_description=self._config.describe(),
+            metrics=metrics,
+            validation_mismatches=mismatches,
+            validated=validate,
+        )
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+    def _drive_batches(
+        self,
+        monitors: Dict[str, MonitorBase],
+        metrics: Dict[str, AlgorithmMetrics],
+        batches,
+        collect_memory: bool,
+        validator=None,
+    ) -> int:
+        """Apply each batch once, feed it to every monitor, record metrics.
+
+        The shared per-tick driver of :meth:`run` and :meth:`run_scenario`.
+        *validator*, when given, is called after every tick with the batch
+        and returns that tick's mismatch count.
+        """
         mismatches = 0
-        reference_name = next(iter(monitors))
-        for timestamp in range(self._config.timestamps):
-            batch = self.generate_batch(timestamp)
+        for batch in batches:
             apply_batch(self._network, self._edge_table, batch.normalized())
             for name, monitor in monitors.items():
                 report = monitor.process_batch(batch)
@@ -261,29 +409,19 @@ class Simulator:
                     metrics[name].memory_bytes_per_timestamp.append(
                         monitor.memory_footprint_bytes()
                     )
-            if validate and len(monitors) > 1:
-                mismatches += self._validate_round(monitors, reference_name)
+            if validator is not None:
+                mismatches += validator(batch)
+        return mismatches
 
-        return SimulationResult(
-            config_description=self._config.describe(),
-            metrics=metrics,
-            validation_mismatches=mismatches,
-            validated=validate,
-        )
-
-    # ------------------------------------------------------------------
-    # internals
-    # ------------------------------------------------------------------
-    def _validate_round(
-        self, monitors: Dict[str, MonitorBase], reference_name: str
+    def _validate_against(
+        self, reference: MonitorBase, monitors: Dict[str, MonitorBase], query_ids
     ) -> int:
-        """Compare every monitor's results against the reference monitor."""
+        """Count monitors disagreeing with *reference* over *query_ids*."""
         mismatches = 0
-        reference = monitors[reference_name]
-        for query_id in self._query_locations:
+        for query_id in query_ids:
             expected = list(reference.result_of(query_id).neighbors)
-            for name, monitor in monitors.items():
-                if name == reference_name:
+            for monitor in monitors.values():
+                if monitor is reference:
                     continue
                 actual = list(monitor.result_of(query_id).neighbors)
                 if not results_equal(expected, actual):

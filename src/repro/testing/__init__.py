@@ -1,0 +1,43 @@
+"""Verification harness: brute-force oracle + scenario workload fuzzing.
+
+This package is the correctness backbone the optimisation work leans on:
+
+* :class:`~repro.testing.oracle.OracleMonitor` — a monitor that recomputes
+  every query's k-NN set from scratch at every timestamp with the plain
+  Dijkstra oracle of :mod:`repro.network.distance`.  It shares none of the
+  expansion / influence machinery of OVH, IMA and GMA, so agreement with it
+  is independent evidence of correctness.
+* :class:`~repro.testing.scenarios.ScenarioEngine` — a seeded generator
+  composing diverse workload stressors (object churn, edge-weight storms,
+  query teleports, hotspot clustering, mass arrivals / departures) into
+  reproducible :class:`~repro.core.events.UpdateBatch` streams, with the
+  named presets of :data:`~repro.testing.scenarios.SCENARIO_PRESETS`.
+* :func:`~repro.testing.harness.run_differential_scenario` — runs the
+  monitoring algorithms (on both the CSR and the legacy kernels) in
+  lock-step over a scenario and compares every result of every tick against
+  the oracle, reporting a one-command replay line on mismatch.
+"""
+
+from repro.testing.harness import (
+    DifferentialReport,
+    replay_command,
+    run_differential_scenario,
+)
+from repro.testing.oracle import OracleMonitor
+from repro.testing.scenarios import (
+    SCENARIO_PRESETS,
+    ScenarioEngine,
+    ScenarioSpec,
+    resolve_scenario,
+)
+
+__all__ = [
+    "DifferentialReport",
+    "OracleMonitor",
+    "SCENARIO_PRESETS",
+    "ScenarioEngine",
+    "ScenarioSpec",
+    "replay_command",
+    "resolve_scenario",
+    "run_differential_scenario",
+]

@@ -1,0 +1,143 @@
+"""Oracle-backed differential runner for scenario streams.
+
+:func:`run_differential_scenario` builds a seeded network and scenario
+stream, runs the requested monitoring algorithms in lock-step — by default
+IMA and GMA on both the CSR and the legacy kernels — and compares every
+query's result at every timestamp against the independent
+:class:`~repro.testing.oracle.OracleMonitor`.  The returned report carries a
+one-command replay line so any fuzz failure reproduces locally from just
+``(scenario, seed)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.base import MonitorBase
+from repro.core.events import apply_batch
+from repro.core.gma import GmaMonitor
+from repro.core.ima import ImaMonitor
+from repro.core.ovh import OvhMonitor
+from repro.core.results import results_equal
+from repro.exceptions import SimulationError
+from repro.network.builders import city_network
+from repro.network.edge_table import EdgeTable
+from repro.network.graph import RoadNetwork
+from repro.testing.oracle import OracleMonitor
+from repro.testing.scenarios import ScenarioEngine, resolve_scenario
+
+#: Algorithm names accepted by :func:`run_differential_scenario`: an
+#: optional ``-legacy`` suffix selects the dict-walking kernel.
+_MONITOR_CLASSES = {"OVH": OvhMonitor, "IMA": ImaMonitor, "GMA": GmaMonitor}
+
+#: The default panel: the production CSR paths and the preserved legacy
+#: paths, all of which must agree with the oracle.
+DEFAULT_ALGORITHMS = ("IMA", "GMA", "IMA-legacy", "GMA-legacy")
+
+
+def _make_monitor(name: str, network, edge_table) -> MonitorBase:
+    base, _, variant = name.partition("-")
+    cls = _MONITOR_CLASSES.get(base.upper())
+    if cls is None or variant not in ("", "legacy"):
+        raise SimulationError(
+            f"unknown differential algorithm {name!r}; use e.g. 'IMA' or 'GMA-legacy'"
+        )
+    kernel = "legacy" if variant == "legacy" else "csr"
+    return cls(network, edge_table, kernel=kernel)
+
+
+def replay_command(scenario: str, seed: int) -> str:
+    """The one-command local reproduction of a fuzz failure."""
+    return (
+        f"FUZZ_SCENARIO={scenario} FUZZ_SEED={seed} PYTHONPATH=src "
+        "python -m pytest tests/test_fuzz_differential.py::test_replay_from_env -q -s"
+    )
+
+
+@dataclass
+class DifferentialReport:
+    """Outcome of one oracle-backed differential scenario run."""
+
+    scenario: str
+    seed: int
+    timestamps: int
+    checks: int = 0
+    mismatches: List[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.mismatches
+
+    def failure_message(self, limit: int = 5) -> str:
+        """Human-readable failure summary including the replay command."""
+        shown = "\n  ".join(self.mismatches[:limit])
+        more = len(self.mismatches) - min(limit, len(self.mismatches))
+        suffix = f"\n  ... and {more} more" if more > 0 else ""
+        return (
+            f"scenario {self.scenario!r} seed {self.seed} diverged from the oracle "
+            f"({len(self.mismatches)} mismatches over {self.timestamps} ticks):\n"
+            f"  {shown}{suffix}\n"
+            f"replay locally with:\n  {replay_command(self.scenario, self.seed)}"
+        )
+
+
+def run_differential_scenario(
+    scenario,
+    seed: int,
+    algorithms: Tuple[str, ...] = DEFAULT_ALGORITHMS,
+    network: Optional[RoadNetwork] = None,
+    network_edges: int = 120,
+    timestamps: Optional[int] = None,
+) -> DifferentialReport:
+    """Run *algorithms* over a scenario stream and diff them against the oracle.
+
+    Everything — the network, the placements, the update stream — derives
+    from ``(scenario, seed)``, so the run is exactly reproducible.  At every
+    timestamp each monitor's :class:`~repro.core.base.TimestepReport` must
+    carry the batch's timestamp and every live query's distance profile must
+    match the brute-force oracle's.
+    """
+    spec = resolve_scenario(scenario)
+    if network is None:
+        network = city_network(network_edges, seed=seed + 1)
+    edge_table = EdgeTable(network, build_spatial_index=False)
+    engine = ScenarioEngine(network, spec, seed=seed)
+    for object_id, location in engine.initial_objects().items():
+        edge_table.insert_object(object_id, location)
+
+    oracle = OracleMonitor(network, edge_table)
+    monitors: Dict[str, MonitorBase] = {
+        name: _make_monitor(name, network, edge_table) for name in algorithms
+    }
+    for query_id, (location, k) in engine.initial_queries().items():
+        oracle.register_query(query_id, location, k)
+        for monitor in monitors.values():
+            monitor.register_query(query_id, location, k)
+
+    rounds = spec.timestamps if timestamps is None else timestamps
+    report = DifferentialReport(scenario=spec.name, seed=seed, timestamps=rounds)
+    for batch in engine.batches(rounds):
+        apply_batch(network, edge_table, batch.normalized())
+        oracle_report = oracle.process_batch(batch)
+        if oracle_report.timestamp != batch.timestamp:
+            report.mismatches.append(
+                f"t={batch.timestamp} ORACLE reported timestamp {oracle_report.timestamp}"
+            )
+        for name, monitor in monitors.items():
+            tick_report = monitor.process_batch(batch)
+            if tick_report.timestamp != batch.timestamp:
+                report.mismatches.append(
+                    f"t={batch.timestamp} {name} reported timestamp {tick_report.timestamp}"
+                )
+        for query_id in sorted(engine.live_queries()):
+            truth = list(oracle.result_of(query_id).neighbors)
+            for name, monitor in monitors.items():
+                report.checks += 1
+                answer = list(monitor.result_of(query_id).neighbors)
+                if not results_equal(truth, answer):
+                    report.mismatches.append(
+                        f"t={batch.timestamp} {name} q={query_id}: "
+                        f"expected {truth} got {answer}"
+                    )
+    return report

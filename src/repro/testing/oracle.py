@@ -1,0 +1,58 @@
+"""Brute-force oracle monitor: ground truth for differential testing.
+
+The :class:`OracleMonitor` implements the :class:`~repro.core.base.MonitorBase`
+interface by recomputing every registered query's k nearest neighbors from
+scratch at every timestamp with :func:`repro.network.distance.brute_force_knn`
+— one plain multi-source Dijkstra per query followed by a linear scan over
+*all* data objects.  It deliberately shares nothing with the machinery under
+test: no expansion trees, no influence intervals, no candidate re-use, no
+CSR kernel.  Quadratic and slow by design; its value is that agreement with
+it is independent evidence that OVH, IMA and GMA (on either kernel) are
+correct.
+"""
+
+from __future__ import annotations
+
+from typing import Set
+
+from repro.core.base import MonitorBase
+from repro.core.events import UpdateBatch
+from repro.core.results import KnnResult
+from repro.network.distance import brute_force_knn
+from repro.network.graph import NetworkLocation
+
+
+class OracleMonitor(MonitorBase):
+    """Full brute-force recomputation of every query at every timestamp."""
+
+    name = "ORACLE"
+
+    # ------------------------------------------------------------------
+    # MonitorBase hooks
+    # ------------------------------------------------------------------
+    def _install_query(self, query_id: int, location: NetworkLocation, k: int) -> KnnResult:
+        return self._evaluate(query_id, location, k)
+
+    def _remove_query(self, query_id: int) -> None:
+        # No per-query state beyond the result handled by the base class.
+        return None
+
+    def _process(self, batch: UpdateBatch) -> Set[int]:
+        changed: Set[int] = set()
+        for query_id in list(self._query_k):
+            result = self._evaluate(
+                query_id, self._query_location[query_id], self._query_k[query_id]
+            )
+            if self._store_result(query_id, list(result.neighbors), result.radius):
+                changed.add(query_id)
+        return changed
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+    def _evaluate(self, query_id: int, location: NetworkLocation, k: int) -> KnnResult:
+        neighbors = brute_force_knn(self._network, self._edge_table, location, k)
+        radius = neighbors[k - 1][1] if len(neighbors) >= k else float("inf")
+        return KnnResult(
+            query_id=query_id, k=k, neighbors=tuple(neighbors), radius=radius
+        )

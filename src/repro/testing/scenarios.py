@@ -1,0 +1,433 @@
+"""Seeded scenario engine: diverse workload stressors as reproducible batches.
+
+The default simulator workload (uniform placements, random-walk mobility,
+mild traffic) exercises only a narrow slice of the update space.  The
+:class:`ScenarioEngine` composes *stressors* — object churn, edge-weight
+storms, query teleports, hotspot clustering, mass arrivals / departures in a
+single tick, same-tick appear/disappear flickers — into deterministic
+:class:`~repro.core.events.UpdateBatch` streams.  Everything is derived from
+``(spec, seed)``: the same pair always produces the identical stream, which
+is what makes fuzz failures replayable with one command.
+
+The engine never touches the shared network or edge table itself; the
+consumer applies each batch exactly once (``apply_batch`` or
+``MonitoringServer.apply_updates``) and feeds it to the monitors, exactly
+like the simulator does.  Edge-update ``old_weight`` values come from the
+engine's own weight view, so a stream may be fully materialised up front and
+applied later.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, replace
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from repro.core.events import (
+    EdgeWeightUpdate,
+    ObjectUpdate,
+    QueryUpdate,
+    UpdateBatch,
+)
+from repro.exceptions import SimulationError
+from repro.network.graph import NetworkLocation, RoadNetwork
+
+#: Default base for generated query ids (kept clear of object ids; matches
+#: the simulator's convention).
+QUERY_ID_BASE = 1_000_000
+
+
+@dataclass(frozen=True)
+class ScenarioSpec:
+    """One named workload scenario: stressor intensities per tick.
+
+    All fractions are of the respective live population (or the edge count)
+    per timestamp; probabilities are per timestamp.  Use
+    :meth:`with_overrides` to derive variants.
+    """
+
+    name: str
+    description: str = ""
+    #: initial populations (ignored when the engine is seeded with state)
+    num_objects: int = 50
+    num_queries: int = 8
+    k_choices: Tuple[int, ...] = (1, 2, 4)
+    #: default stream length of :meth:`ScenarioEngine.batches`
+    timestamps: int = 8
+    #: fraction of live objects that move per tick
+    object_move_fraction: float = 0.10
+    #: expected object arrivals per tick (fractional rates accumulate)
+    object_arrival_rate: float = 0.0
+    #: expected object departures per tick
+    object_departure_rate: float = 0.0
+    #: fraction of edges whose weight changes per tick
+    edge_storm_fraction: float = 0.05
+    #: maximum relative weight change per storm hit (must stay below 1)
+    edge_storm_factor: float = 0.15
+    #: fraction of live queries that move per tick
+    query_move_fraction: float = 0.25
+    #: of the moving queries, the fraction that jumps to a uniformly random
+    #: position (the rest step to an edge adjacent to their current one)
+    query_teleport_fraction: float = 0.0
+    #: per-tick probability of one query installation and one termination
+    query_churn_prob: float = 0.0
+    #: fraction of new placements drawn from the hotspot edge pool
+    hotspot_fraction: float = 0.0
+    #: size of the hotspot edge pool
+    hotspot_edges: int = 10
+    #: per-tick probability of a mass arrival (and, independently, a mass
+    #: departure) of ``mass_size`` objects in that single tick
+    mass_event_prob: float = 0.0
+    mass_size: int = 12
+    #: per-tick probability of a same-tick appear+disappear flicker object
+    flicker_prob: float = 0.0
+    #: per-tick probability that one query both moves and terminates in the
+    #: same tick (exercises the Section 4.5 batch preprocessing)
+    move_and_remove_prob: float = 0.0
+
+    def with_overrides(self, **overrides) -> "ScenarioSpec":
+        """Return a copy with the given fields replaced."""
+        return replace(self, **overrides)
+
+
+#: Named scenario presets covering qualitatively different stress patterns.
+SCENARIO_PRESETS: Dict[str, ScenarioSpec] = {
+    preset.name: preset
+    for preset in (
+        ScenarioSpec(
+            name="uniform-drift",
+            description="baseline: mild uniform movement, light weight noise",
+            object_move_fraction=0.15,
+            query_move_fraction=0.30,
+        ),
+        ScenarioSpec(
+            name="churn-heavy",
+            description="objects constantly appear, disappear and flicker",
+            object_move_fraction=0.20,
+            object_arrival_rate=1.5,
+            object_departure_rate=1.2,
+            flicker_prob=0.6,
+            query_churn_prob=0.3,
+        ),
+        ScenarioSpec(
+            name="weight-storm",
+            description="a quarter of all edges change weight every tick",
+            object_move_fraction=0.05,
+            edge_storm_fraction=0.25,
+            edge_storm_factor=0.30,
+            query_move_fraction=0.10,
+        ),
+        ScenarioSpec(
+            name="teleport",
+            description="queries jump across the network and churn",
+            query_move_fraction=0.60,
+            query_teleport_fraction=1.0,
+            query_churn_prob=0.4,
+            move_and_remove_prob=0.3,
+        ),
+        ScenarioSpec(
+            name="hotspot",
+            description="movers cluster onto a small pool of hotspot edges",
+            object_move_fraction=0.30,
+            query_move_fraction=0.30,
+            hotspot_fraction=0.8,
+            object_arrival_rate=0.5,
+        ),
+        ScenarioSpec(
+            name="mass-transit",
+            description="whole cohorts arrive and depart within one tick",
+            object_move_fraction=0.05,
+            mass_event_prob=0.6,
+            mass_size=15,
+        ),
+        ScenarioSpec(
+            name="mixed-stress",
+            description="every stressor at moderate intensity at once",
+            object_move_fraction=0.15,
+            object_arrival_rate=0.8,
+            object_departure_rate=0.6,
+            edge_storm_fraction=0.12,
+            edge_storm_factor=0.25,
+            query_move_fraction=0.35,
+            query_teleport_fraction=0.4,
+            query_churn_prob=0.25,
+            hotspot_fraction=0.4,
+            mass_event_prob=0.2,
+            flicker_prob=0.3,
+            move_and_remove_prob=0.15,
+        ),
+    )
+}
+
+
+def resolve_scenario(scenario) -> ScenarioSpec:
+    """Resolve a :class:`ScenarioSpec` or preset name to a spec.
+
+    Raises:
+        SimulationError: for an unknown preset name.
+    """
+    if isinstance(scenario, ScenarioSpec):
+        return scenario
+    spec = SCENARIO_PRESETS.get(scenario)
+    if spec is None:
+        raise SimulationError(
+            f"unknown scenario {scenario!r}; choose one of {sorted(SCENARIO_PRESETS)}"
+        )
+    return spec
+
+
+class ScenarioEngine:
+    """Deterministic update-stream generator for one scenario.
+
+    Args:
+        network: the road network the stream refers to (read-only; the
+            engine keeps its own weight view so streams can be materialised
+            before being applied).
+        scenario: a :class:`ScenarioSpec` or preset name.
+        seed: stream seed; ``(scenario, seed)`` fully determines the stream.
+        initial_objects: optionally adopt existing object placements instead
+            of generating ``spec.num_objects`` fresh ones.  The caller is
+            responsible for these already being registered (e.g. the
+            simulator's edge table); freshly generated ones are returned by
+            :meth:`initial_objects` for the caller to insert.
+        initial_queries: optionally adopt existing queries as
+            ``{query_id: (location, k)}``.
+    """
+
+    def __init__(
+        self,
+        network: RoadNetwork,
+        scenario,
+        seed: int = 0,
+        initial_objects: Optional[Dict[int, NetworkLocation]] = None,
+        initial_queries: Optional[Dict[int, Tuple[NetworkLocation, int]]] = None,
+    ) -> None:
+        self._network = network
+        self._spec = resolve_scenario(scenario)
+        self._seed = seed
+        self._rng = random.Random(f"{self._spec.name}/{seed}")
+        self._edges: List[int] = sorted(network.edge_ids())
+        if not self._edges:
+            raise SimulationError("scenario engine needs a network with edges")
+        self._weights: Dict[int, float] = {
+            edge_id: network.edge(edge_id).weight for edge_id in self._edges
+        }
+        self._hotspot_pool = self._build_hotspot_pool()
+
+        if initial_objects is None:
+            self._objects = {
+                object_id: self._uniform_location()
+                for object_id in range(self._spec.num_objects)
+            }
+        else:
+            self._objects = dict(initial_objects)
+        if initial_queries is None:
+            self._queries: Dict[int, Tuple[NetworkLocation, int]] = {
+                QUERY_ID_BASE + index: (
+                    self._uniform_location(),
+                    self._rng.choice(self._spec.k_choices),
+                )
+                for index in range(self._spec.num_queries)
+            }
+        else:
+            self._queries = dict(initial_queries)
+        self._next_object_id = max(self._objects, default=-1) + 1
+        self._next_query_id = max(self._queries, default=QUERY_ID_BASE - 1) + 1
+        #: fractional arrival/departure rates accumulate across ticks
+        self._arrival_debt = 0.0
+        self._departure_debt = 0.0
+        # Frozen copies of the starting state; the registries above advance
+        # as batches are generated.
+        self._initial_objects_cache = dict(self._objects)
+        self._initial_queries_cache = dict(self._queries)
+
+    # ------------------------------------------------------------------
+    # accessors
+    # ------------------------------------------------------------------
+    @property
+    def spec(self) -> ScenarioSpec:
+        return self._spec
+
+    @property
+    def seed(self) -> int:
+        return self._seed
+
+    def initial_objects(self) -> Dict[int, NetworkLocation]:
+        """The placements the stream starts from (insert before tick 0)."""
+        return dict(self._initial_objects_cache)
+
+    def initial_queries(self) -> Dict[int, Tuple[NetworkLocation, int]]:
+        """The queries the stream starts from (register before tick 0)."""
+        return dict(self._initial_queries_cache)
+
+    def live_objects(self) -> Dict[int, NetworkLocation]:
+        """Object id -> location after the last generated batch."""
+        return dict(self._objects)
+
+    def live_queries(self) -> Dict[int, Tuple[NetworkLocation, int]]:
+        """Query id -> (location, k) after the last generated batch."""
+        return dict(self._queries)
+
+    # ------------------------------------------------------------------
+    # stream generation
+    # ------------------------------------------------------------------
+    def batches(self, timestamps: Optional[int] = None) -> Iterator[UpdateBatch]:
+        """Yield the scenario's update batches (``spec.timestamps`` by default)."""
+        rounds = self._spec.timestamps if timestamps is None else timestamps
+        for timestamp in range(rounds):
+            yield self.batch(timestamp)
+
+    def batch(self, timestamp: int) -> UpdateBatch:
+        """Generate (but do not apply) the updates of one timestamp."""
+        spec = self._spec
+        rng = self._rng
+        batch = UpdateBatch(timestamp=timestamp)
+
+        # Edge-weight storm.
+        storm_size = int(len(self._edges) * spec.edge_storm_fraction)
+        if spec.edge_storm_fraction > 0 and storm_size == 0:
+            storm_size = 1
+        if storm_size:
+            for edge_id in rng.sample(self._edges, storm_size):
+                old_weight = self._weights[edge_id]
+                factor = 1.0 + rng.uniform(-spec.edge_storm_factor, spec.edge_storm_factor)
+                new_weight = max(old_weight * factor, 1e-9)
+                if new_weight == old_weight:
+                    continue
+                self._weights[edge_id] = new_weight
+                batch.edge_updates.append(
+                    EdgeWeightUpdate(edge_id, old_weight, new_weight)
+                )
+
+        # Mass departure, regular departures, then movements of survivors.
+        departures = 0
+        if spec.mass_event_prob and rng.random() < spec.mass_event_prob:
+            departures += spec.mass_size
+        self._departure_debt += spec.object_departure_rate
+        departures += int(self._departure_debt)
+        self._departure_debt -= int(self._departure_debt)
+        departures = min(departures, len(self._objects))
+        if departures:
+            for object_id in rng.sample(sorted(self._objects), departures):
+                batch.object_updates.append(
+                    ObjectUpdate(object_id, self._objects.pop(object_id), None)
+                )
+
+        movers = int(len(self._objects) * spec.object_move_fraction)
+        if spec.object_move_fraction > 0 and self._objects and movers == 0:
+            movers = 1
+        if movers:
+            for object_id in rng.sample(sorted(self._objects), movers):
+                new_location = self._placement_location()
+                batch.object_updates.append(
+                    ObjectUpdate(object_id, self._objects[object_id], new_location)
+                )
+                self._objects[object_id] = new_location
+
+        # Arrivals (mass cohort + accumulated rate).
+        arrivals = 0
+        if spec.mass_event_prob and rng.random() < spec.mass_event_prob:
+            arrivals += spec.mass_size
+        self._arrival_debt += spec.object_arrival_rate
+        arrivals += int(self._arrival_debt)
+        self._arrival_debt -= int(self._arrival_debt)
+        for _ in range(arrivals):
+            object_id = self._next_object_id
+            self._next_object_id += 1
+            location = self._placement_location()
+            self._objects[object_id] = location
+            batch.object_updates.append(ObjectUpdate(object_id, None, location))
+
+        # Same-tick flicker: a brand-new object appears and disappears within
+        # the same timestamp (net no-op after Section 4.5 preprocessing).
+        if spec.flicker_prob and rng.random() < spec.flicker_prob:
+            object_id = self._next_object_id
+            self._next_object_id += 1
+            location = self._placement_location()
+            batch.object_updates.append(ObjectUpdate(object_id, None, location))
+            batch.object_updates.append(ObjectUpdate(object_id, location, None))
+
+        # Query movements (teleports vs adjacent-edge steps).
+        q_movers = int(len(self._queries) * spec.query_move_fraction)
+        if spec.query_move_fraction > 0 and self._queries and q_movers == 0:
+            q_movers = 1
+        if q_movers:
+            for query_id in rng.sample(sorted(self._queries), q_movers):
+                location, k = self._queries[query_id]
+                if rng.random() < spec.query_teleport_fraction:
+                    new_location = self._placement_location()
+                else:
+                    new_location = self._adjacent_location(location)
+                batch.query_updates.append(
+                    QueryUpdate(query_id, location, new_location)
+                )
+                self._queries[query_id] = (new_location, k)
+
+        # Query churn: one installation and one termination.
+        if spec.query_churn_prob and rng.random() < spec.query_churn_prob:
+            query_id = self._next_query_id
+            self._next_query_id += 1
+            location = self._placement_location()
+            k = rng.choice(spec.k_choices)
+            batch.query_updates.append(QueryUpdate(query_id, None, location, k))
+            self._queries[query_id] = (location, k)
+            if len(self._queries) > 2:
+                victim = rng.choice(sorted(self._queries))
+                old_location, _ = self._queries.pop(victim)
+                batch.query_updates.append(QueryUpdate(victim, old_location, None))
+
+        # Same-tick move + terminate of one query.
+        if (
+            spec.move_and_remove_prob
+            and len(self._queries) > 1
+            and rng.random() < spec.move_and_remove_prob
+        ):
+            victim = rng.choice(sorted(self._queries))
+            old_location, _ = self._queries.pop(victim)
+            mid_location = self._placement_location()
+            batch.query_updates.append(QueryUpdate(victim, old_location, mid_location))
+            batch.query_updates.append(QueryUpdate(victim, mid_location, None))
+
+        return batch
+
+    # ------------------------------------------------------------------
+    # placement helpers
+    # ------------------------------------------------------------------
+    def _uniform_location(self) -> NetworkLocation:
+        return NetworkLocation(self._rng.choice(self._edges), self._rng.random())
+
+    def _placement_location(self) -> NetworkLocation:
+        """A new position: hotspot-drawn with the configured probability."""
+        if self._hotspot_pool and self._rng.random() < self._spec.hotspot_fraction:
+            return NetworkLocation(
+                self._rng.choice(self._hotspot_pool), self._rng.random()
+            )
+        return self._uniform_location()
+
+    def _adjacent_location(self, location: NetworkLocation) -> NetworkLocation:
+        """A position on an edge sharing an endpoint with the current one."""
+        edge = self._network.edge(location.edge_id)
+        node = self._rng.choice((edge.start, edge.end))
+        incident = list(self._network.incident_edges(node))
+        return NetworkLocation(self._rng.choice(incident), self._rng.random())
+
+    def _build_hotspot_pool(self) -> List[int]:
+        if self._spec.hotspot_fraction <= 0:
+            return []
+        anchor = self._network.edge(self._rng.choice(self._edges))
+        pool: List[int] = []
+        seen = set()
+        frontier = [anchor.start, anchor.end]
+        while frontier and len(pool) < self._spec.hotspot_edges:
+            node = frontier.pop(0)
+            if node in seen:
+                continue
+            seen.add(node)
+            for edge_id in self._network.incident_edges(node):
+                if edge_id not in pool:
+                    pool.append(edge_id)
+                    if len(pool) >= self._spec.hotspot_edges:
+                        break
+                edge = self._network.edge(edge_id)
+                frontier.append(edge.other_endpoint(node))
+        return pool

@@ -18,6 +18,11 @@ from typing import Iterable, List, Optional, Sequence, Tuple
 
 _EPS = 1e-9
 
+#: Public alias of the span-merge tolerance, for callers that inline span
+#: arithmetic (e.g. the CSR influence-map hot loop) and must stay exactly
+#: consistent with :func:`influence_spans`.
+SPAN_EPS = _EPS
+
 
 @dataclass(frozen=True)
 class Interval:

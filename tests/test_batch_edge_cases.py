@@ -1,0 +1,167 @@
+"""Regression tests for batch-path edge cases.
+
+Covers the corners of the Section 4.5 batch preprocessing and the server's
+bulk ingestion path that the fuzz scenarios hit probabilistically:
+
+* an object added and removed within the same batch (a net no-op),
+* ``k`` larger than the number of live objects (incomplete results that
+  must fill up exactly as objects arrive),
+* a query that both moves and terminates in the same tick.
+
+Each case runs on every algorithm (CSR and legacy kernels where relevant)
+and is checked against the brute-force oracle.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.events import ObjectUpdate, QueryUpdate, UpdateBatch
+from repro.core.server import MonitoringServer
+from repro.exceptions import UnknownQueryError
+from repro.network.builders import city_network
+from repro.network.distance import brute_force_knn
+from repro.network.edge_table import EdgeTable
+from repro.network.graph import NetworkLocation
+from repro.core.results import results_equal
+
+ALGORITHMS = ["ovh", "ima", "gma"]
+
+
+def _server(algorithm, kernel="csr", seed=21, edges=120):
+    network = city_network(edges, seed=seed)
+    server = MonitoringServer(
+        network, algorithm, edge_table=EdgeTable(network, build_spatial_index=False),
+        kernel=kernel,
+    )
+    return server, sorted(network.edge_ids())
+
+
+def _check_against_oracle(server, query_id):
+    expected = brute_force_knn(
+        server.network,
+        server.edge_table,
+        server.monitor.query_location(query_id),
+        server.monitor.query_k(query_id),
+    )
+    actual = list(server.result_of(query_id).neighbors)
+    assert results_equal(expected, actual), (expected, actual)
+
+
+@pytest.mark.parametrize("algorithm", ALGORITHMS)
+@pytest.mark.parametrize("kernel", ["csr", "legacy"])
+def test_add_and_remove_same_object_in_one_batch(algorithm, kernel):
+    """An object appearing and disappearing in one tick is a net no-op."""
+    server, edges = _server(algorithm, kernel)
+    for object_id in range(6):
+        server.add_object(object_id, NetworkLocation(edges[object_id], 0.5))
+    server.add_query(100, NetworkLocation(edges[3], 0.25), k=3)
+    server.tick()
+    before = server.result_of(100)
+
+    flicker = NetworkLocation(edges[3], 0.26)  # right next to the query
+    batch = UpdateBatch()
+    batch.object_updates.append(ObjectUpdate(77, None, flicker))
+    batch.object_updates.append(ObjectUpdate(77, flicker, None))
+    server.apply_updates(batch)
+    server.tick()
+
+    after = server.result_of(100)
+    assert 77 not in after.object_ids
+    assert after.neighbors == before.neighbors
+    assert 77 not in server.object_ids()
+    _check_against_oracle(server, 100)
+
+    # The flickered id is free again: a later plain insertion must work.
+    server.add_object(77, flicker)
+    server.tick()
+    assert 77 in server.result_of(100).object_ids
+    _check_against_oracle(server, 100)
+
+
+@pytest.mark.parametrize("algorithm", ALGORITHMS)
+@pytest.mark.parametrize("kernel", ["csr", "legacy"])
+def test_k_larger_than_live_object_count(algorithm, kernel):
+    """Results stay incomplete (radius inf) and fill up as objects arrive."""
+    server, edges = _server(algorithm, kernel)
+    server.add_object(0, NetworkLocation(edges[0], 0.5))
+    server.add_object(1, NetworkLocation(edges[5], 0.5))
+    server.add_query(100, NetworkLocation(edges[2], 0.5), k=5)
+    server.tick()
+
+    result = server.result_of(100)
+    assert len(result.neighbors) == 2
+    assert not result.is_complete
+    assert result.radius == float("inf")
+    _check_against_oracle(server, 100)
+
+    # Remove below k, then mass-arrive past k in one batch.
+    server.remove_object(1)
+    server.tick()
+    assert len(server.result_of(100).object_ids) == 1
+    _check_against_oracle(server, 100)
+
+    batch = UpdateBatch()
+    for object_id in range(10, 16):
+        batch.object_updates.append(
+            ObjectUpdate(object_id, None, NetworkLocation(edges[object_id], 0.3))
+        )
+    server.apply_updates(batch)
+    server.tick()
+    result = server.result_of(100)
+    assert result.is_complete
+    assert result.radius != float("inf")
+    _check_against_oracle(server, 100)
+
+
+@pytest.mark.parametrize("algorithm", ALGORITHMS)
+@pytest.mark.parametrize("kernel", ["csr", "legacy"])
+def test_query_moved_and_removed_in_same_tick(algorithm, kernel):
+    """A move followed by a termination in one batch terminates cleanly."""
+    server, edges = _server(algorithm, kernel)
+    for object_id in range(8):
+        server.add_object(object_id, NetworkLocation(edges[2 * object_id], 0.4))
+    server.add_query(100, NetworkLocation(edges[1], 0.5), k=2)
+    server.add_query(200, NetworkLocation(edges[9], 0.5), k=2)
+    server.tick()
+
+    batch = UpdateBatch()
+    moved = NetworkLocation(edges[7], 0.6)
+    batch.query_updates.append(
+        QueryUpdate(100, NetworkLocation(edges[1], 0.5), moved)
+    )
+    batch.query_updates.append(QueryUpdate(100, moved, None))
+    server.apply_updates(batch)
+    server.tick()
+
+    assert 100 not in server.query_ids()
+    with pytest.raises(UnknownQueryError):
+        server.result_of(100)
+    # The surviving query is untouched and still exact.
+    _check_against_oracle(server, 200)
+
+    # The id can be reused afterwards.
+    server.add_query(100, moved, k=2)
+    server.tick()
+    _check_against_oracle(server, 100)
+
+
+@pytest.mark.parametrize("algorithm", ALGORITHMS)
+def test_install_move_and_object_flows_in_single_batch(algorithm):
+    """A batch mixing installs, moves of the just-installed entities, and
+    edge changes is applied atomically through apply_updates."""
+    server, edges = _server(algorithm)
+    server.add_object(0, NetworkLocation(edges[0], 0.5))
+    server.tick()
+
+    batch = UpdateBatch()
+    first = NetworkLocation(edges[4], 0.2)
+    second = NetworkLocation(edges[6], 0.8)
+    batch.object_updates.append(ObjectUpdate(1, None, first))
+    batch.object_updates.append(ObjectUpdate(1, first, second))
+    batch.query_updates.append(QueryUpdate(300, None, first, 2))
+    server.apply_updates(batch)
+    server.tick()
+
+    assert server.edge_table.location_of(1) == second
+    _check_against_oracle(server, 300)

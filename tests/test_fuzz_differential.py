@@ -1,0 +1,72 @@
+"""Oracle-backed scenario fuzz suite.
+
+Every preset of :data:`repro.testing.SCENARIO_PRESETS` is run under several
+seeds (≥ 25 runs in total), with IMA and GMA — on both the CSR kernel and
+the preserved legacy dict paths — compared against the brute-force
+:class:`~repro.testing.oracle.OracleMonitor` at every timestamp: identical
+distance profiles for every live query, and per-tick reports carrying the
+correct timestamps.
+
+The base seed rotates in CI (the workflow exports ``FUZZ_BASE_SEED`` from
+the run id and uploads it on failure); locally it defaults to a fixed
+value.  Any failure message embeds the exact one-command replay line, and
+``test_replay_from_env`` re-runs a single scenario from the
+``FUZZ_SCENARIO`` / ``FUZZ_SEED`` environment variables.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.testing import SCENARIO_PRESETS, run_differential_scenario
+
+#: Rotating base seed: CI exports the workflow run id, local runs use a
+#: fixed default so plain `pytest` stays deterministic.
+BASE_SEED = int(os.environ.get("FUZZ_BASE_SEED", "20060912"))
+
+#: Seeds per preset; 7 presets x 4 seeds = 28 differential runs (>= 25).
+SEEDS_PER_PRESET = 4
+
+#: Spread the per-preset seeds far apart so neighboring CI runs (run ids
+#: increment by small steps) still cover distinct streams.
+_SEED_STRIDE = 99_991
+
+
+def _seed(offset: int) -> int:
+    return (BASE_SEED + offset * _SEED_STRIDE) % 2_000_000_011
+
+
+@pytest.mark.parametrize("scenario", sorted(SCENARIO_PRESETS))
+@pytest.mark.parametrize("offset", range(SEEDS_PER_PRESET))
+def test_scenarios_match_oracle(scenario, offset):
+    """IMA/GMA on both kernels exactly match the oracle on every tick."""
+    seed = _seed(offset)
+    report = run_differential_scenario(scenario, seed=seed)
+    assert report.checks > 0
+    assert report.ok, report.failure_message()
+
+
+def test_replay_from_env():
+    """Replay a single failing scenario: FUZZ_SCENARIO=<name> FUZZ_SEED=<n>.
+
+    Skipped unless both environment variables are set (this is the target
+    of the replay command embedded in fuzz failure messages).
+    """
+    scenario = os.environ.get("FUZZ_SCENARIO")
+    seed = os.environ.get("FUZZ_SEED")
+    if not scenario or not seed:
+        pytest.skip("set FUZZ_SCENARIO and FUZZ_SEED to replay a fuzz failure")
+    report = run_differential_scenario(scenario, seed=int(seed))
+    assert report.ok, report.failure_message(limit=50)
+
+
+def test_failure_report_carries_replay_command():
+    """The report's failure message points at the env-driven replay test."""
+    report = run_differential_scenario("uniform-drift", seed=_seed(0), timestamps=2)
+    report.mismatches.append("t=0 IMA q=1000000: synthetic mismatch")
+    message = report.failure_message()
+    assert "FUZZ_SCENARIO=uniform-drift" in message
+    assert f"FUZZ_SEED={_seed(0)}" in message
+    assert "test_replay_from_env" in message
