@@ -1,0 +1,166 @@
+"""Sharded-server tick throughput: 1 worker vs 4 on a 256-query workload.
+
+Drives the same seeded workload — 256 continuous k-NN queries, a deep
+network, heavy query movement and edge storms — through a single-process
+:class:`~repro.core.server.MonitoringServer` and a sharded one with four
+worker processes, via the batched ``apply_updates`` + ``tick`` pipeline.
+Per-tick wall-clock goes through pytest-benchmark (the standard BENCH JSON
+uploaded by CI via ``--benchmark-json``); the summary test prints a
+``BENCH`` JSON line with both speedup figures:
+
+* ``wall_speedup`` — end-to-end tick throughput ratio.  Only meaningful on
+  a machine with at least as many idle cores as workers.
+* ``cpu_speedup`` — single-process tick *CPU* time over the slowest
+  shard's CPU time (:attr:`ShardedMonitoringServer.last_max_shard_cpu_seconds`),
+  a like-for-like processor-time ratio immune to core contention.  It is
+  the shard-compute critical path — an upper bound on the achievable wall
+  speedup, since parent-side normalization and fan-out/merge are not part
+  of the shard measurement.
+
+In full (non ``--quick``) mode the summary asserts the scaling floor:
+``cpu_speedup >= 2.0`` always (hardware-independent, so CI locks the
+property in even on small or co-tenanted runners).  Set
+``SHARDED_BENCH_WALL=1`` on a machine with dedicated cores to also assert
+``wall_speedup >= 1.5``, or ``SHARDED_BENCH_STRICT=0`` to record without
+asserting at all.
+
+Run with ``--quick`` for the CI smoke sizing.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+import os
+
+import pytest
+
+from repro.core.sharding import ShardedMonitoringServer
+from repro.sim.simulator import Simulator
+from repro.sim.workload import WorkloadConfig
+
+#: The acceptance workload: 256 queries, expansion-heavy ticks.
+FULL_CONFIG = WorkloadConfig(
+    num_objects=1_500,
+    num_queries=256,
+    k=24,
+    network_edges=6_000,
+    edge_agility=0.15,
+    object_agility=0.10,
+    query_agility=0.50,
+    timestamps=1,
+    seed=20060912,
+)
+
+#: Sized for the CI benchmark-smoke job (< a few seconds per run).
+QUICK_CONFIG = FULL_CONFIG.with_overrides(
+    num_objects=600, num_queries=64, k=8, network_edges=1_200
+)
+
+WORKER_COUNTS = (1, 4)
+
+#: Benchmarked ticks per configuration.
+TICKS = 4
+
+#: Mean tick seconds (and shard CPU) per worker count, for the summary test.
+_RESULTS: dict = {}
+
+
+@pytest.fixture(scope="module")
+def bench_config(request):
+    return QUICK_CONFIG if request.config.getoption("--quick") else FULL_CONFIG
+
+
+def _prepared_server(config, workers):
+    """A primed server (initial results computed) plus its update batches."""
+    simulator = Simulator(config)
+    server = simulator.make_server("ima", workers=workers)
+    server.tick()  # initial result computation is excluded, as in the paper
+    batches = [simulator.generate_batch(timestamp) for timestamp in range(TICKS)]
+    return server, batches
+
+
+@pytest.mark.parametrize("workers", WORKER_COUNTS)
+def test_sharded_tick_throughput(benchmark, workers, bench_config):
+    """One tick (apply_updates + tick) per round, single vs sharded."""
+    server, batches = _prepared_server(bench_config, workers)
+    cursor = {"index": 0}
+    shard_cpu = []
+    tick_cpu = []
+
+    def process():
+        batch = batches[cursor["index"]]
+        cursor["index"] += 1
+        cpu_start = time.process_time()
+        server.apply_updates(batch)
+        report = server.tick()
+        tick_cpu.append(time.process_time() - cpu_start)
+        if isinstance(server, ShardedMonitoringServer):
+            shard_cpu.append(server.last_max_shard_cpu_seconds)
+        return report
+
+    try:
+        report = benchmark.pedantic(process, rounds=len(batches), iterations=1)
+        assert report.timestamp == TICKS  # initial tick consumed timestamp 0
+    finally:
+        server.close()
+
+    mean_tick_seconds = benchmark.stats.stats.mean
+    _RESULTS[workers] = {
+        "mean_tick_seconds": mean_tick_seconds,
+        # Parent-process CPU per tick; for workers=1 this is the whole tick's
+        # processor time, the like-for-like numerator of cpu_speedup.
+        "mean_tick_cpu_seconds": sum(tick_cpu) / len(tick_cpu),
+        "mean_max_shard_cpu_seconds": (
+            sum(shard_cpu) / len(shard_cpu) if shard_cpu else None
+        ),
+    }
+    benchmark.extra_info["workers"] = workers
+    benchmark.extra_info["queries"] = bench_config.num_queries
+    benchmark.extra_info["ticks_per_second"] = (
+        round(1.0 / mean_tick_seconds, 2) if mean_tick_seconds > 0 else None
+    )
+    if shard_cpu:
+        benchmark.extra_info["max_shard_cpu_seconds"] = round(
+            _RESULTS[workers]["mean_max_shard_cpu_seconds"], 6
+        )
+
+
+def test_sharded_speedup_summary(bench_config):
+    """Aggregate the two runs into speedup figures and enforce the floor."""
+    missing = [workers for workers in WORKER_COUNTS if workers not in _RESULTS]
+    if missing:
+        pytest.skip(f"throughput runs missing for workers={missing} (ran with -k?)")
+    single = _RESULTS[1]["mean_tick_seconds"]
+    single_cpu = _RESULTS[1]["mean_tick_cpu_seconds"]
+    sharded = _RESULTS[max(WORKER_COUNTS)]
+    wall_speedup = single / sharded["mean_tick_seconds"]
+    cpu_speedup = single_cpu / sharded["mean_max_shard_cpu_seconds"]
+    cores = os.cpu_count() or 1
+    record = {
+        "benchmark": "sharded_tick_throughput",
+        "queries": bench_config.num_queries,
+        "workers": max(WORKER_COUNTS),
+        "cores": cores,
+        "single_tick_ms": round(single * 1000.0, 2),
+        "single_tick_cpu_ms": round(single_cpu * 1000.0, 2),
+        "sharded_tick_ms": round(sharded["mean_tick_seconds"] * 1000.0, 2),
+        "max_shard_cpu_ms": round(sharded["mean_max_shard_cpu_seconds"] * 1000.0, 2),
+        "wall_speedup": round(wall_speedup, 2),
+        "cpu_speedup": round(cpu_speedup, 2),
+    }
+    print(f"\nBENCH {json.dumps(record)}")
+    if os.environ.get("SHARDED_BENCH_STRICT", "1") == "0":
+        return
+    if bench_config is QUICK_CONFIG:
+        # The smoke sizing is IPC-bound by design; just prove sharding isn't
+        # pathological there.
+        assert cpu_speedup > 0.5, record
+    else:
+        # The acceptance floor, hardware-independent so CI locks it in.
+        assert cpu_speedup >= 2.0, record
+        if cores >= max(WORKER_COUNTS) and os.environ.get("SHARDED_BENCH_WALL") == "1":
+            # End-to-end check; opt-in because co-tenanted CI runners can
+            # report 4 vCPUs while delivering far less, failing the wall
+            # ratio for reasons unrelated to the commit under test.
+            assert wall_speedup >= 1.5, record

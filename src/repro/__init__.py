@@ -32,6 +32,14 @@ coordinate batches through one vectorized PMR-quadtree pass, and
 ``apply_updates(batch)`` buffers a pre-built
 :class:`UpdateBatch` wholesale — so one :meth:`MonitoringServer.tick`
 processes thousands of updates without per-update call overhead.
+
+Scaling out.  ``MonitoringServer(network, workers=N)`` builds a
+:class:`ShardedMonitoringServer`: queries are hash-partitioned
+(:func:`shard_of`) across N worker processes, the CSR snapshot ships once
+per topology version through :class:`SharedCSR` /
+``multiprocessing.shared_memory``, each tick fans out to the shards and
+merges their reports — with results identical to the single-process
+server's (enforced by the oracle-backed differential suite).
 """
 
 from repro.core import (
@@ -46,11 +54,13 @@ from repro.core import (
     OvhMonitor,
     QueryUpdate,
     SearchCounters,
+    ShardedMonitoringServer,
     TimestepReport,
     UpdateBatch,
     apply_batch,
     expand_knn,
     expand_knn_legacy,
+    shard_of,
 )
 from repro.exceptions import ReproError
 from repro.network import (
@@ -59,6 +69,9 @@ from repro.network import (
     NetworkLocation,
     RoadNetwork,
     SequenceTable,
+    SharedCSR,
+    SharedCSRHandle,
+    attach_shared_csr,
     csr_snapshot,
     brute_force_knn,
     city_network,
@@ -84,6 +97,8 @@ __all__ = [
     "ReproError",
     # core
     "MonitoringServer",
+    "ShardedMonitoringServer",
+    "shard_of",
     "MonitorBase",
     "OvhMonitor",
     "ImaMonitor",
@@ -105,6 +120,9 @@ __all__ = [
     "EdgeTable",
     "CSRGraph",
     "csr_snapshot",
+    "SharedCSR",
+    "SharedCSRHandle",
+    "attach_shared_csr",
     "SequenceTable",
     "city_network",
     "grid_network",

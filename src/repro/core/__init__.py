@@ -23,6 +23,8 @@ from repro.core.results import KnnResult, NeighborList, results_equal
 from repro.core.search import SearchCounters, SearchOutcome, expand_knn
 from repro.core.search_legacy import expand_knn_legacy
 from repro.core.server import ALGORITHMS, MonitoringServer
+from repro.core.sharding import ShardedMonitoringServer
+from repro.core.worker import shard_of
 
 __all__ = [
     "MonitorBase",
@@ -49,5 +51,7 @@ __all__ = [
     "ImaMonitor",
     "GmaMonitor",
     "MonitoringServer",
+    "ShardedMonitoringServer",
+    "shard_of",
     "ALGORITHMS",
 ]

@@ -16,7 +16,7 @@ import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Set
 
-from repro.core.events import UpdateBatch
+from repro.core.events import QueryUpdate, UpdateBatch
 from repro.core.results import KnnResult, Neighbor
 from repro.core.search import SearchCounters
 from repro.exceptions import (
@@ -30,7 +30,13 @@ from repro.network.graph import NetworkLocation, RoadNetwork
 
 @dataclass
 class TimestepReport:
-    """What happened while processing one update batch."""
+    """What happened while processing one update batch.
+
+    Example::
+
+        report = server.tick()
+        print(report.timestamp, sorted(report.changed_queries))
+    """
 
     timestamp: int
     elapsed_seconds: float
@@ -39,7 +45,15 @@ class TimestepReport:
 
 
 class MonitorBase(abc.ABC):
-    """Abstract base class of the monitoring algorithms."""
+    """Abstract base class of the monitoring algorithms.
+
+    Example::
+
+        monitor = ImaMonitor(network, edge_table)   # any MonitorBase subclass
+        monitor.register_query(1, location, k=4)
+        report = monitor.process_batch(batch)
+        print(monitor.result_of(1).neighbors)
+    """
 
     #: Short algorithm name used in reports ("OVH", "IMA", "GMA").
     name: str = "base"
@@ -102,15 +116,18 @@ class MonitorBase(abc.ABC):
         return dict(self._results)
 
     def query_ids(self) -> Set[int]:
+        """Ids of every registered continuous query."""
         return set(self._query_k)
 
     def query_location(self, query_id: int) -> NetworkLocation:
+        """Current position of a query (raises :class:`UnknownQueryError`)."""
         try:
             return self._query_location[query_id]
         except KeyError as exc:
             raise UnknownQueryError(query_id) from exc
 
     def query_k(self, query_id: int) -> int:
+        """The ``k`` of a query (raises :class:`UnknownQueryError`)."""
         try:
             return self._query_k[query_id]
         except KeyError as exc:
@@ -118,6 +135,7 @@ class MonitorBase(abc.ABC):
 
     @property
     def query_count(self) -> int:
+        """Number of registered continuous queries."""
         return len(self._query_k)
 
     # ------------------------------------------------------------------
@@ -139,11 +157,25 @@ class MonitorBase(abc.ABC):
 
         installations = [u for u in normalized.query_updates if u.is_installation]
         terminations = [u for u in normalized.query_updates if u.is_termination]
-        movements = [
-            u
-            for u in normalized.query_updates
-            if not u.is_installation and not u.is_termination
-        ]
+        movements = []
+        for update in normalized.query_updates:
+            if update.is_installation or update.is_termination:
+                continue
+            if (
+                update.k is not None
+                and update.query_id in self._query_k
+                and update.k != self._query_k[update.query_id]
+            ):
+                # A same-tick terminate+install collapses (Section 4.5) into
+                # a movement carrying the new k.  A changed k cannot be
+                # applied as a movement — algorithm state is sized to k —
+                # so split it back into its termination + installation.
+                terminations.append(QueryUpdate(update.query_id, update.old_location, None))
+                installations.append(
+                    QueryUpdate(update.query_id, None, update.new_location, update.k)
+                )
+            else:
+                movements.append(update)
 
         for update in terminations:
             if update.query_id in self._query_k:

@@ -35,6 +35,12 @@ class ObjectUpdate:
 
     ``old_location is None`` encodes an appearing object and
     ``new_location is None`` a disappearing one; both set is a movement.
+
+    Example::
+
+        ObjectUpdate(7, None, location)        # appearance
+        ObjectUpdate(7, location, other)       # movement
+        ObjectUpdate(7, other, None)           # disappearance
     """
 
     object_id: int
@@ -49,10 +55,12 @@ class ObjectUpdate:
 
     @property
     def is_insertion(self) -> bool:
+        """True when the object newly appeared this timestamp."""
         return self.old_location is None
 
     @property
     def is_deletion(self) -> bool:
+        """True when the object disappeared this timestamp."""
         return self.new_location is None
 
 
@@ -62,6 +70,12 @@ class QueryUpdate:
 
     ``old_location is None`` encodes a newly installed query (``k`` must be
     provided), ``new_location is None`` a terminated one.
+
+    Example::
+
+        QueryUpdate(100, None, location, k=4)  # installation
+        QueryUpdate(100, location, other)      # movement
+        QueryUpdate(100, other, None)          # termination
     """
 
     query_id: int
@@ -81,16 +95,24 @@ class QueryUpdate:
 
     @property
     def is_installation(self) -> bool:
+        """True when the query was newly installed this timestamp."""
         return self.old_location is None
 
     @property
     def is_termination(self) -> bool:
+        """True when the query was terminated this timestamp."""
         return self.new_location is None
 
 
 @dataclass(frozen=True)
 class EdgeWeightUpdate:
-    """An edge-weight change (e.g. reported by a traffic sensor)."""
+    """An edge-weight change (e.g. reported by a traffic sensor).
+
+    Example::
+
+        update = EdgeWeightUpdate(12, old_weight=5.0, new_weight=6.5)
+        assert update.is_increase and update.delta == 1.5
+    """
 
     edge_id: int
     old_weight: float
@@ -104,10 +126,12 @@ class EdgeWeightUpdate:
 
     @property
     def is_increase(self) -> bool:
+        """True when the edge became more expensive."""
         return self.new_weight > self.old_weight
 
     @property
     def is_decrease(self) -> bool:
+        """True when the edge became cheaper."""
         return self.new_weight < self.old_weight
 
     @property
@@ -118,7 +142,15 @@ class EdgeWeightUpdate:
 
 @dataclass
 class UpdateBatch:
-    """All updates received in one timestamp."""
+    """All updates received in one timestamp.
+
+    Example::
+
+        batch = UpdateBatch(timestamp=3)
+        batch.add_object_move(7, old_location, new_location)
+        batch.add_edge_change(12, old_weight=5.0, new_weight=6.5)
+        server.apply_updates(batch.normalized())
+    """
 
     timestamp: int = 0
     object_updates: List[ObjectUpdate] = field(default_factory=list)
@@ -132,19 +164,23 @@ class UpdateBatch:
         return len(self.object_updates) + len(self.query_updates) + len(self.edge_updates)
 
     def is_empty(self) -> bool:
+        """True when the batch carries no updates at all."""
         return len(self) == 0
 
     def add_object_move(
         self, object_id: int, old: NetworkLocation, new: NetworkLocation
     ) -> None:
+        """Append an object movement to the batch."""
         self.object_updates.append(ObjectUpdate(object_id, old, new))
 
     def add_query_move(
         self, query_id: int, old: NetworkLocation, new: NetworkLocation
     ) -> None:
+        """Append a query movement to the batch."""
         self.query_updates.append(QueryUpdate(query_id, old, new))
 
     def add_edge_change(self, edge_id: int, old_weight: float, new_weight: float) -> None:
+        """Append an edge-weight change to the batch."""
         self.edge_updates.append(EdgeWeightUpdate(edge_id, old_weight, new_weight))
 
     # ------------------------------------------------------------------
@@ -208,7 +244,7 @@ class UpdateBatch:
         # Cancelled entities were dropped from the merged maps (and an entity
         # re-appearing after a cancellation re-enters the order list), so the
         # order lists may hold gaps and duplicates — emit each survivor once.
-        def emit(order: List[int], merged: Dict[int, object]) -> List[object]:
+        def _emit(order: List[int], merged: Dict[int, object]) -> List[object]:
             emitted: set = set()
             result: List[object] = []
             for entity_id in order:
@@ -219,8 +255,8 @@ class UpdateBatch:
 
         return UpdateBatch(
             timestamp=self.timestamp,
-            object_updates=emit(object_order, merged_objects),
-            query_updates=emit(query_order, merged_queries),
+            object_updates=_emit(object_order, merged_objects),
+            query_updates=_emit(query_order, merged_queries),
             edge_updates=[
                 merged_edges[i]
                 for i in edge_order
@@ -235,6 +271,12 @@ def apply_batch(network: RoadNetwork, edge_table: EdgeTable, batch: UpdateBatch)
     Edge updates set the new weights; object updates insert / move / remove
     objects in the edge table.  Query updates are *not* applied here because
     query positions are algorithm state, not shared state.
+
+    Example::
+
+        apply_batch(network, edge_table, batch.normalized())
+        for monitor in monitors:               # every monitor, same input
+            monitor.process_batch(batch)
     """
     for edge_update in batch.edge_updates:
         network.set_edge_weight(edge_update.edge_id, edge_update.new_weight)

@@ -62,7 +62,14 @@ _ACTIVE_NODE_MIN_DEGREE = 3
 
 
 class GmaMonitor(MonitorBase):
-    """Shared-execution continuous k-NN monitoring via sequence active nodes."""
+    """Shared-execution continuous k-NN monitoring via sequence active nodes.
+
+    Example::
+
+        monitor = GmaMonitor(network, edge_table)
+        monitor.register_query(1, location, k=4)
+        monitor.process_batch(batch)      # grouped shared execution
+    """
 
     name = "GMA"
 

@@ -91,7 +91,14 @@ class _Pending:
 
 
 class ImaMonitor(MonitorBase):
-    """Incremental continuous k-NN monitoring with expansion trees."""
+    """Incremental continuous k-NN monitoring with expansion trees.
+
+    Example::
+
+        monitor = ImaMonitor(network, edge_table)
+        monitor.register_query(1, location, k=4)
+        monitor.process_batch(batch)      # incremental maintenance
+    """
 
     name = "IMA"
 

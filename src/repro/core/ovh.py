@@ -25,7 +25,14 @@ from repro.network.graph import NetworkLocation, RoadNetwork
 
 
 class OvhMonitor(MonitorBase):
-    """Recompute-from-scratch continuous k-NN monitoring."""
+    """Recompute-from-scratch continuous k-NN monitoring.
+
+    Example::
+
+        monitor = OvhMonitor(network, edge_table)
+        monitor.register_query(1, location, k=4)
+        monitor.process_batch(batch)      # recomputes every query
+    """
 
     name = "OVH"
 

@@ -31,6 +31,11 @@ class KnnResult:
             distance (ties broken by object id for determinism).
         radius: the distance of the k-th neighbor, or ``inf`` when fewer
             than ``k`` objects are reachable (the paper's ``kNN_dist``).
+
+    Example::
+
+        result = server.result_of(100)
+        print(result.object_ids, result.radius)
     """
 
     query_id: int
@@ -95,6 +100,7 @@ class NeighborList:
 
     @property
     def k(self) -> int:
+        """The number of neighbors this list ranks."""
         return self._k
 
     @classmethod
@@ -138,6 +144,7 @@ class NeighborList:
         return False
 
     def clear(self) -> None:
+        """Drop every candidate."""
         self._distances.clear()
         self._dirty = True
 
@@ -152,6 +159,7 @@ class NeighborList:
         return self._radius
 
     def distance_of(self, object_id: int) -> Optional[float]:
+        """Stored distance of a candidate, or None if absent."""
         return self._distances.get(object_id)
 
     def top_k(self) -> List[Neighbor]:

@@ -60,6 +60,12 @@ class SearchCounters:
     Wall-clock time in Python is dominated by interpreter overhead; the
     benchmark harness therefore also reports these counters, which track the
     algorithmic work the paper's CPU-time figures measure.
+
+    Example::
+
+        counters = SearchCounters()
+        expand_knn(network, edge_table, k=4, query_location=loc, counters=counters)
+        print(counters.snapshot())
     """
 
     searches: int = 0
@@ -179,6 +185,11 @@ def expand_knn(
 
     Raises:
         InvalidQueryError: if k < 1 or no query source was provided.
+
+    Example::
+
+        outcome = expand_knn(network, edge_table, k=4, query_location=loc)
+        print(outcome.neighbors, outcome.radius)
     """
     if k < 1:
         raise InvalidQueryError(f"k must be >= 1, got {k}")

@@ -42,7 +42,14 @@ def expand_knn_legacy(
     excluded_objects: Optional[Set[int]] = None,
     counters: Optional[SearchCounters] = None,
 ) -> SearchOutcome:
-    """Dict-based reference expansion; same contract as ``expand_knn``."""
+    """Dict-based reference expansion; same contract as ``expand_knn``.
+
+    Example::
+
+        legacy = expand_knn_legacy(network, edge_table, k=4, query_location=loc)
+        fast = expand_knn(network, edge_table, k=4, query_location=loc)
+        assert legacy.neighbors == fast.neighbors
+    """
     if k < 1:
         raise InvalidQueryError(f"k must be >= 1, got {k}")
     if query_location is None and source_node is None:

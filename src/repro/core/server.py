@@ -56,7 +56,33 @@ ALGORITHMS = {
 
 
 class MonitoringServer:
-    """Central continuous k-NN monitoring server over one road network."""
+    """Central continuous k-NN monitoring server over one road network.
+
+    Example::
+
+        network = city_network(400, seed=7)
+        server = MonitoringServer(network, algorithm="gma")
+        server.add_object_at(1, x=120.0, y=80.0)
+        server.add_query_at(100, x=100.0, y=100.0, k=2)
+        report = server.tick()
+        print(server.result_of(100).neighbors)
+    """
+
+    def __new__(cls, *args, **kwargs):
+        """Dispatch ``workers > 1`` to the sharded multi-process server.
+
+        ``MonitoringServer(network, workers=4)`` returns a
+        :class:`~repro.core.sharding.ShardedMonitoringServer`, which keeps
+        the exact same public API but fans every tick out to four worker
+        processes.  Explicitly constructed subclasses are left alone.
+        ``workers`` is keyword-only, so reading it from *kwargs* is safe.
+        """
+        workers = kwargs.get("workers", 1)
+        if cls is MonitoringServer and workers is not None and workers > 1:
+            from repro.core.sharding import ShardedMonitoringServer
+
+            return super().__new__(ShardedMonitoringServer)
+        return super().__new__(cls)
 
     def __init__(
         self,
@@ -64,6 +90,8 @@ class MonitoringServer:
         algorithm: Union[str, MonitorBase] = "ima",
         edge_table: Optional[EdgeTable] = None,
         kernel: str = "csr",
+        *,
+        workers: int = 1,
     ) -> None:
         """Create a server over *network* running *algorithm*.
 
@@ -77,18 +105,21 @@ class MonitoringServer:
                 (default) or ``"legacy"`` (the dict-walking reference paths,
                 used for differential testing).  Ignored when *algorithm* is
                 an already constructed monitor.
+            workers: number of query-execution processes (keyword-only).
+                ``1`` (default) runs everything in-process; larger values
+                hand construction over to
+                :class:`~repro.core.sharding.ShardedMonitoringServer`
+                (see :meth:`__new__`), which partitions the queries across
+                that many workers.
         """
+        if workers is not None and workers < 1:
+            # Surfaced here (not just in the sharded subclass) so a config
+            # that computed workers=0 fails loudly instead of silently
+            # building a single-process server.
+            raise MonitoringError(f"workers must be >= 1, got {workers}")
         self._network = network
         self._edge_table = edge_table if edge_table is not None else EdgeTable(network)
-        if isinstance(algorithm, MonitorBase):
-            self._monitor = algorithm
-        else:
-            key = algorithm.lower()
-            if key not in ALGORITHMS:
-                raise MonitoringError(
-                    f"unknown algorithm {algorithm!r}; choose one of {sorted(ALGORITHMS)}"
-                )
-            self._monitor = ALGORITHMS[key](self._network, self._edge_table, kernel=kernel)
+        self._monitor = self._make_monitor(algorithm, kernel)
         self._pending = UpdateBatch(timestamp=0)
         self._timestamp = 0
         self._object_locations: Dict[int, NetworkLocation] = {
@@ -96,29 +127,73 @@ class MonitoringServer:
         }
         self._query_locations: Dict[int, NetworkLocation] = {}
         self._query_k: Dict[int, int] = {}
+        if workers is not None and workers > 1 and self._monitor is not None:
+            # Only ShardedMonitoringServer (whose _make_monitor returns
+            # None) honours workers > 1; a direct subclass reaching this
+            # point would silently run single-process otherwise.
+            raise MonitoringError(
+                f"{type(self).__name__} runs in-process and ignores "
+                f"workers={workers}; construct ShardedMonitoringServer for "
+                "multi-process execution"
+            )
+
+    @staticmethod
+    def _resolve_algorithm_key(algorithm: str) -> str:
+        """Validate an algorithm name and return its ALGORITHMS key."""
+        key = algorithm.lower()
+        if key not in ALGORITHMS:
+            raise MonitoringError(
+                f"unknown algorithm {algorithm!r}; choose one of {sorted(ALGORITHMS)}"
+            )
+        return key
+
+    def _make_monitor(
+        self, algorithm: Union[str, MonitorBase], kernel: str
+    ) -> Optional[MonitorBase]:
+        """Resolve *algorithm* to the in-process monitor instance.
+
+        The sharded subclass overrides this to validate the name and return
+        None — its monitors live in the worker processes.
+        """
+        if isinstance(algorithm, MonitorBase):
+            return algorithm
+        key = self._resolve_algorithm_key(algorithm)
+        return ALGORITHMS[key](self._network, self._edge_table, kernel=kernel)
 
     # ------------------------------------------------------------------
     # properties
     # ------------------------------------------------------------------
     @property
     def network(self) -> RoadNetwork:
+        """The road network this server monitors."""
         return self._network
 
     @property
     def edge_table(self) -> EdgeTable:
+        """The edge table tracking the data objects (shared state)."""
         return self._edge_table
 
     @property
     def monitor(self) -> MonitorBase:
+        """The in-process monitoring algorithm instance."""
         return self._monitor
 
     @property
     def algorithm_name(self) -> str:
+        """Short name of the running algorithm ("OVH", "IMA", "GMA")."""
         return self._monitor.name
 
     @property
     def current_timestamp(self) -> int:
+        """The timestamp the next :meth:`tick` will process."""
         return self._timestamp
+
+    def _ensure_accepting_updates(self) -> None:
+        """Hook called before any update is buffered (no-op in-process).
+
+        The sharded subclass overrides this to reject ingestion after
+        :meth:`close`, where buffered updates could never be processed.
+        """
 
     # ------------------------------------------------------------------
     # location helpers
@@ -137,6 +212,7 @@ class MonitoringServer:
     # ------------------------------------------------------------------
     def add_object(self, object_id: int, location: NetworkLocation) -> None:
         """Register a new data object (takes effect at the next tick)."""
+        self._ensure_accepting_updates()
         if object_id in self._object_locations:
             raise DuplicateObjectError(object_id)
         self._network.validate_location(location)
@@ -151,6 +227,7 @@ class MonitoringServer:
 
     def move_object(self, object_id: int, new_location: NetworkLocation) -> None:
         """Report a data-object movement (takes effect at the next tick)."""
+        self._ensure_accepting_updates()
         old_location = self._object_locations.get(object_id)
         if old_location is None:
             raise UnknownObjectError(object_id)
@@ -168,6 +245,7 @@ class MonitoringServer:
 
     def remove_object(self, object_id: int) -> None:
         """Report that a data object disappeared."""
+        self._ensure_accepting_updates()
         old_location = self._object_locations.pop(object_id, None)
         if old_location is None:
             raise UnknownObjectError(object_id)
@@ -192,6 +270,7 @@ class MonitoringServer:
             DuplicateObjectError: if any id is already registered (or appears
                 twice in the batch).
         """
+        self._ensure_accepting_updates()
         batch = list(items)
         seen: Set[int] = set()
         for object_id, _, _ in batch:
@@ -220,6 +299,7 @@ class MonitoringServer:
         Raises:
             UnknownObjectError: if any id has never been added.
         """
+        self._ensure_accepting_updates()
         batch = list(items)
         for object_id, _, _ in batch:
             if object_id not in self._object_locations:
@@ -250,6 +330,7 @@ class MonitoringServer:
             DuplicateObjectError / UnknownObjectError / DuplicateQueryError /
             UnknownQueryError: on id misuse, before anything is buffered.
         """
+        self._ensure_accepting_updates()
         object_locations = self._object_locations
         query_locations = self._query_locations
         # Validate the whole batch first so a bad update leaves the pending
@@ -326,8 +407,15 @@ class MonitoringServer:
             else:
                 old_location = query_locations[update.query_id]
                 query_locations[update.query_id] = update.new_location
+                if update.k is not None:
+                    # A normalized same-tick terminate+reinstall arrives as a
+                    # movement carrying the new k; adopt it and forward it so
+                    # monitors split it back into terminate + install.
+                    self._query_k[update.query_id] = update.k
                 pending.query_updates.append(
-                    QueryUpdate(update.query_id, old_location, update.new_location)
+                    QueryUpdate(
+                        update.query_id, old_location, update.new_location, update.k
+                    )
                 )
         for edge_update in batch.edge_updates:
             old_weight = self._network.edge(edge_update.edge_id).weight
@@ -338,6 +426,7 @@ class MonitoringServer:
             )
 
     def object_ids(self) -> Set[int]:
+        """Ids of every registered data object (including pending adds)."""
         return set(self._object_locations)
 
     # ------------------------------------------------------------------
@@ -345,6 +434,7 @@ class MonitoringServer:
     # ------------------------------------------------------------------
     def add_query(self, query_id: int, location: NetworkLocation, k: int) -> None:
         """Install a continuous k-NN query (takes effect at the next tick)."""
+        self._ensure_accepting_updates()
         if query_id in self._query_locations:
             raise DuplicateQueryError(query_id)
         self._network.validate_location(location)
@@ -360,6 +450,7 @@ class MonitoringServer:
 
     def move_query(self, query_id: int, new_location: NetworkLocation) -> None:
         """Report a query movement (takes effect at the next tick)."""
+        self._ensure_accepting_updates()
         old_location = self._query_locations.get(query_id)
         if old_location is None:
             raise UnknownQueryError(query_id)
@@ -377,6 +468,7 @@ class MonitoringServer:
 
     def remove_query(self, query_id: int) -> None:
         """Terminate a continuous query."""
+        self._ensure_accepting_updates()
         old_location = self._query_locations.pop(query_id, None)
         if old_location is None:
             raise UnknownQueryError(query_id)
@@ -384,6 +476,7 @@ class MonitoringServer:
         self._pending.query_updates.append(QueryUpdate(query_id, old_location, None))
 
     def query_ids(self) -> Set[int]:
+        """Ids of every installed query (including pending installations)."""
         return set(self._query_locations)
 
     # ------------------------------------------------------------------
@@ -391,6 +484,7 @@ class MonitoringServer:
     # ------------------------------------------------------------------
     def update_edge_weight(self, edge_id: int, new_weight: float) -> None:
         """Report an edge-weight change, e.g. from a traffic sensor."""
+        self._ensure_accepting_updates()
         old_weight = self._network.edge(edge_id).weight
         self._pending.edge_updates.append(
             EdgeWeightUpdate(edge_id, old_weight, new_weight)
@@ -399,12 +493,21 @@ class MonitoringServer:
     # ------------------------------------------------------------------
     # processing
     # ------------------------------------------------------------------
-    def tick(self) -> TimestepReport:
-        """Process every buffered update as one timestamp."""
+    def _take_pending_batch(self) -> UpdateBatch:
+        """Detach the pending buffer as this tick's batch and advance time.
+
+        Shared by the in-process and sharded tick paths so batch/timestamp
+        semantics cannot diverge between them.
+        """
         batch = self._pending
         batch.timestamp = self._timestamp
         self._pending = UpdateBatch(timestamp=self._timestamp + 1)
         self._timestamp += 1
+        return batch
+
+    def tick(self) -> TimestepReport:
+        """Process every buffered update as one timestamp."""
+        batch = self._take_pending_batch()
         apply_batch(self._network, self._edge_table, batch.normalized())
         return self._monitor.process_batch(batch)
 
@@ -415,3 +518,23 @@ class MonitoringServer:
     def results(self) -> Dict[int, KnnResult]:
         """Current results of every query (after the last tick)."""
         return self._monitor.results()
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Release external resources (idempotent).
+
+        A no-op for the in-process server; the sharded subclass shuts its
+        worker processes down and unlinks the shared-memory snapshot here.
+        Provided on the base class so ``with MonitoringServer(...) as s:``
+        works uniformly regardless of ``workers``.
+        """
+
+    def __enter__(self) -> "MonitoringServer":
+        """Enter a context that guarantees :meth:`close` on exit."""
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        """Close the server when the ``with`` block ends."""
+        self.close()

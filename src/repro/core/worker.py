@@ -1,0 +1,181 @@
+"""Shard worker: the per-process execution engine of the sharded server.
+
+A worker owns one monitor over a private replica of the road network and
+edge table, plus the subset of continuous queries its shard was assigned.
+The parent (:class:`~repro.core.sharding.ShardedMonitoringServer`) ships one
+:class:`ShardInit` at spawn time and then one message per timestamp over a
+``multiprocessing`` pipe:
+
+* ``("tick", timestamp, shared_blob, query_updates)`` — the timestamp's
+  object and edge updates arrive as one pre-pickled blob (serialized once by
+  the parent, not once per shard) together with the query updates owned by
+  this shard.  The worker rebuilds the normalized
+  :class:`~repro.core.events.UpdateBatch`, applies it to its replica, runs
+  the monitor, and replies ``("report", payload)`` with the tick report
+  fields and the full results of every changed query.
+* ``("stop",)`` — shut down.
+
+The flat-array CSR snapshot is *not* replicated: the parent exports it once
+per topology version through :class:`~repro.network.csr.SharedCSR` and the
+worker attaches zero-copy numpy views (or private copies kept fresh by the
+broadcast edge deltas — see :func:`~repro.network.csr.attach_shared_csr`).
+"""
+
+from __future__ import annotations
+
+import pickle
+import time
+import traceback
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+from repro.core.events import UpdateBatch, apply_batch
+from repro.core.results import KnnResult
+from repro.network.csr import SharedCSRHandle, attach_shared_csr, install_snapshot
+from repro.network.edge_table import EdgeTable
+from repro.network.graph import NetworkLocation, RoadNetwork
+
+#: Multiplicative (Knuth) hash spreading query ids across shards; plain
+#: modulo would collapse ids sharing a stride that divides the shard count.
+#: The *high* half of the 32-bit product is used — the low bits preserve
+#: stride divisibility and would suffer the same collapse.
+_HASH_MULTIPLIER = 2654435761
+_HASH_MASK = 0xFFFFFFFF
+
+
+def shard_of(query_id: int, shards: int) -> int:
+    """Deterministic shard index of *query_id* among *shards* workers.
+
+    Example::
+
+        shard_of(1_000_000, 4)  # same value in every process, every run
+    """
+    return (((query_id * _HASH_MULTIPLIER) & _HASH_MASK) >> 16) % shards
+
+
+@dataclass
+class ShardInit:
+    """Everything a shard worker needs to build its private replica.
+
+    The network travels as one pre-pickled blob (``RoadNetwork.__getstate__``
+    dropped its in-process weight listeners) and is unpickled *inside* the
+    worker: the parent serializes once for the whole fleet, holds no
+    replica objects itself, and the ``spawn`` start method ships the bytes
+    without a decode/re-encode round trip.
+    """
+
+    shard_id: int
+    algorithm: str
+    kernel: str
+    network_blob: bytes
+    objects: Dict[int, NetworkLocation]
+    queries: Dict[int, Tuple[NetworkLocation, int]] = field(default_factory=dict)
+    csr_handle: Optional[SharedCSRHandle] = None
+    zero_copy: bool = False
+
+
+def _plain_result(result: KnnResult) -> KnnResult:
+    """Normalize a result to builtin ints/floats for the IPC boundary.
+
+    Zero-copy workers compute distances as numpy scalars; converting here
+    keeps the merged results byte-identical to the single-process server's.
+    """
+    return KnnResult(
+        query_id=int(result.query_id),
+        k=int(result.k),
+        neighbors=tuple(
+            (int(object_id), float(distance))
+            for object_id, distance in result.neighbors
+        ),
+        radius=float(result.radius),
+    )
+
+
+def _build_state(init: ShardInit):
+    """Construct the worker-local network state and monitor."""
+    # Imported here (not at module top) to keep the worker import graph free
+    # of a server <-> worker cycle.
+    from repro.core.server import ALGORITHMS
+
+    network: RoadNetwork = pickle.loads(init.network_blob)
+    edge_table = EdgeTable(network, build_spatial_index=False)
+    for object_id, location in init.objects.items():
+        edge_table.insert_object(object_id, location)
+    if init.csr_handle is not None:
+        snapshot = attach_shared_csr(network, init.csr_handle, zero_copy=init.zero_copy)
+        install_snapshot(network, snapshot)
+    monitor = ALGORITHMS[init.algorithm](network, edge_table, kernel=init.kernel)
+    results: Dict[int, KnnResult] = {}
+    for query_id, (location, k) in init.queries.items():
+        results[query_id] = _plain_result(monitor.register_query(query_id, location, k))
+    return network, edge_table, monitor, results
+
+
+def run_shard_worker(conn, init: ShardInit) -> None:
+    """Worker process entry point: build the replica, then serve ticks.
+
+    Sends ``("ready", initial_results)`` once construction succeeds, then
+    answers every tick message with ``("report", payload)`` where *payload*
+    is ``(timestamp, elapsed_seconds, cpu_seconds, changed_query_ids,
+    counters, changed_results)``; ``cpu_seconds`` is this process's CPU
+    time for the tick, the contention-free signal throughput studies use.
+    Any exception is reported as ``("error", traceback_text)`` and ends the
+    worker.
+    """
+    try:
+        network, edge_table, monitor, initial_results = _build_state(init)
+        conn.send(("ready", initial_results))
+    except Exception:
+        try:
+            conn.send(("error", traceback.format_exc()))
+        finally:
+            conn.close()
+        return
+    try:
+        while True:
+            try:
+                message = conn.recv()
+            except (EOFError, OSError):
+                break  # parent went away; nothing left to report to
+            kind = message[0]
+            if kind == "stop":
+                break
+            if kind != "tick":
+                conn.send(("error", f"shard {init.shard_id}: unknown message {kind!r}"))
+                break
+            _, timestamp, shared_blob, query_updates = message
+            try:
+                object_updates, edge_updates = pickle.loads(shared_blob)
+                batch = UpdateBatch(
+                    timestamp=timestamp,
+                    object_updates=object_updates,
+                    query_updates=query_updates,
+                    edge_updates=edge_updates,
+                )
+                cpu_start = time.process_time()
+                apply_batch(network, edge_table, batch)
+                report = monitor.process_batch(batch)
+                changed = set(report.changed_queries)
+                results = {
+                    query_id: _plain_result(monitor.result_of(query_id))
+                    for query_id in changed
+                }
+                cpu_seconds = time.process_time() - cpu_start
+                conn.send(
+                    (
+                        "report",
+                        (
+                            report.timestamp,
+                            report.elapsed_seconds,
+                            cpu_seconds,
+                            changed,
+                            dict(report.counters),
+                            results,
+                        ),
+                    )
+                )
+            except Exception:
+                conn.send(("error", traceback.format_exc()))
+                break
+    finally:
+        conn.close()

@@ -9,7 +9,15 @@ from __future__ import annotations
 
 
 class ReproError(Exception):
-    """Base class for every exception raised by this library."""
+    """Base class for every exception raised by this library.
+
+    Example::
+
+        try:
+            server.result_of(missing_query_id)
+        except ReproError as exc:   # every library error derives from it
+            print(exc)
+    """
 
 
 class NetworkError(ReproError):

@@ -9,7 +9,14 @@ from repro.network.builders import (
     star_network,
     subdivide_edges,
 )
-from repro.network.csr import CSRGraph, csr_snapshot
+from repro.network.csr import (
+    CSRGraph,
+    SharedCSR,
+    SharedCSRHandle,
+    attach_shared_csr,
+    csr_snapshot,
+    install_snapshot,
+)
 from repro.network.distance import (
     approximate_center_node,
     brute_force_knn,
@@ -38,6 +45,10 @@ __all__ = [
     "EdgeTable",
     "CSRGraph",
     "csr_snapshot",
+    "install_snapshot",
+    "SharedCSR",
+    "SharedCSRHandle",
+    "attach_shared_csr",
     "SequenceTable",
     "SequenceInfo",
     "build_network",

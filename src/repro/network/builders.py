@@ -69,6 +69,10 @@ def grid_network(
         jitter: maximum random displacement applied to every intersection, as
             a fraction of *spacing* (0 disables perturbation).
         seed: RNG seed (int), generator, or None for the library default.
+
+    Example::
+
+        network = grid_network(columns=8, rows=6)
     """
     require_positive_int(rows, "rows")
     require_positive_int(columns, "columns")
@@ -211,6 +215,11 @@ def city_network(
         removal_fraction: fraction of streets removed from the full grid.
         subdivision: number of segments each street is divided into.
         spacing: nominal block size in workspace units.
+
+    Example::
+
+        network = city_network(target_edges=500, seed=7)
+        print(network.node_count, network.edge_count)
     """
     require_positive_int(target_edges, "target_edges")
     require_positive_int(subdivision, "subdivision")
@@ -229,7 +238,12 @@ def city_network(
 
 
 def linear_network(num_nodes: int, spacing: float = 100.0) -> RoadNetwork:
-    """A simple path graph — handy for unit tests and worked examples."""
+    """A simple path graph — handy for unit tests and worked examples.
+
+    Example::
+
+        network = linear_network(num_nodes=10, spacing=50.0)
+    """
     require_positive_int(num_nodes, "num_nodes")
     if num_nodes < 2:
         raise NetworkError("a linear network needs at least 2 nodes")

@@ -108,6 +108,10 @@ def network_distance(
     Handles the same-edge case (direct travel along the edge versus a detour
     through the endpoints) and returns ``float('inf')`` when the target is
     unreachable.
+
+    Example::
+
+        distance = network_distance(network, location_a, location_b)
     """
     best = float("inf")
     origin_edge = network.edge(origin.edge_id)
@@ -189,6 +193,10 @@ def brute_force_knn(
     Returns:
         Up to *k* ``(object_id, distance)`` pairs ordered by distance, ties
         broken by object id for determinism.
+
+    Example::
+
+        truth = brute_force_knn(network, edge_table, query_location, k=4)
     """
     origin_dists = multi_source_node_distances(network, location_sources(network, query))
     query_edge = network.edge(query.edge_id)

@@ -33,7 +33,14 @@ from repro.spatial.pmr_quadtree import PMRQuadtree
 
 
 class EdgeTable:
-    """Tracks the data objects lying on every edge of a road network."""
+    """Tracks the data objects lying on every edge of a road network.
+
+    Example::
+
+        edge_table = EdgeTable(network)
+        edge_table.insert_object(7, edge_table.snap_point(Point(120.0, 80.0)))
+        print(edge_table.objects_on(10))
+    """
 
     def __init__(self, network: RoadNetwork, build_spatial_index: bool = True) -> None:
         """Create an edge table bound to *network*.
@@ -176,6 +183,7 @@ class EdgeTable:
     # lookups
     # ------------------------------------------------------------------
     def has_object(self, object_id: int) -> bool:
+        """True when the data object is registered."""
         return object_id in self._objects
 
     def location_of(self, object_id: int) -> NetworkLocation:

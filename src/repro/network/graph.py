@@ -43,10 +43,12 @@ class Node:
 
     @property
     def x(self) -> float:
+        """The node's workspace x coordinate."""
         return self.point.x
 
     @property
     def y(self) -> float:
+        """The node's workspace y coordinate."""
         return self.point.y
 
 
@@ -107,6 +109,11 @@ class NetworkLocation:
     ``fraction`` is measured from the edge's *start* node, so the travel cost
     from the start node to the location is ``fraction * edge.weight`` and the
     cost from the end node is ``(1 - fraction) * edge.weight``.
+
+    Example::
+
+        location = NetworkLocation(edge_id=10, fraction=0.25)
+        cost_from_start = location.offset(network.edge(10).weight)
     """
 
     edge_id: int
@@ -135,6 +142,14 @@ class RoadNetwork:
     queries, or influence lists — those live in the edge table and the
     monitoring algorithms — so that the same network instance can back
     several monitors (OVH / IMA / GMA) running in lock-step.
+
+    Example::
+
+        network = RoadNetwork()
+        network.add_node(1, x=0.0, y=0.0)
+        network.add_node(2, x=3.0, y=4.0)
+        network.add_edge(10, 1, 2)             # weight defaults to length 5.0
+        network.set_edge_weight(10, 7.5)       # congestion
     """
 
     def __init__(self) -> None:
@@ -154,12 +169,26 @@ class RoadNetwork:
             f"RoadNetwork(nodes={len(self._nodes)}, edges={len(self._edges)})"
         )
 
+    def __getstate__(self) -> Dict[str, object]:
+        """Pickle everything except the weight listeners.
+
+        Listeners are in-process callbacks (typically closures owned by CSR
+        snapshots); they are meaningless in another process, so a pickled
+        replica — e.g. one shipped to a sharded-server worker — starts with
+        an empty listener list and registers its own.
+        """
+        state = self.__dict__.copy()
+        state["_weight_listeners"] = []
+        return state
+
     @property
     def node_count(self) -> int:
+        """Number of nodes in the network."""
         return len(self._nodes)
 
     @property
     def edge_count(self) -> int:
+        """Number of edges in the network."""
         return len(self._edges)
 
     @property
@@ -304,9 +333,11 @@ class RoadNetwork:
             raise EdgeNotFoundError(edge_id) from exc
 
     def has_node(self, node_id: int) -> bool:
+        """True when a node with this id exists."""
         return node_id in self._nodes
 
     def has_edge(self, edge_id: int) -> bool:
+        """True when an edge with this id exists."""
         return edge_id in self._edges
 
     def nodes(self) -> Iterator[Node]:
@@ -318,9 +349,11 @@ class RoadNetwork:
         return iter(self._edges.values())
 
     def node_ids(self) -> Iterator[int]:
+        """Iterate over all node ids."""
         return iter(self._nodes.keys())
 
     def edge_ids(self) -> Iterator[int]:
+        """Iterate over all edge ids."""
         return iter(self._edges.keys())
 
     def edge_between(self, u: int, v: int) -> Optional[int]:

@@ -26,7 +26,12 @@ _RNET_HEADER = "# repro road network v1"
 
 
 def save_network(network: RoadNetwork, path: PathLike) -> None:
-    """Write *network* to *path* in the ``.rnet`` text format."""
+    """Write *network* to *path* in the ``.rnet`` text format.
+
+    Example::
+
+        save_network(network, "city.rnet")
+    """
     lines = [_RNET_HEADER]
     lines.append(f"nodes {network.node_count}")
     for node in sorted(network.nodes(), key=lambda n: n.node_id):
@@ -46,6 +51,10 @@ def load_network(path: PathLike) -> RoadNetwork:
 
     Raises:
         NetworkError: if the file is malformed.
+
+    Example::
+
+        network = load_network("city.rnet")
     """
     text = Path(path).read_text(encoding="utf-8")
     lines = [line.strip() for line in text.splitlines() if line.strip()]

@@ -70,6 +70,11 @@ class SequenceTable:
     * distances along the sequence from a location inside it to each
       endpoint (used to seed per-query evaluation with active-node results),
     * the set of objects/edges of a sequence.
+
+    Example::
+
+        sequences = SequenceTable(network)
+        info = sequences.sequence_of_edge(10)
     """
 
     def __init__(self, network: RoadNetwork) -> None:

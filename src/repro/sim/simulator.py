@@ -172,15 +172,19 @@ class Simulator:
     # ------------------------------------------------------------------
     # server-driven runs (the batched ingestion path)
     # ------------------------------------------------------------------
-    def make_server(self, algorithm: str = "ima") -> MonitoringServer:
+    def make_server(self, algorithm: str = "ima", workers: int = 1) -> MonitoringServer:
         """Build a :class:`MonitoringServer` sharing this scenario's state.
 
         The server reuses the simulator's network and edge table, so the
         pre-placed data objects are already registered; the configured
         queries are installed through the server's pending buffer and take
-        effect at its first tick.
+        effect at its first tick.  Pass ``workers > 1`` for a sharded
+        multi-process server (close it when done — e.g. drive it inside a
+        ``with`` block).
         """
-        server = MonitoringServer(self._network, algorithm, edge_table=self._edge_table)
+        server = MonitoringServer(
+            self._network, algorithm, edge_table=self._edge_table, workers=workers
+        )
         for query_id, location in self._query_locations.items():
             server.add_query(query_id, location, self._config.k)
         return server

@@ -20,7 +20,13 @@ _EPS = 1e-12
 
 @dataclass(frozen=True)
 class Point:
-    """A point in the two-dimensional workspace."""
+    """A point in the two-dimensional workspace.
+
+    Example::
+
+        point = Point(3.0, 4.0)
+        print(point.distance_to(Point(0.0, 0.0)))   # 5.0
+    """
 
     x: float
     y: float
@@ -40,7 +46,13 @@ class Point:
 
 @dataclass(frozen=True)
 class Rect:
-    """An axis-aligned rectangle ``[min_x, max_x] x [min_y, max_y]``."""
+    """An axis-aligned rectangle ``[min_x, max_x] x [min_y, max_y]``.
+
+    Example::
+
+        rect = Rect(0.0, 0.0, 100.0, 50.0)
+        assert rect.contains_point(Point(10.0, 10.0))
+    """
 
     min_x: float
     min_y: float
@@ -137,7 +149,13 @@ class Rect:
 
 @dataclass(frozen=True)
 class Segment:
-    """A straight line segment between two points (a network edge's shape)."""
+    """A straight line segment between two points (a network edge's shape).
+
+    Example::
+
+        segment = Segment(Point(0.0, 0.0), Point(10.0, 0.0))
+        print(segment.project_fraction(Point(3.0, 4.0)))   # 0.3
+    """
 
     start: Point
     end: Point

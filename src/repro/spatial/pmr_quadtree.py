@@ -55,7 +55,15 @@ class _QuadNode:
 
 
 class PMRQuadtree:
-    """PMR quadtree mapping 2-D coordinates to road-network edges."""
+    """PMR quadtree mapping 2-D coordinates to road-network edges.
+
+    Example::
+
+        index = PMRQuadtree(network.bounding_box(margin=1.0))
+        for edge in network.edges():
+            index.insert(edge.edge_id, network.edge_segment(edge.edge_id))
+        edge_id, distance = index.nearest_edge(Point(120.0, 80.0))
+    """
 
     def __init__(
         self,

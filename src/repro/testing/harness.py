@@ -20,6 +20,7 @@ from repro.core.gma import GmaMonitor
 from repro.core.ima import ImaMonitor
 from repro.core.ovh import OvhMonitor
 from repro.core.results import results_equal
+from repro.core.server import MonitoringServer
 from repro.exceptions import SimulationError
 from repro.network.builders import city_network
 from repro.network.edge_table import EdgeTable
@@ -47,10 +48,25 @@ def _make_monitor(name: str, network, edge_table) -> MonitorBase:
     return cls(network, edge_table, kernel=kernel)
 
 
-def replay_command(scenario: str, seed: int) -> str:
-    """The one-command local reproduction of a fuzz failure."""
+def replay_command(
+    scenario: str,
+    seed: int,
+    workers: Optional[int] = None,
+    server_algorithm: str = "ima",
+) -> str:
+    """The one-command local reproduction of a fuzz failure.
+
+    When the failing run drove servers (``workers`` set), the command
+    carries ``FUZZ_WORKERS`` (and ``FUZZ_SERVER_ALGORITHM`` when not the
+    default) so a sharded-only divergence reproduces too.
+    """
+    env = f"FUZZ_SCENARIO={scenario} FUZZ_SEED={seed} "
+    if workers is not None:
+        env += f"FUZZ_WORKERS={workers} "
+        if server_algorithm.lower() != "ima":
+            env += f"FUZZ_SERVER_ALGORITHM={server_algorithm} "
     return (
-        f"FUZZ_SCENARIO={scenario} FUZZ_SEED={seed} PYTHONPATH=src "
+        env + "PYTHONPATH=src "
         "python -m pytest tests/test_fuzz_differential.py::test_replay_from_env -q -s"
     )
 
@@ -64,9 +80,14 @@ class DifferentialReport:
     timestamps: int
     checks: int = 0
     mismatches: List[str] = field(default_factory=list)
+    #: the server configuration of the run, carried so failure_message can
+    #: emit a replay command that reconstructs the same servers
+    workers: Optional[int] = None
+    server_algorithm: str = "ima"
 
     @property
     def ok(self) -> bool:
+        """True when every check agreed with the oracle."""
         return not self.mismatches
 
     def failure_message(self, limit: int = 5) -> str:
@@ -78,8 +99,42 @@ class DifferentialReport:
             f"scenario {self.scenario!r} seed {self.seed} diverged from the oracle "
             f"({len(self.mismatches)} mismatches over {self.timestamps} ticks):\n"
             f"  {shown}{suffix}\n"
-            f"replay locally with:\n  {replay_command(self.scenario, self.seed)}"
+            f"replay locally with:\n  "
+            f"{replay_command(self.scenario, self.seed, self.workers, self.server_algorithm)}"
         )
+
+
+def _make_scenario_server(
+    network: RoadNetwork,
+    engine: ScenarioEngine,
+    algorithm: str,
+    workers: Optional[int],
+) -> MonitoringServer:
+    """A server over a private network replica, primed with the engine's state.
+
+    The replica lets the server apply every batch itself (through
+    ``apply_updates`` + ``tick``) without double-applying to the harness's
+    shared network.  ``workers=None`` builds the plain in-process server;
+    any integer — including 1 — builds a
+    :class:`~repro.core.sharding.ShardedMonitoringServer` with that many
+    worker processes, so the IPC layer is exercised even in the
+    single-worker matrix leg.
+    """
+    from repro.core.sharding import ShardedMonitoringServer
+
+    replica = network.copy()
+    edge_table = EdgeTable(replica, build_spatial_index=False)
+    for object_id, location in engine.initial_objects().items():
+        edge_table.insert_object(object_id, location)
+    if workers is None:
+        server = MonitoringServer(replica, algorithm=algorithm, edge_table=edge_table)
+    else:
+        server = ShardedMonitoringServer(
+            replica, algorithm=algorithm, edge_table=edge_table, workers=workers
+        )
+    for query_id, (location, k) in engine.initial_queries().items():
+        server.add_query(query_id, location, k)
+    return server
 
 
 def run_differential_scenario(
@@ -89,6 +144,8 @@ def run_differential_scenario(
     network: Optional[RoadNetwork] = None,
     network_edges: int = 120,
     timestamps: Optional[int] = None,
+    workers: Optional[int] = None,
+    server_algorithm: str = "ima",
 ) -> DifferentialReport:
     """Run *algorithms* over a scenario stream and diff them against the oracle.
 
@@ -97,6 +154,19 @@ def run_differential_scenario(
     timestamp each monitor's :class:`~repro.core.base.TimestepReport` must
     carry the batch's timestamp and every live query's distance profile must
     match the brute-force oracle's.
+
+    When *workers* is given, the same stream additionally drives two
+    :class:`~repro.core.server.MonitoringServer` instances running
+    *server_algorithm* over private network replicas — a single-process one
+    and a sharded one with that many worker processes — through the batched
+    ``apply_updates`` + ``tick`` pipeline.  Both must match the oracle at
+    every timestamp, and the sharded server's results must be identical to
+    the single-process server's.
+
+    Example::
+
+        report = run_differential_scenario("churn-heavy", seed=7, workers=4)
+        assert report.ok, report.failure_message()
     """
     spec = resolve_scenario(scenario)
     if network is None:
@@ -115,29 +185,79 @@ def run_differential_scenario(
         for monitor in monitors.values():
             monitor.register_query(query_id, location, k)
 
+    servers: Dict[str, MonitoringServer] = {}
+    if workers is not None:
+        if workers < 1:
+            raise SimulationError(f"workers must be >= 1, got {workers}")
+        # Distinct keys even when workers == 1: the baseline is always the
+        # in-process server, the second a sharded one with that many worker
+        # processes.
+        servers[f"{server_algorithm.upper()}-server-single"] = _make_scenario_server(
+            network, engine, server_algorithm, workers=None
+        )
+        servers[f"{server_algorithm.upper()}-server-x{workers}"] = _make_scenario_server(
+            network, engine, server_algorithm, workers=workers
+        )
+
     rounds = spec.timestamps if timestamps is None else timestamps
-    report = DifferentialReport(scenario=spec.name, seed=seed, timestamps=rounds)
-    for batch in engine.batches(rounds):
-        apply_batch(network, edge_table, batch.normalized())
-        oracle_report = oracle.process_batch(batch)
-        if oracle_report.timestamp != batch.timestamp:
-            report.mismatches.append(
-                f"t={batch.timestamp} ORACLE reported timestamp {oracle_report.timestamp}"
-            )
-        for name, monitor in monitors.items():
-            tick_report = monitor.process_batch(batch)
-            if tick_report.timestamp != batch.timestamp:
+    report = DifferentialReport(
+        scenario=spec.name,
+        seed=seed,
+        timestamps=rounds,
+        workers=workers,
+        server_algorithm=server_algorithm,
+    )
+    try:
+        for batch in engine.batches(rounds):
+            apply_batch(network, edge_table, batch.normalized())
+            oracle_report = oracle.process_batch(batch)
+            if oracle_report.timestamp != batch.timestamp:
                 report.mismatches.append(
-                    f"t={batch.timestamp} {name} reported timestamp {tick_report.timestamp}"
+                    f"t={batch.timestamp} ORACLE reported timestamp "
+                    f"{oracle_report.timestamp}"
                 )
-        for query_id in sorted(engine.live_queries()):
-            truth = list(oracle.result_of(query_id).neighbors)
             for name, monitor in monitors.items():
-                report.checks += 1
-                answer = list(monitor.result_of(query_id).neighbors)
-                if not results_equal(truth, answer):
+                tick_report = monitor.process_batch(batch)
+                if tick_report.timestamp != batch.timestamp:
                     report.mismatches.append(
-                        f"t={batch.timestamp} {name} q={query_id}: "
-                        f"expected {truth} got {answer}"
+                        f"t={batch.timestamp} {name} reported timestamp "
+                        f"{tick_report.timestamp}"
                     )
+            for name, server in servers.items():
+                server.apply_updates(batch)
+                tick_report = server.tick()
+                if tick_report.timestamp != batch.timestamp:
+                    report.mismatches.append(
+                        f"t={batch.timestamp} {name} reported timestamp "
+                        f"{tick_report.timestamp}"
+                    )
+            for query_id in sorted(engine.live_queries()):
+                truth = list(oracle.result_of(query_id).neighbors)
+                for name, monitor in monitors.items():
+                    report.checks += 1
+                    answer = list(monitor.result_of(query_id).neighbors)
+                    if not results_equal(truth, answer):
+                        report.mismatches.append(
+                            f"t={batch.timestamp} {name} q={query_id}: "
+                            f"expected {truth} got {answer}"
+                        )
+                reference: Optional[List] = None
+                for name, server in servers.items():
+                    report.checks += 1
+                    answer = list(server.result_of(query_id).neighbors)
+                    if not results_equal(truth, answer):
+                        report.mismatches.append(
+                            f"t={batch.timestamp} {name} q={query_id}: "
+                            f"expected {truth} got {answer}"
+                        )
+                    if reference is None:
+                        reference = answer
+                    elif not results_equal(reference, answer):
+                        report.mismatches.append(
+                            f"t={batch.timestamp} {name} q={query_id}: sharded "
+                            f"result {answer} != single-process {reference}"
+                        )
+    finally:
+        for server in servers.values():
+            server.close()
     return report

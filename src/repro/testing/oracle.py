@@ -23,7 +23,14 @@ from repro.network.graph import NetworkLocation
 
 
 class OracleMonitor(MonitorBase):
-    """Full brute-force recomputation of every query at every timestamp."""
+    """Full brute-force recomputation of every query at every timestamp.
+
+    Example::
+
+        oracle = OracleMonitor(network, edge_table)
+        oracle.register_query(1, location, k=4)
+        oracle.process_batch(batch)            # full brute-force recompute
+    """
 
     name = "ORACLE"
 

@@ -44,6 +44,10 @@ class ScenarioSpec:
     All fractions are of the respective live population (or the edge count)
     per timestamp; probabilities are per timestamp.  Use
     :meth:`with_overrides` to derive variants.
+
+    Example::
+
+        spec = SCENARIO_PRESETS["weight-storm"].with_overrides(timestamps=20)
     """
 
     name: str
@@ -192,6 +196,12 @@ class ScenarioEngine:
             :meth:`initial_objects` for the caller to insert.
         initial_queries: optionally adopt existing queries as
             ``{query_id: (location, k)}``.
+
+    Example::
+
+        engine = ScenarioEngine(network, "churn-heavy", seed=7)
+        for batch in engine.batches():
+            apply_batch(network, edge_table, batch.normalized())
     """
 
     def __init__(
@@ -246,10 +256,12 @@ class ScenarioEngine:
     # ------------------------------------------------------------------
     @property
     def spec(self) -> ScenarioSpec:
+        """The scenario specification driving this stream."""
         return self._spec
 
     @property
     def seed(self) -> int:
+        """The stream seed; ``(spec.name, seed)`` determines everything."""
         return self._seed
 
     def initial_objects(self) -> Dict[int, NetworkLocation]:

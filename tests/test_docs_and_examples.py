@@ -1,0 +1,102 @@
+"""Executable documentation: README snippets and examples cannot rot.
+
+* Every fenced ``python`` block in README.md that is self-contained (no
+  ``...`` placeholders) is executed in a fresh namespace — the quickstart
+  must run and print a result.
+* Every ``examples/*.py`` script is executed as a subprocess, exactly the
+  way the docs tell users to run it.
+* The auto-generated API reference must be in sync with the docstrings
+  (the same check the CI docs-build job runs), and the mkdocs nav must
+  reference only pages that exist.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import io
+import os
+import pathlib
+import re
+import subprocess
+import sys
+
+import pytest
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+README = REPO_ROOT / "README.md"
+
+_FENCE = re.compile(r"```python\n(.*?)```", re.DOTALL)
+
+
+def _runnable_readme_blocks():
+    blocks = _FENCE.findall(README.read_text(encoding="utf-8"))
+    assert blocks, "README.md lost its python snippets?"
+    # Blocks with literal `...` are illustrative fragments, not programs.
+    return [block for block in blocks if "..." not in block]
+
+
+def test_readme_quickstart_runs_and_prints():
+    blocks = _runnable_readme_blocks()
+    assert blocks, "README.md has no self-contained python snippet"
+    quickstart = blocks[0]
+    assert "MonitoringServer" in quickstart
+    stdout = io.StringIO()
+    namespace: dict = {}
+    with contextlib.redirect_stdout(stdout):
+        exec(compile(quickstart, str(README), "exec"), namespace)  # noqa: S102
+    assert "(" in stdout.getvalue(), "quickstart printed no k-NN result"
+
+
+@pytest.mark.parametrize(
+    "block_index", range(len(_runnable_readme_blocks())) or [0]
+)
+def test_readme_python_blocks_execute(block_index):
+    block = _runnable_readme_blocks()[block_index]
+    with contextlib.redirect_stdout(io.StringIO()):
+        exec(compile(block, f"{README}[block {block_index}]", "exec"), {})  # noqa: S102
+
+
+EXAMPLES = sorted((REPO_ROOT / "examples").glob("*.py"))
+
+
+def test_examples_are_documented():
+    """examples/README.md must mention every script."""
+    text = (REPO_ROOT / "examples" / "README.md").read_text(encoding="utf-8")
+    missing = [path.name for path in EXAMPLES if path.name not in text]
+    assert not missing, f"examples/README.md does not describe: {missing}"
+
+
+@pytest.mark.parametrize("script", EXAMPLES, ids=lambda path: path.stem)
+def test_example_scripts_run(script):
+    result = subprocess.run(
+        [sys.executable, str(script)],
+        cwd=REPO_ROOT,
+        env={**os.environ, "PYTHONPATH": str(REPO_ROOT / "src")},
+        capture_output=True,
+        text=True,
+        timeout=240,
+    )
+    assert result.returncode == 0, (
+        f"{script.name} failed:\n--- stdout ---\n{result.stdout[-2000:]}"
+        f"\n--- stderr ---\n{result.stderr[-2000:]}"
+    )
+    assert result.stdout.strip(), f"{script.name} printed nothing"
+
+
+def test_api_reference_is_fresh():
+    result = subprocess.run(
+        [sys.executable, str(REPO_ROOT / "scripts" / "gen_api_docs.py"), "--check"],
+        cwd=REPO_ROOT,
+        capture_output=True,
+        text=True,
+        timeout=120,
+    )
+    assert result.returncode == 0, result.stderr or result.stdout
+
+
+def test_mkdocs_nav_pages_exist():
+    text = (REPO_ROOT / "mkdocs.yml").read_text(encoding="utf-8")
+    pages = re.findall(r":\s*([\w\-/]+\.md)\s*$", text, re.MULTILINE)
+    assert pages, "mkdocs.yml nav is empty?"
+    missing = [page for page in pages if not (REPO_ROOT / "docs" / page).exists()]
+    assert not missing, f"mkdocs nav references missing pages: {missing}"

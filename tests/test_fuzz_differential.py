@@ -52,13 +52,21 @@ def test_replay_from_env():
     """Replay a single failing scenario: FUZZ_SCENARIO=<name> FUZZ_SEED=<n>.
 
     Skipped unless both environment variables are set (this is the target
-    of the replay command embedded in fuzz failure messages).
+    of the replay command embedded in fuzz failure messages).  Sharded
+    failures additionally set ``FUZZ_WORKERS`` (and, when not IMA,
+    ``FUZZ_SERVER_ALGORITHM``) so the same servers are reconstructed.
     """
     scenario = os.environ.get("FUZZ_SCENARIO")
     seed = os.environ.get("FUZZ_SEED")
     if not scenario or not seed:
         pytest.skip("set FUZZ_SCENARIO and FUZZ_SEED to replay a fuzz failure")
-    report = run_differential_scenario(scenario, seed=int(seed))
+    workers = os.environ.get("FUZZ_WORKERS")
+    report = run_differential_scenario(
+        scenario,
+        seed=int(seed),
+        workers=int(workers) if workers else None,
+        server_algorithm=os.environ.get("FUZZ_SERVER_ALGORITHM", "ima"),
+    )
     assert report.ok, report.failure_message(limit=50)
 
 
@@ -70,3 +78,20 @@ def test_failure_report_carries_replay_command():
     assert "FUZZ_SCENARIO=uniform-drift" in message
     assert f"FUZZ_SEED={_seed(0)}" in message
     assert "test_replay_from_env" in message
+    assert "FUZZ_WORKERS" not in message  # no servers were driven
+
+
+def test_sharded_failure_report_carries_workers():
+    """Sharded-run reports embed the worker count so divergences reproduce."""
+    report = run_differential_scenario(
+        "uniform-drift",
+        seed=_seed(1),
+        algorithms=(),
+        workers=2,
+        server_algorithm="gma",
+        timestamps=1,
+    )
+    report.mismatches.append("t=0 GMA-server-x2 q=1000000: synthetic mismatch")
+    message = report.failure_message()
+    assert "FUZZ_WORKERS=2" in message
+    assert "FUZZ_SERVER_ALGORITHM=gma" in message

@@ -1,0 +1,516 @@
+"""Unit tests for the sharded execution layer.
+
+Covers the shared-memory CSR transport (export / attach / weight deltas),
+the shard router, the :class:`ShardedMonitoringServer` lifecycle, and the
+equivalence of sharded and single-process results on identical update
+streams.  The oracle-backed end-to-end runs live in
+``test_sharded_differential.py``.
+"""
+
+from __future__ import annotations
+
+import pickle
+
+import pytest
+
+from repro import (
+    MonitoringServer,
+    ShardedMonitoringServer,
+    city_network,
+    csr_snapshot,
+    shard_of,
+)
+from repro.core.sharding import default_start_method
+from repro.exceptions import (
+    DuplicateObjectError,
+    MonitoringError,
+    UnknownQueryError,
+)
+from repro.network.csr import SharedCSR, attach_shared_csr
+
+pytestmark = pytest.mark.filterwarnings("ignore::DeprecationWarning")
+
+
+# ----------------------------------------------------------------------
+# shard router
+# ----------------------------------------------------------------------
+def test_shard_of_is_deterministic_and_in_range():
+    for query_id in (0, 1, 7, 1_000_000, 1_000_001, 2**40):
+        for shards in (1, 2, 3, 8):
+            shard = shard_of(query_id, shards)
+            assert 0 <= shard < shards
+            assert shard == shard_of(query_id, shards)
+
+
+def test_shard_of_balances_sequential_and_strided_ids():
+    for stride in (1, 2, 4, 8):
+        counts = [0, 0, 0, 0]
+        for index in range(400):
+            counts[shard_of(1_000_000 + index * stride, 4)] += 1
+        # No shard should be starved or hog the assignment.
+        assert min(counts) > 40, (stride, counts)
+
+
+# ----------------------------------------------------------------------
+# network pickling (state shipping)
+# ----------------------------------------------------------------------
+def test_network_pickles_without_listeners():
+    network = city_network(80, seed=1)
+    csr_snapshot(network)  # registers a weight listener
+    assert network._weight_listeners
+    replica = pickle.loads(pickle.dumps(network))
+    assert replica._weight_listeners == []
+    assert replica.topology_version == network.topology_version
+    assert sorted(replica.edge_ids()) == sorted(network.edge_ids())
+    edge_id = next(iter(network.edge_ids()))
+    assert replica.edge(edge_id).weight == network.edge(edge_id).weight
+    # The replica is independent: mutating it leaves the original alone.
+    replica.set_edge_weight(edge_id, 123.0)
+    assert network.edge(edge_id).weight != 123.0
+
+
+# ----------------------------------------------------------------------
+# shared-memory CSR transport
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("zero_copy", [True, False])
+def test_shared_csr_roundtrip(zero_copy):
+    network = city_network(60, seed=2)
+    snapshot = csr_snapshot(network)
+    reference = {
+        "indptr": list(snapshot.indptr),
+        "adj_node": list(snapshot.adj_node),
+        "adj_eid": list(snapshot.adj_eid),
+        "adj_weight": list(snapshot.adj_weight),
+        "edge_weight": list(snapshot.edge_weight),
+        "inc_edge": list(snapshot.inc_edge),
+    }
+    shared = SharedCSR(snapshot)
+    try:
+        replica = pickle.loads(pickle.dumps(network))
+        handle = pickle.loads(pickle.dumps(shared.handle))  # ships through pipes
+        attached = attach_shared_csr(replica, handle, zero_copy=zero_copy)
+        for name, expected in reference.items():
+            assert list(getattr(attached, name)) == expected, name
+        assert attached.node_ids == snapshot.node_ids
+        assert attached.edge_ids == snapshot.edge_ids
+        # Weight patch on the exporting side: zero-copy views see it
+        # immediately; private copies rely on their own network's listener.
+        edge_id = snapshot.edge_ids[0]
+        position = snapshot.index_of_edge(edge_id)
+        network.set_edge_weight(edge_id, 77.0)
+        if zero_copy:
+            assert float(attached.edge_weight[position]) == 77.0
+        replica.set_edge_weight(edge_id, 77.0)
+        assert float(attached.edge_weight[position]) == 77.0
+        assert all(
+            float(attached.adj_weight[slot]) == 77.0
+            for slot in attached._entry_slots[position]
+        )
+        attached.close()
+    finally:
+        shared.unlink()
+        shared.close()
+
+
+def test_shared_csr_delta_application():
+    network = city_network(40, seed=3)
+    snapshot = csr_snapshot(network)
+    shared = SharedCSR(snapshot)
+    try:
+        replica = pickle.loads(pickle.dumps(network))
+        attached = attach_shared_csr(replica, shared.handle, zero_copy=False)
+        edge_id = snapshot.edge_ids[1]
+        attached.apply_weight_deltas([(edge_id, 55.0), (10**9, 1.0)])  # unknown id ignored
+        position = attached.index_of_edge(edge_id)
+        assert float(attached.edge_weight[position]) == 55.0
+        attached.close()
+    finally:
+        shared.unlink()
+        shared.close()
+
+
+def test_attach_rejects_topology_mismatch():
+    network = city_network(40, seed=4)
+    shared = SharedCSR(csr_snapshot(network))
+    try:
+        replica = pickle.loads(pickle.dumps(network))
+        node_id = max(replica.node_ids()) + 1
+        replica.add_node(node_id, 0.0, 0.0)
+        with pytest.raises(MonitoringError):
+            attach_shared_csr(replica, shared.handle)
+    finally:
+        shared.unlink()
+        shared.close()
+
+
+def test_expand_knn_over_attached_snapshot_matches_original():
+    """The kernel returns identical results over shared numpy columns."""
+    from repro.core.search import expand_knn
+    from repro.network.csr import install_snapshot
+    from repro.network.edge_table import EdgeTable
+    from repro.network.graph import NetworkLocation
+
+    network = city_network(100, seed=5)
+    edge_table = EdgeTable(network, build_spatial_index=False)
+    edge_ids = sorted(network.edge_ids())
+    for object_id in range(12):
+        edge_table.insert_object(
+            object_id, NetworkLocation(edge_ids[(object_id * 7) % len(edge_ids)], 0.25)
+        )
+    query = NetworkLocation(edge_ids[3], 0.5)
+    expected = expand_knn(network, edge_table, k=4, query_location=query)
+
+    shared = SharedCSR(csr_snapshot(network), adopt=False)
+    try:
+        replica = pickle.loads(pickle.dumps(network))
+        replica_table = EdgeTable(replica, build_spatial_index=False)
+        for object_id, location in edge_table.all_objects():
+            replica_table.insert_object(object_id, location)
+        attached = attach_shared_csr(replica, shared.handle, zero_copy=True)
+        install_snapshot(replica, attached)
+        outcome = expand_knn(replica, replica_table, k=4, query_location=query)
+        assert [
+            (int(i), float(d)) for i, d in outcome.neighbors
+        ] == list(expected.neighbors)
+        assert float(outcome.radius) == expected.radius
+        attached.close()
+    finally:
+        shared.unlink()
+        shared.close()
+
+
+# ----------------------------------------------------------------------
+# sharded server lifecycle and equivalence
+# ----------------------------------------------------------------------
+def _populate(server, network):
+    box = network.bounding_box()
+    for object_id in range(24):
+        server.add_object_at(
+            object_id,
+            x=box.min_x + (box.max_x - box.min_x) * ((object_id * 37) % 100) / 100.0,
+            y=box.min_y + (box.max_y - box.min_y) * ((object_id * 61) % 100) / 100.0,
+        )
+    for index in range(9):
+        server.add_query_at(
+            1_000_000 + index,
+            x=box.min_x + (box.max_x - box.min_x) * ((index * 29) % 100) / 100.0,
+            y=box.min_y + (box.max_y - box.min_y) * ((index * 53) % 100) / 100.0,
+            k=3,
+        )
+
+
+def _drive(server, network):
+    reports = [server.tick()]
+    edge_ids = sorted(network.edge_ids())
+    box = network.bounding_box()
+    for step in range(1, 4):
+        server.move_object_at(step, x=box.center.x + 11.0 * step, y=box.center.y)
+        server.move_query_at(1_000_000 + step, x=box.center.x, y=box.center.y - 9.0 * step)
+        server.update_edge_weight(
+            edge_ids[step], network.edge(edge_ids[step]).weight * (1.0 + 0.1 * step)
+        )
+        if step == 2:
+            server.remove_object(7)
+            server.remove_query(1_000_008)
+            server.add_object_at(100 + step, x=box.center.x, y=box.center.y)
+        reports.append(server.tick())
+    return reports
+
+
+@pytest.mark.parametrize("algorithm", ["ima", "gma", "ovh"])
+def test_sharded_results_match_single_process(algorithm):
+    single_net = city_network(250, seed=11)
+    sharded_net = city_network(250, seed=11)
+    single = MonitoringServer(single_net, algorithm=algorithm)
+    with MonitoringServer(sharded_net, algorithm=algorithm, workers=3) as sharded:
+        assert isinstance(sharded, ShardedMonitoringServer)
+        assert sharded.workers == 3
+        assert sharded.algorithm_name == single.algorithm_name
+        _populate(single, single_net)
+        _populate(sharded, sharded_net)
+        single_reports = _drive(single, single_net)
+        sharded_reports = _drive(sharded, sharded_net)
+        for expected, actual in zip(single_reports, sharded_reports):
+            assert expected.timestamp == actual.timestamp
+            assert expected.changed_queries == actual.changed_queries
+            assert expected.counters.keys() == actual.counters.keys()
+            if algorithm != "gma":
+                # OVH/IMA process queries independently, so summed work
+                # counters are partition-invariant.  GMA's shared execution
+                # legitimately does different (usually more) total work when
+                # its query groups are split across shards.
+                assert expected.counters == actual.counters
+        assert single.results().keys() == sharded.results().keys()
+        for query_id, expected in single.results().items():
+            actual = sharded.result_of(query_id)
+            assert actual.neighbors == expected.neighbors
+            assert actual.radius == expected.radius
+
+
+def test_workers_one_builds_plain_server():
+    network = city_network(60, seed=12)
+    server = MonitoringServer(network, workers=1)
+    assert type(server) is MonitoringServer
+    server.close()  # base close() is a no-op, but uniform
+
+
+def test_sharded_server_validation_and_errors():
+    network = city_network(60, seed=13)
+    with pytest.raises(MonitoringError):
+        ShardedMonitoringServer(network, workers=0)
+    with pytest.raises(MonitoringError):
+        ShardedMonitoringServer(network, algorithm="nope", workers=2)
+    with MonitoringServer(network, workers=2) as server:
+        server.add_object_at(1, x=10.0, y=10.0)
+        with pytest.raises(DuplicateObjectError):
+            server.add_object_at(1, x=20.0, y=20.0)
+        with pytest.raises(UnknownQueryError):
+            server.result_of(42)
+        # AttributeError (not MonitoringError) so hasattr/getattr behave.
+        with pytest.raises(AttributeError):
+            _ = server.monitor
+        assert getattr(server, "monitor", None) is None
+    # After close, processing raises and closing again is a no-op.
+    with pytest.raises(MonitoringError):
+        server.tick()
+    server.close()
+
+
+def test_sharded_server_topology_resync():
+    single_net = city_network(150, seed=14)
+    sharded_net = city_network(150, seed=14)
+    single = MonitoringServer(single_net, algorithm="ima")
+    with MonitoringServer(sharded_net, algorithm="ima", workers=2) as sharded:
+        _populate(single, single_net)
+        _populate(sharded, sharded_net)
+        single.tick()
+        sharded.tick()
+        # Out-of-band topology edit on both networks -> the sharded server
+        # must re-ship state and snapshot on the next tick.
+        for net, server in ((single_net, single), (sharded_net, sharded)):
+            node_id = max(net.node_ids()) + 1
+            anchor = net.node(next(iter(net.node_ids())))
+            net.add_node(node_id, anchor.x + 3.0, anchor.y + 3.0)
+            net.add_edge(max(net.edge_ids()) + 1, anchor.node_id, node_id, 25.0)
+            server.move_object_at(2, x=anchor.x, y=anchor.y)
+            server.tick()
+        for query_id, expected in single.results().items():
+            assert sharded.result_of(query_id).neighbors == expected.neighbors
+
+
+def test_same_tick_reinstall_with_new_k():
+    """remove_query + add_query of one id in one tick must adopt the new k.
+
+    Section 4.5 normalization collapses the pair into a movement carrying
+    the new k; monitors must split it back into terminate + install (the k
+    cannot be applied as a movement), and the sharded server must stay
+    identical to the single-process one — including across a topology
+    resync, which re-registers queries with the parent's k.
+    """
+    single_net = city_network(150, seed=23)
+    sharded_net = city_network(150, seed=23)
+    single = MonitoringServer(single_net, algorithm="ima")
+    with MonitoringServer(sharded_net, algorithm="ima", workers=2) as sharded:
+        _populate(single, single_net)
+        _populate(sharded, sharded_net)
+        single.tick()
+        sharded.tick()
+        for server in (single, sharded):
+            location = server.snap(100.0, 100.0)
+            server.remove_query(1_000_002)
+            server.add_query(1_000_002, location, k=7)
+            server.tick()
+        assert len(single.result_of(1_000_002).neighbors) == 7
+        assert sharded.result_of(1_000_002).neighbors == single.result_of(
+            1_000_002
+        ).neighbors
+        # Now bump topology: resync re-registers with k=7 on the workers;
+        # the single server must agree afterwards too.
+        for net, server in ((single_net, single), (sharded_net, sharded)):
+            node_id = max(net.node_ids()) + 1
+            anchor = net.node(next(iter(net.node_ids())))
+            net.add_node(node_id, anchor.x + 2.0, anchor.y + 2.0)
+            net.add_edge(max(net.edge_ids()) + 1, anchor.node_id, node_id, 40.0)
+            server.move_object_at(1, x=anchor.x, y=anchor.y)
+            server.tick()
+        assert sharded.result_of(1_000_002).neighbors == single.result_of(
+            1_000_002
+        ).neighbors
+
+
+def test_apply_updates_preserves_reinstall_k():
+    """A pre-normalized terminate+reinstall batch keeps its new k end to end."""
+    from repro.core.events import QueryUpdate, UpdateBatch
+
+    single_net = city_network(120, seed=27)
+    sharded_net = city_network(120, seed=27)
+    single = MonitoringServer(single_net, algorithm="ima")
+    with MonitoringServer(sharded_net, algorithm="ima", workers=2) as sharded:
+        for server in (single, sharded):
+            server.add_object_at(1, x=20.0, y=20.0)
+            server.add_object_at(2, x=60.0, y=50.0)
+            server.add_object_at(3, x=90.0, y=90.0)
+            location = server.add_query_at(100, x=40.0, y=40.0, k=1)
+            server.tick()
+            batch = UpdateBatch()
+            batch.query_updates.append(QueryUpdate(100, location, None))
+            batch.query_updates.append(QueryUpdate(100, None, location, k=3))
+            server.apply_updates(batch.normalized())
+            server.tick()
+            assert server.result_of(100).k == 3
+            assert len(server.result_of(100).neighbors) == 3
+        assert sharded.result_of(100).neighbors == single.result_of(100).neighbors
+
+
+def test_results_readable_after_close():
+    """Like the base server, results survive close(); ticking does not."""
+    network = city_network(80, seed=24)
+    with MonitoringServer(network, algorithm="ima", workers=2) as server:
+        server.add_object_at(1, x=30.0, y=30.0)
+        server.add_query_at(1_000_000, x=35.0, y=40.0, k=1)
+        server.tick()
+        expected = server.result_of(1_000_000).neighbors
+    assert server.result_of(1_000_000).neighbors == expected
+    assert set(server.results()) == {1_000_000}
+    with pytest.raises(MonitoringError, match="closed"):
+        server.tick()
+    # Ingestion fails fast too — buffered updates could never be processed.
+    with pytest.raises(MonitoringError, match="closed"):
+        server.add_object_at(2, x=50.0, y=50.0)
+    with pytest.raises(MonitoringError, match="closed"):
+        server.remove_query(1_000_000)
+
+
+def test_plain_subclass_rejects_workers():
+    """A direct subclass cannot silently swallow workers > 1."""
+
+    class LoggingServer(MonitoringServer):
+        pass
+
+    network = city_network(60, seed=28)
+    assert type(LoggingServer(network)) is LoggingServer
+    with pytest.raises(MonitoringError, match="in-process"):
+        LoggingServer(network, workers=4)
+
+
+def test_close_restores_adopted_snapshot_columns():
+    """close() hands the parent's cached snapshot back to private lists."""
+    network = city_network(80, seed=26)
+    with MonitoringServer(network, algorithm="ima", workers=2) as server:
+        server.add_object_at(1, x=30.0, y=30.0)
+        server.add_query_at(1_000_000, x=35.0, y=40.0, k=1)
+        server.tick()
+        snapshot = csr_snapshot(network)
+        assert not isinstance(snapshot.adj_weight, list)  # adopted shm views
+    snapshot = csr_snapshot(network)
+    assert isinstance(snapshot.adj_weight, list)  # restored on close
+    # The restored snapshot still tracks weight changes in-process.
+    edge_id = snapshot.edge_ids[0]
+    network.set_edge_weight(edge_id, 99.0)
+    assert snapshot.edge_weight[snapshot.index_of_edge(edge_id)] == 99.0
+
+
+def test_workers_zero_rejected_everywhere():
+    network = city_network(60, seed=25)
+    with pytest.raises(MonitoringError):
+        MonitoringServer(network, workers=0)
+    with pytest.raises(MonitoringError):
+        MonitoringServer(network, workers=-2)
+
+
+def test_resync_with_pending_termination():
+    """A topology bump with an un-ticked remove_query must not crash resync."""
+    single_net = city_network(120, seed=21)
+    sharded_net = city_network(120, seed=21)
+    single = MonitoringServer(single_net, algorithm="ima")
+    with MonitoringServer(sharded_net, algorithm="ima", workers=2) as sharded:
+        _populate(single, single_net)
+        _populate(sharded, sharded_net)
+        single.tick()
+        sharded.tick()
+        for net, server in ((single_net, single), (sharded_net, sharded)):
+            server.remove_query(1_000_004)  # termination pending at bump time
+            node_id = max(net.node_ids()) + 1
+            anchor = net.node(next(iter(net.node_ids())))
+            net.add_node(node_id, anchor.x + 2.0, anchor.y + 2.0)
+            net.add_edge(max(net.edge_ids()) + 1, anchor.node_id, node_id, 30.0)
+            server.tick()
+        assert single.results().keys() == sharded.results().keys()
+        assert 1_000_004 not in sharded.results()
+        for query_id, expected in single.results().items():
+            assert sharded.result_of(query_id).neighbors == expected.neighbors
+
+
+def test_dead_worker_fails_closed():
+    """A killed worker turns the next tick into MonitoringError + closed server."""
+    network = city_network(80, seed=22)
+    server = ShardedMonitoringServer(network, algorithm="ima", workers=2)
+    try:
+        server.add_object_at(1, x=30.0, y=30.0)
+        server.add_query_at(1_000_000, x=35.0, y=40.0, k=1)
+        server.tick()
+        server._shards[0].process.terminate()
+        server._shards[0].process.join(timeout=5.0)
+        server.add_object_at(2, x=60.0, y=60.0)
+        with pytest.raises(MonitoringError):
+            server.tick()
+        # Fail-closed: the server refuses further work instead of silently
+        # serving results from an out-of-sync fleet.
+        with pytest.raises(MonitoringError, match="closed"):
+            server.tick()
+    finally:
+        server.close()  # idempotent
+
+
+def test_harness_single_worker_leg_still_compares_two_servers():
+    """workers=1 must drive a sharded server against the in-process baseline."""
+    from repro.testing import run_differential_scenario
+
+    reference = run_differential_scenario(
+        "uniform-drift", seed=77, algorithms=(), workers=4, timestamps=3
+    )
+    single_leg = run_differential_scenario(
+        "uniform-drift", seed=77, algorithms=(), workers=1, timestamps=3
+    )
+    assert single_leg.ok, single_leg.failure_message()
+    # Same number of per-query checks in both legs: two servers each.
+    assert single_leg.checks == reference.checks > 0
+
+
+def test_sharded_server_spawn_start_method():
+    """One run under 'spawn' proves the state shipping is fork-independent."""
+    if "spawn" not in __import__("multiprocessing").get_all_start_methods():
+        pytest.skip("spawn start method unavailable")
+    network = city_network(80, seed=15)
+    with ShardedMonitoringServer(
+        network, algorithm="ima", workers=2, start_method="spawn"
+    ) as server:
+        server.add_object_at(1, x=40.0, y=40.0)
+        server.add_query_at(1_000_000, x=45.0, y=50.0, k=1)
+        report = server.tick()
+        assert report.timestamp == 0
+        assert server.result_of(1_000_000).neighbors
+
+
+def test_default_start_method_is_supported():
+    import multiprocessing
+
+    assert default_start_method() in multiprocessing.get_all_start_methods()
+
+
+def test_simulator_make_server_workers_passthrough():
+    from repro.experiments.config import SMOKE_DEFAULTS
+    from repro.sim.simulator import Simulator
+
+    single_sim = Simulator(SMOKE_DEFAULTS)
+    sharded_sim = Simulator(SMOKE_DEFAULTS)
+    single = single_sim.make_server("ima")
+    with sharded_sim.make_server("ima", workers=2) as sharded:
+        assert isinstance(sharded, ShardedMonitoringServer)
+        expected = single_sim.drive_server(single, timestamps=2)
+        actual = sharded_sim.drive_server(sharded, timestamps=2)
+        for expected_report, actual_report in zip(expected, actual):
+            assert expected_report.timestamp == actual_report.timestamp
+            assert expected_report.changed_queries == actual_report.changed_queries
+        for query_id, result in single.results().items():
+            assert sharded.result_of(query_id).neighbors == result.neighbors
