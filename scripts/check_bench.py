@@ -1,0 +1,157 @@
+#!/usr/bin/env python
+"""Diff a fresh pytest-benchmark run against the committed baseline.
+
+Usage::
+
+    python -m pytest benchmarks/bench_core_operations.py ... --quick -q \
+        --benchmark-json=benchmark-results.json
+    python scripts/check_bench.py benchmark-results.json            # gate
+    python scripts/check_bench.py benchmark-results.json --update   # refresh
+
+The baseline (``BENCH_baseline.json`` at the repo root) stores the median
+seconds of every benchmark in the CI smoke set.  Because absolute timings
+differ wildly across machines, the gate is *self-calibrating*: it first
+estimates a machine-speed factor as the median of ``current / baseline``
+over all shared benchmarks, then fails any benchmark whose current median
+exceeds its calibrated baseline by more than ``--tolerance`` (default 30%,
+per-benchmark).  A uniform slowdown of the whole suite is absorbed by the
+calibration — the gate catches *relative* regressions, which is the signal
+that survives runner heterogeneity.  Sub-millisecond baselines get twice
+the tolerance (their medians jitter more than the calibration can cancel).
+
+Baseline-refresh procedure (run on any machine; calibration makes the
+absolute scale irrelevant):
+
+1. run the same pytest command the CI ``benchmark-smoke`` job runs, with
+   ``--benchmark-json=benchmark-results.json``;
+2. ``python scripts/check_bench.py benchmark-results.json --update``;
+3. commit the rewritten ``BENCH_baseline.json`` together with the change
+   that legitimately moved the numbers, and say so in the PR.
+
+Exit status: 0 when every benchmark is within tolerance (improvements are
+reported but never fail), 1 on any regression or set mismatch.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import statistics
+import sys
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+DEFAULT_BASELINE = REPO_ROOT / "BENCH_baseline.json"
+
+#: Baselines faster than this many seconds get doubled tolerance: their
+#: medians carry more scheduler jitter than calibration can cancel.
+SMALL_BENCH_SECONDS = 1e-3
+
+
+def load_medians(results_path: pathlib.Path) -> dict:
+    """Map benchmark fullname -> median seconds from a pytest-benchmark JSON."""
+    data = json.loads(results_path.read_text(encoding="utf-8"))
+    medians = {}
+    for bench in data.get("benchmarks", []):
+        medians[bench["fullname"]] = float(bench["stats"]["median"])
+    return medians
+
+
+def write_baseline(baseline_path: pathlib.Path, medians: dict, source: str) -> None:
+    """Rewrite the committed baseline from a fresh results file."""
+    payload = {
+        "meta": {
+            "source": source,
+            "note": (
+                "median seconds per benchmark; compared self-calibrated "
+                "(see scripts/check_bench.py)"
+            ),
+        },
+        "benchmarks": {name: {"median": median} for name, median in sorted(medians.items())},
+    }
+    baseline_path.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+
+
+def check(medians: dict, baseline: dict, tolerance: float) -> int:
+    """Compare and report; returns the number of failures."""
+    base_medians = {
+        name: float(entry["median"]) for name, entry in baseline["benchmarks"].items()
+    }
+    shared = sorted(set(medians) & set(base_medians))
+    missing = sorted(set(base_medians) - set(medians))
+    extra = sorted(set(medians) - set(base_medians))
+    failures = 0
+
+    if not shared:
+        print("FAIL: no benchmarks in common with the baseline")
+        return 1
+    factor = statistics.median(medians[name] / base_medians[name] for name in shared)
+    print(f"machine calibration factor: {factor:.3f} ({len(shared)} shared benchmarks)")
+
+    for name in shared:
+        allowed = tolerance * (2.0 if base_medians[name] < SMALL_BENCH_SECONDS else 1.0)
+        calibrated = base_medians[name] * factor
+        ratio = medians[name] / calibrated
+        if ratio > 1.0 + allowed:
+            failures += 1
+            verdict = f"FAIL (> +{allowed:.0%})"
+        elif ratio < 1.0 - allowed:
+            verdict = "improved (consider --update)"
+        else:
+            verdict = "ok"
+        print(
+            f"  {name}: {medians[name] * 1e3:.3f} ms vs calibrated baseline "
+            f"{calibrated * 1e3:.3f} ms ({ratio - 1.0:+.1%}) {verdict}"
+        )
+
+    for name in missing:
+        failures += 1
+        print(f"  {name}: FAIL missing from this run (baseline stale? run --update)")
+    for name in extra:
+        print(f"  {name}: new benchmark, not in baseline (run --update to adopt)")
+    return failures
+
+
+def main(argv=None) -> int:
+    """CLI entry point; returns the process exit status."""
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("results", type=pathlib.Path, help="pytest-benchmark JSON output")
+    parser.add_argument("--baseline", type=pathlib.Path, default=DEFAULT_BASELINE)
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.30,
+        help="allowed per-benchmark regression over the calibrated baseline",
+    )
+    parser.add_argument(
+        "--update",
+        action="store_true",
+        help="rewrite the baseline from this results file instead of checking",
+    )
+    args = parser.parse_args(argv)
+
+    medians = load_medians(args.results)
+    if not medians:
+        print(f"FAIL: no benchmarks found in {args.results}")
+        return 1
+    if args.update:
+        write_baseline(args.baseline, medians, source=str(args.results))
+        print(f"baseline rewritten: {args.baseline} ({len(medians)} benchmarks)")
+        return 0
+    if not args.baseline.exists():
+        print(f"FAIL: baseline {args.baseline} missing; create it with --update")
+        return 1
+    baseline = json.loads(args.baseline.read_text(encoding="utf-8"))
+    failures = check(medians, baseline, args.tolerance)
+    if failures:
+        print(
+            f"{failures} benchmark(s) regressed beyond tolerance; if the change "
+            "is intended, refresh the baseline with --update and commit it"
+        )
+        return 1
+    print("benchmark gate passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

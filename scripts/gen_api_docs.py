@@ -63,10 +63,17 @@ SECTIONS = (
         ),
     ),
     (
-        "Search kernel",
+        "Search kernels",
         "The Figure-2 network expansion over the flat-array CSR snapshot, "
-        "its legacy dict-based twin, and the work counters both report.",
-        ("expand_knn", "expand_knn_legacy", "SearchCounters"),
+        "the batched bucket-queue (dial) entry points, the legacy "
+        "dict-based twin, and the work counters all of them report.",
+        (
+            "expand_knn",
+            "expand_knn_batch",
+            "ExpansionRequest",
+            "expand_knn_legacy",
+            "SearchCounters",
+        ),
     ),
     (
         "Road network substrate",

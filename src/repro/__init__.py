@@ -59,6 +59,8 @@ from repro.core import (
     UpdateBatch,
     apply_batch,
     expand_knn,
+    expand_knn_batch,
+    ExpansionRequest,
     expand_knn_legacy,
     shard_of,
 )
@@ -112,6 +114,8 @@ __all__ = [
     "SearchCounters",
     "apply_batch",
     "expand_knn",
+    "expand_knn_batch",
+    "ExpansionRequest",
     "expand_knn_legacy",
     "ALGORITHMS",
     # network

@@ -20,7 +20,13 @@ from repro.core.ima import ImaMonitor
 from repro.core.influence import InfluenceIndex
 from repro.core.ovh import OvhMonitor
 from repro.core.results import KnnResult, NeighborList, results_equal
-from repro.core.search import SearchCounters, SearchOutcome, expand_knn
+from repro.core.search import (
+    ExpansionRequest,
+    SearchCounters,
+    SearchOutcome,
+    expand_knn,
+    expand_knn_batch,
+)
 from repro.core.search_legacy import expand_knn_legacy
 from repro.core.server import ALGORITHMS, MonitoringServer
 from repro.core.sharding import ShardedMonitoringServer
@@ -46,6 +52,8 @@ __all__ = [
     "SearchCounters",
     "SearchOutcome",
     "expand_knn",
+    "expand_knn_batch",
+    "ExpansionRequest",
     "expand_knn_legacy",
     "OvhMonitor",
     "ImaMonitor",

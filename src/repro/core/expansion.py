@@ -27,6 +27,10 @@ from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Set
 
 from repro.network.csr import CSRGraph, csr_snapshot
+
+# dial is a leaf module (its repro.core imports are call-time), so importing
+# the vectorization gate here is cycle-free and keeps it single-sourced.
+from repro.network.dial import VECTOR_MIN_NODES as _VECTOR_MIN_NODES
 from repro.network.graph import Edge, NetworkLocation, RoadNetwork
 from repro.utils.intervals import (
     SPAN_EPS,
@@ -259,12 +263,40 @@ def compute_influence_map_legacy(
     return influences
 
 
+def compute_influence_maps(
+    network: RoadNetwork,
+    jobs: List[tuple],
+    csr: Optional["CSRGraph"] = None,
+    support=None,
+) -> Dict[object, Dict[int, Spans]]:
+    """Batched :func:`compute_influence_map`: one call per flushed tick.
+
+    *jobs* is a list of ``(key, state, radius, query_location)`` tuples; the
+    result maps each *key* to its influence map.  One snapshot refresh and
+    one :meth:`~repro.network.csr.CSRGraph.dial_support` lookup are shared
+    by the whole batch, and every job with a finite radius and a
+    large-enough tree runs through the numpy-vectorized span computation of
+    :mod:`repro.network.dial`.
+    """
+    if csr is None:
+        csr = csr_snapshot(network)
+    if support is None:
+        support = csr.dial_support()
+    return {
+        key: compute_influence_map(
+            network, state, radius, query_location, csr=csr, support=support
+        )
+        for key, state, radius, query_location in jobs
+    }
+
+
 def compute_influence_map(
     network: RoadNetwork,
     state: ExpansionState,
     radius: float,
     query_location: Optional[NetworkLocation] = None,
     csr: Optional["CSRGraph"] = None,
+    support=None,
 ) -> Dict[int, Spans]:
     """Influencing intervals of every edge affected by a query.
 
@@ -281,11 +313,25 @@ def compute_influence_map(
 
     The edge walk runs over the CSR snapshot's incidence columns (pass a
     pre-refreshed *csr* to skip the per-call staleness check); the dict-based
-    original is preserved as :func:`compute_influence_map_legacy`.
+    original is preserved as :func:`compute_influence_map_legacy`.  When a
+    :class:`~repro.network.dial.DialSupport` with numpy mirrors is supplied
+    (the dial kernel's flush path), large finite-radius trees run through
+    :func:`~repro.network.dial.influence_spans_vectorized`, whose span
+    arithmetic is element-wise identical to the scalar loop below.
     """
     if csr is None:
         csr = csr_snapshot(network)
     node_dist = state.node_dist
+    if (
+        support is not None
+        and support.has_numpy
+        and radius != float("inf")
+        and len(node_dist) >= _VECTOR_MIN_NODES
+    ):
+        from repro.network.dial import influence_spans_vectorized
+
+        influences = influence_spans_vectorized(csr, support, node_dist, radius)
+        return _overlay_query_edge(csr, node_dist, radius, query_location, influences)
     node_index = csr.node_index
     node_ids = csr.node_ids
     inc_indptr = csr.inc_indptr
@@ -349,14 +395,28 @@ def compute_influence_map(
     finally:
         scratch.release(touched)
 
+    return _overlay_query_edge(csr, node_dist, radius, query_location, influences)
+
+
+def _overlay_query_edge(
+    csr: "CSRGraph",
+    node_dist: Dict[int, float],
+    radius: float,
+    query_location: Optional[NetworkLocation],
+    influences: Dict[int, Spans],
+) -> Dict[int, Spans]:
+    """Merge the query's own-edge spans into *influences* (shared postlude)."""
     if query_location is not None:
         position = csr.index_of_edge(query_location.edge_id)
-        weight = edge_weight[position]
+        weight = csr.edge_weight[position]
+        node_ids = csr.node_ids
+        node_dist_get = node_dist.get
+        inf = float("inf")
         own = point_spans(weight, query_location.fraction * weight, radius)
         endpoint_based = influence_spans(
             weight,
-            node_dist_get(node_ids[edge_start[position]], inf),
-            node_dist_get(node_ids[edge_end[position]], inf),
+            node_dist_get(node_ids[csr.edge_start[position]], inf),
+            node_dist_get(node_ids[csr.edge_end[position]], inf),
             radius,
         )
         combined = merge_spans(own, endpoint_based)

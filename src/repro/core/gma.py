@@ -41,12 +41,13 @@ from repro.core.events import UpdateBatch
 from repro.core.expansion import (
     compute_influence_map,
     compute_influence_map_legacy,
+    compute_influence_maps,
     edge_offset,
 )
 from repro.core.ima import KERNELS, ImaMonitor
 from repro.core.influence import InfluenceIndex
 from repro.core.results import KnnResult, Neighbor
-from repro.core.search import SearchCounters, expand_knn
+from repro.core.search import ExpansionRequest, SearchCounters, expand_knn, expand_knn_batch
 from repro.core.search_legacy import expand_knn_legacy
 from repro.exceptions import MonitoringError, UnknownQueryError
 from repro.network.csr import CSRGraph, csr_snapshot
@@ -88,9 +89,11 @@ class GmaMonitor(MonitorBase):
             counters: optional work counters shared with a caller.
             kernel: ``"csr"`` (default) evaluates queries and refreshes
                 influence regions over the flat-array snapshot (refreshed
-                once per batch); ``"legacy"`` keeps the dict-walking paths
-                for differential testing.  The inner active-node monitor
-                runs on the same kernel.
+                once per batch); ``"dial"`` gathers all affected queries of
+                a tick into one batched bucket-queue kernel call followed by
+                a bulk influence flush (identical results); ``"legacy"``
+                keeps the dict-walking paths for differential testing.  The
+                inner active-node monitor runs on the same kernel.
         """
         super().__init__(network, edge_table, counters)
         if kernel not in KERNELS:
@@ -98,8 +101,10 @@ class GmaMonitor(MonitorBase):
                 f"unknown kernel {kernel!r}; choose one of {KERNELS}"
             )
         self._kernel = kernel
-        self._use_csr = kernel == "csr"
+        self._use_csr = kernel != "legacy"
+        self._use_dial = kernel == "dial"
         self._batch_csr: Optional[CSRGraph] = None
+        self._batch_support = None
         self._sequences = SequenceTable(network)
         # Active-node k-NN sets are maintained with the IMA machinery; the
         # inner monitor shares our counters so that the reported work is the
@@ -169,10 +174,13 @@ class GmaMonitor(MonitorBase):
             # barrier-bounded evaluation and influence refresh below (the
             # inner active-node monitor acquires the same cached snapshot).
             self._batch_csr = csr_snapshot(self._network)
+            if self._use_dial:
+                self._batch_support = self._batch_csr.dial_support()
         try:
             return self._process_updates(batch)
         finally:
             self._batch_csr = None
+            self._batch_support = None
 
     def _process_updates(self, batch: UpdateBatch) -> Set[int]:
         changed: Set[int] = set()
@@ -221,7 +229,10 @@ class GmaMonitor(MonitorBase):
                     edge_offset(self._network, location, self._batch_csr),
                 )
         for update in batch.edge_updates:
-            affected |= self._influence.subscribers_on_edge(update.edge_id)
+            # Zero-copy view: this collection loop only reads the index.
+            affected |= self._influence.subscribers_on_edge_view(
+                update.edge_id
+            ).keys()
         for node_id in node_report.changed_queries:
             members = self._node_queries.get(node_id)
             if not members:
@@ -233,7 +244,49 @@ class GmaMonitor(MonitorBase):
                     affected.add(query_id)
 
         # Step 4 — recompute every affected query from scratch, seeded with
-        # the active-node results of its sequence.
+        # the active-node results of its sequence.  The dial kernel flushes
+        # all of them through one batched kernel call plus one bulk
+        # influence refresh; per-query kernels evaluate in place.
+        if self._use_dial:
+            query_ids: List[int] = []
+            requests: List[ExpansionRequest] = []
+            for query_id in affected:
+                if query_id not in self._query_sequence:
+                    continue
+                location = self._query_location[query_id]
+                k = self._query_k[query_id]
+                query_ids.append(query_id)
+                requests.append(
+                    ExpansionRequest(
+                        k=k,
+                        query_location=location,
+                        barrier_candidates=self._barrier_candidates_for(location, k),
+                    )
+                )
+            if not requests:
+                return changed
+            outcomes = expand_knn_batch(
+                self._network,
+                self._edge_table,
+                requests,
+                counters=self._counters,
+                csr=self._batch_csr,
+            )
+            maps = compute_influence_maps(
+                self._network,
+                [
+                    (query_id, outcome.state, outcome.radius, request.query_location)
+                    for query_id, request, outcome in zip(query_ids, requests, outcomes)
+                ],
+                csr=self._batch_csr,
+                support=self._batch_support,
+            )
+            self._influence.replace_subscribers(maps)
+            for query_id, outcome in zip(query_ids, outcomes):
+                if self._store_result(query_id, outcome.neighbors, outcome.radius):
+                    changed.add(query_id)
+            return changed
+
         for query_id in affected:
             if query_id not in self._query_sequence:
                 continue
@@ -313,17 +366,35 @@ class GmaMonitor(MonitorBase):
         if not self._use_csr:
             return self._evaluate_query_legacy(query_id, location, k)
         barriers = self._barrier_candidates_for(location, k)
-        outcome = expand_knn(
-            self._network,
-            self._edge_table,
-            k,
-            query_location=location,
-            barrier_candidates=barriers,
-            counters=self._counters,
-            csr=self._batch_csr,
-        )
+        if self._use_dial:
+            [outcome] = expand_knn_batch(
+                self._network,
+                self._edge_table,
+                [
+                    ExpansionRequest(
+                        k=k, query_location=location, barrier_candidates=barriers
+                    )
+                ],
+                counters=self._counters,
+                csr=self._batch_csr,
+            )
+        else:
+            outcome = expand_knn(
+                self._network,
+                self._edge_table,
+                k,
+                query_location=location,
+                barrier_candidates=barriers,
+                counters=self._counters,
+                csr=self._batch_csr,
+            )
         influences = compute_influence_map(
-            self._network, outcome.state, outcome.radius, location, csr=self._batch_csr
+            self._network,
+            outcome.state,
+            outcome.radius,
+            location,
+            csr=self._batch_csr,
+            support=self._batch_support,
         )
         self._influence.replace_subscriber(query_id, influences)
         return outcome.neighbors, outcome.radius

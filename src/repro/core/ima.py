@@ -44,13 +44,14 @@ from repro.core.expansion import (
     ExpansionState,
     compute_influence_map,
     compute_influence_map_legacy,
+    compute_influence_maps,
     edge_offset,
     object_distance_csr,
     object_distance_via_state,
 )
 from repro.core.influence import InfluenceIndex
 from repro.core.results import KnnResult, NeighborList
-from repro.core.search import expand_knn
+from repro.core.search import ExpansionRequest, expand_knn, expand_knn_batch
 from repro.core.search_legacy import expand_knn_legacy
 from repro.exceptions import EdgeNotFoundError, MonitoringError
 from repro.network.csr import CSRGraph, csr_snapshot
@@ -59,8 +60,14 @@ from repro.network.graph import NetworkLocation, RoadNetwork
 
 _EPS = 1e-9
 
-#: Valid values of the monitors' ``kernel`` constructor argument.
-KERNELS = ("csr", "legacy")
+#: Sentinel for "shift not yet resolved" in the batched prune's memo table
+#: (None is taken: it marks descent through a removed increase subtree).
+_UNRESOLVED = object()
+
+#: Valid values of the monitors' ``kernel`` constructor argument: the
+#: per-query CSR heap path, the batched bucket-queue engine, and the
+#: dict-walking reference implementation.
+KERNELS = ("csr", "dial", "legacy")
 
 
 @dataclass
@@ -88,6 +95,10 @@ class _Pending:
     decrease_delta: float = 0.0
     #: distance the query moved inside its tree this timestamp
     move_distance: float = 0.0
+    #: dial kernel only: edge updates collected for the one-pass prune flush
+    #: (None until the first update of that kind arrives)
+    decreases: Optional[List[EdgeWeightUpdate]] = None
+    increases: Optional[List[EdgeWeightUpdate]] = None
 
 
 class ImaMonitor(MonitorBase):
@@ -118,7 +129,12 @@ class ImaMonitor(MonitorBase):
             kernel: ``"csr"`` (default) runs every search, influence refresh
                 and object-distance computation over the flat-array snapshot
                 of :mod:`repro.network.csr`, refreshed once per processed
-                batch; ``"legacy"`` keeps the original dict-walking paths
+                batch; ``"dial"`` additionally restructures each tick into
+                collect-then-flush form — edge prunes, resumed searches and
+                influence refreshes are gathered per tick and served by the
+                batched bucket-queue engine of :mod:`repro.network.dial`
+                (results identical to ``"csr"``); ``"legacy"`` keeps the
+                original dict-walking paths
                 (:func:`~repro.core.search_legacy.expand_knn_legacy` and the
                 ``*_legacy`` helpers), which the differential tests compare
                 against.
@@ -129,9 +145,12 @@ class ImaMonitor(MonitorBase):
                 f"unknown kernel {kernel!r}; choose one of {KERNELS}"
             )
         self._kernel = kernel
-        self._use_csr = kernel == "csr"
+        self._use_csr = kernel != "legacy"
+        self._use_dial = kernel == "dial"
         #: CSR snapshot acquired once per processed batch (None outside).
         self._batch_csr: Optional[CSRGraph] = None
+        #: Dial quantization/numpy support of the batch snapshot (dial only).
+        self._batch_support = None
         self._states: Dict[int, _QueryState] = {}
         self._influence = InfluenceIndex()
 
@@ -185,10 +204,13 @@ class ImaMonitor(MonitorBase):
             # influence refresh and object-distance computation below reuses
             # it instead of re-checking staleness per query.
             self._batch_csr = csr_snapshot(self._network)
+            if self._use_dial:
+                self._batch_support = self._batch_csr.dial_support()
         try:
             return self._process_updates(batch)
         finally:
             self._batch_csr = None
+            self._batch_support = None
 
     def _process_updates(self, batch: UpdateBatch) -> Set[int]:
         pending: Dict[int, _Pending] = {}
@@ -222,13 +244,17 @@ class ImaMonitor(MonitorBase):
         # Steps 2 and 3 — edge weight changes, decreases before increases
         # (processing an increase first could leave a stale subtree that a
         # concurrent decrease elsewhere has made reachable through a shorter
-        # path; see Section 4.5).
+        # path; see Section 4.5).  The dial kernel only *collects* the
+        # updates here and prunes each affected tree once in the flush below
+        # instead of once per (query, update) pair.
         decreases = [u for u in batch.edge_updates if u.is_decrease]
         increases = [u for u in batch.edge_updates if u.is_increase]
         for update in decreases:
             self._handle_edge_update(update, pending_of, decrease=True)
         for update in increases:
             self._handle_edge_update(update, pending_of, decrease=False)
+        if self._use_dial:
+            self._flush_edge_prunes(pending)
 
         # Step 4 — query movements inside the (already pruned) tree.
         for query_state, new_location in deferred_moves:
@@ -243,6 +269,12 @@ class ImaMonitor(MonitorBase):
         # Step 5 — object updates, filtered through the influence intervals.
         for update in batch.object_updates:
             self._handle_object_update(update, pending_of)
+
+        # Steps 6 and 7 — finalise.  The dial kernel gathers every resumed
+        # search and full recomputation into one batched kernel call plus one
+        # bulk influence flush; the per-query kernels finalise in place.
+        if self._use_dial:
+            return self._finalize_batch(pending)
 
         # Step 6 — finalise incrementally maintained queries.  The fast path
         # (no new expansion) is sound only when the maintained candidates
@@ -282,7 +314,10 @@ class ImaMonitor(MonitorBase):
     # update handling
     # ------------------------------------------------------------------
     def _handle_edge_update(self, update, pending_of, decrease: bool) -> None:
-        for query_id in self._influence.subscribers_on_edge(update.edge_id):
+        use_dial = self._use_dial
+        # The zero-copy view is safe here: steps 2-5 only read the index
+        # (influence entries change in the step-6/7 finalisation).
+        for query_id in self._influence.subscribers_on_edge_view(update.edge_id):
             query_state = self._states.get(query_id)
             if query_state is None:
                 continue
@@ -294,12 +329,162 @@ class ImaMonitor(MonitorBase):
                 # effective position in travel-cost space; recompute.
                 entry.full_recompute = True
                 continue
-            if decrease:
+            if use_dial:
+                # Collect only; _flush_edge_prunes prunes each tree once.
+                if decrease:
+                    if entry.decreases is None:
+                        entry.decreases = [update]
+                    else:
+                        entry.decreases.append(update)
+                    entry.decrease_delta += update.old_weight - update.new_weight
+                else:
+                    if entry.increases is None:
+                        entry.increases = [update]
+                    else:
+                        entry.increases.append(update)
+            elif decrease:
                 self._prune_for_edge_decrease(query_state, update)
                 entry.decrease_delta += update.old_weight - update.new_weight
             else:
                 self._prune_for_edge_increase(query_state, update)
             entry.needs_resume = True
+
+    def _flush_edge_prunes(self, pending: Dict[int, _Pending]) -> None:
+        """One-pass tree prune per query from its collected edge updates.
+
+        The dial kernel's replacement for the per-(query, update) pruning of
+        :meth:`_prune_for_edge_decrease` / :meth:`_prune_for_edge_increase`:
+        instead of walking the tree once per affecting update, each affected
+        tree is pruned in a single DFS per tick.  The walk accumulates, per
+        node, the total delta of the *decreased tree edges* on its tree path
+        — the batch composition of the sequential subtree shifts — and keeps
+        node ``v`` at its shifted distance ``d'(v)`` iff its branch survives
+        every increase and ``d'(v) <= T``, where ``T`` is the minimum over
+        all collected decreases of ``min(d(start), d(end)) + new_weight``
+        (pre-update distances).  Retained distances are exact:
+
+        * ``d'(v)`` is achievable — it is the old tree path re-costed under
+          the new weights (subtrees below increased tree edges are skipped
+          by the walk, and non-tree edges never lie on a tree path);
+        * nothing beats it — a path avoiding every decreased edge costs at
+          least its old cost ``>= d_old(v) >= d'(v)``, and a path through a
+          first decreased edge ``e = (a, b)`` pays at least ``d_old(a)``
+          for its prefix (which uses no decreased edge, and increases only
+          make it costlier) plus ``new_weight(e)``, i.e. at least ``T >=
+          d'(v)``.
+
+        ``d'`` grows along tree paths (each step adds the edge's *new*
+        positive weight), so the keep-set is ancestor-closed and a branch
+        can be abandoned at the first node beyond ``T``.  Nodes the
+        per-update path would keep beyond ``T`` (shifted subtrees hanging
+        outside the threshold) are dropped and simply re-verified by the
+        resumed search — a retention-for-walks trade that cannot affect
+        results.
+        """
+        network = self._network
+        inf = float("inf")
+        # Endpoints are per-edge facts: resolve each updated edge once per
+        # tick instead of once per (query, update) pair.
+        endpoint_cache: Dict[int, Tuple[int, int]] = {}
+
+        def endpoints_of(edge_id: int) -> Tuple[int, int]:
+            cached = endpoint_cache.get(edge_id)
+            if cached is None:
+                edge = network.edge(edge_id)
+                cached = (edge.start, edge.end)
+                endpoint_cache[edge_id] = cached
+            return cached
+
+        for query_id, entry in pending.items():
+            if entry.full_recompute or (entry.decreases is None and entry.increases is None):
+                continue
+            query_state = self._states.get(query_id)
+            if query_state is None:
+                continue
+            state = query_state.state
+            node_dist = state.node_dist
+            if not node_dist:
+                continue
+            node_dist_get = node_dist.get
+            parent_get = state.parent.get
+            threshold = inf
+            shift_of_child: Dict[int, float] = {}
+            for update in entry.decreases or ():
+                start, end = endpoints_of(update.edge_id)
+                dist_start = node_dist_get(start, inf)
+                dist_end = node_dist_get(end, inf)
+                bound = (
+                    dist_start if dist_start < dist_end else dist_end
+                ) + update.new_weight
+                if bound < threshold:
+                    threshold = bound
+                # Inlined tree_edge_child over the already-fetched endpoints.
+                if parent_get(end, _UNRESOLVED) == start:
+                    shift_of_child[end] = update.old_weight - update.new_weight
+                elif parent_get(start, _UNRESOLVED) == end:
+                    shift_of_child[start] = update.old_weight - update.new_weight
+            removed_roots: Set[int] = set()
+            for update in entry.increases or ():
+                start, end = endpoints_of(update.edge_id)
+                if parent_get(end, _UNRESOLVED) == start:
+                    removed_roots.add(end)
+                elif parent_get(start, _UNRESOLVED) == end:
+                    removed_roots.add(start)
+            if threshold == inf and not removed_roots and not shift_of_child:
+                continue
+            parent_map = state.parent
+            bound = threshold + _EPS
+            new_dist: Dict[int, float] = {}
+            new_parent: Dict[int, Optional[int]] = {}
+            if not removed_roots and not shift_of_child:
+                # No tree edge was updated: the keep-set is a pure distance
+                # cut, which is ancestor-closed, so no tree walk is needed.
+                for node_id, distance in node_dist.items():
+                    if distance <= bound:
+                        new_dist[node_id] = distance
+                        new_parent[node_id] = parent_map[node_id]
+            else:
+                # Resolve each candidate's composed shift by memoized
+                # parent-chain walks (ancestors of candidates are candidates,
+                # so chains are short and amortize to O(candidates)); a
+                # ``None`` status marks descent through a removed increase
+                # subtree.  ``cutoff`` over-approximates the keep bound by
+                # the maximum possible shift so most of a shredded tree is
+                # skipped by one float compare.
+                cutoff = bound + sum(shift_of_child.values())
+                status: Dict[int, Optional[float]] = {}
+                status_get = status.get
+                for node_id, distance in node_dist.items():
+                    if distance > cutoff:
+                        continue
+                    shift = status_get(node_id, _UNRESOLVED)
+                    if shift is _UNRESOLVED:
+                        chain = [node_id]
+                        ancestor = parent_map[node_id]
+                        while ancestor is not None:
+                            shift = status_get(ancestor, _UNRESOLVED)
+                            if shift is not _UNRESOLVED:
+                                break
+                            chain.append(ancestor)
+                            ancestor = parent_map[ancestor]
+                        if ancestor is None:
+                            shift = 0.0
+                        for link in reversed(chain):
+                            if shift is None or link in removed_roots:
+                                shift = None
+                            else:
+                                delta = shift_of_child.get(link)
+                                if delta is not None:
+                                    shift += delta
+                            status[link] = shift
+                    if shift is None:
+                        continue
+                    shifted = distance - shift
+                    if shifted <= bound:
+                        new_dist[node_id] = shifted
+                        new_parent[node_id] = parent_map[node_id]
+            state.node_dist = new_dist
+            state.parent = new_parent
 
     def _edge_offset(self, location: NetworkLocation) -> float:
         """Travel-cost offset of *location* from its edge's start node."""
@@ -462,10 +647,178 @@ class ImaMonitor(MonitorBase):
     # ------------------------------------------------------------------
     # searches
     # ------------------------------------------------------------------
+    def _finalize_batch(self, pending: Dict[int, _Pending]) -> Set[int]:
+        """Steps 6 and 7 in collect-then-flush form (the dial kernel).
+
+        Gathers one :class:`~repro.core.search.ExpansionRequest` per query
+        that needs a resumed or fresh expansion, runs them all through one
+        :func:`~repro.core.search.expand_knn_batch` call over the batch's
+        snapshot, then refreshes every touched influence region through one
+        bulk :func:`~repro.core.expansion.compute_influence_maps` +
+        :meth:`~repro.core.influence.InfluenceIndex.replace_subscribers`
+        flush.  Per-query decisions (fast path vs resume vs full recompute)
+        are identical to the per-query kernels, so the stored results are
+        too.
+        """
+        changed: Set[int] = set()
+        csr = self._batch_csr
+        resume_states: List[_QueryState] = []
+        fresh_states: List[_QueryState] = []
+        fast_states: List[_QueryState] = []
+        requests: List[ExpansionRequest] = []
+        for query_id, entry in pending.items():
+            query_state = self._states[query_id]
+            if entry.full_recompute:
+                fresh_states.append(query_state)
+                continue
+            candidate_radius = query_state.neighbors.radius
+            if entry.needs_resume or candidate_radius > query_state.radius + _EPS:
+                resume_states.append(query_state)
+                requests.append(self._resume_request(query_state, entry, csr))
+            else:
+                fast_states.append(query_state)
+        for query_state in fresh_states:
+            query_state.state = ExpansionState()
+            requests.append(
+                ExpansionRequest(k=query_state.k, query_location=query_state.location)
+            )
+
+        refresh_jobs: List[tuple] = []
+        if requests:
+            outcomes = expand_knn_batch(
+                self._network,
+                self._edge_table,
+                requests,
+                counters=self._counters,
+                csr=csr,
+            )
+            for query_state, outcome in zip(resume_states + fresh_states, outcomes):
+                self._adopt_outcome(query_state, outcome, refresh=False)
+                refresh_jobs.append(
+                    (
+                        query_state.query_id,
+                        query_state.state,
+                        query_state.radius,
+                        query_state.location,
+                    )
+                )
+        for query_state in fast_states:
+            if self._finalize_fast_path(query_state, refresh=False):
+                refresh_jobs.append(
+                    (
+                        query_state.query_id,
+                        query_state.state,
+                        query_state.radius,
+                        query_state.location,
+                    )
+                )
+        if refresh_jobs:
+            maps = compute_influence_maps(
+                self._network, refresh_jobs, csr=csr, support=self._batch_support
+            )
+            self._influence.replace_subscribers(maps)
+
+        for query_state in resume_states:
+            if self._store_result(
+                query_state.query_id, query_state.neighbors.top_k(), query_state.radius
+            ):
+                changed.add(query_state.query_id)
+        for query_state in fast_states:
+            if self._store_result(
+                query_state.query_id, query_state.neighbors.top_k(), query_state.radius
+            ):
+                changed.add(query_state.query_id)
+        for query_state in fresh_states:
+            if self._store_result(
+                query_state.query_id, query_state.neighbors.top_k(), query_state.radius
+            ):
+                changed.add(query_state.query_id)
+        return changed
+
+    def _resume_candidates(
+        self, query_state: _QueryState, entry: Optional[_Pending], csr: CSRGraph
+    ) -> List:
+        """Re-usable result candidates of a resumed search, re-distanced.
+
+        Shared by the per-query resume path (:meth:`_resume_search`) and the
+        dial kernel's batched request builder (:meth:`_resume_request`).
+        When the tree survived the tick intact (pure object-update deficit)
+        the maintained distances are already exact and are reused as-is;
+        otherwise every surviving candidate is re-distanced against the
+        pruned tree — :func:`~repro.core.expansion.object_distance_csr`
+        inlined, one call per candidate being measurable on storm ticks that
+        resume hundreds of queries — giving exact distances where the
+        realising endpoint survived and upper bounds elsewhere (which the
+        resumed expansion corrects).
+        """
+        state = query_state.state
+        pruned = entry is not None and (entry.needs_resume or entry.move_distance > 0)
+        if not pruned:
+            return list(query_state.neighbors)
+        candidates: List = []
+        locations_get = self._edge_table.locations.get
+        edge_index = csr.edge_index
+        edge_weight = csr.edge_weight
+        edge_start = csr.edge_start
+        edge_end = csr.edge_end
+        node_ids = csr.node_ids
+        node_dist_get = state.node_dist.get
+        query_edge = query_state.location.edge_id
+        query_fraction = query_state.location.fraction
+        inf = float("inf")
+        for object_id, _ in query_state.neighbors:
+            location = locations_get(object_id)
+            if location is None:
+                continue
+            position = edge_index.get(location.edge_id)
+            if position is None:
+                # Same contract as object_distance_csr / the legacy path.
+                raise EdgeNotFoundError(location.edge_id)
+            weight = edge_weight[position]
+            offset = location.fraction * weight
+            dist_start = node_dist_get(node_ids[edge_start[position]], inf)
+            dist_end = node_dist_get(node_ids[edge_end[position]], inf)
+            via_start = dist_start + offset if dist_start != inf else inf
+            via_end = dist_end + (weight - offset) if dist_end != inf else inf
+            distance = via_start if via_start < via_end else via_end
+            if location.edge_id == query_edge:
+                direct = abs(location.fraction - query_fraction) * weight
+                if direct < distance:
+                    distance = direct
+            if distance != inf:
+                candidates.append((object_id, distance))
+        return candidates
+
+    def _resume_request(
+        self, query_state: _QueryState, entry: Optional[_Pending], csr: CSRGraph
+    ) -> ExpansionRequest:
+        """Build the batched-resume request of one query (dial kernel)."""
+        state = query_state.state
+        return ExpansionRequest(
+            k=query_state.k,
+            query_location=query_state.location,
+            preverified=state.node_dist,
+            preverified_parent=state.parent,
+            candidates=self._resume_candidates(query_state, entry, csr),
+            coverage_radius=self._coverage_radius(query_state, entry),
+        )
+
     def _fresh_search(self, query_state: _QueryState) -> None:
         """Compute the query's result from scratch (Figure 2)."""
         query_state.state = ExpansionState()
-        if self._use_csr:
+        if self._use_dial:
+            [outcome] = expand_knn_batch(
+                self._network,
+                self._edge_table,
+                [
+                    ExpansionRequest(
+                        k=query_state.k, query_location=query_state.location
+                    )
+                ],
+                counters=self._counters,
+                csr=self._batch_csr,
+            )
+        elif self._use_csr:
             outcome = expand_knn(
                 self._network,
                 self._edge_table,
@@ -508,48 +861,6 @@ class ImaMonitor(MonitorBase):
         csr = self._batch_csr
         if csr is None:
             csr = csr_snapshot(self._network)
-        pruned = entry is not None and (entry.needs_resume or entry.move_distance > 0)
-        if not pruned:
-            # Pure object-update deficit: the tree is intact, so the
-            # maintained candidate distances are already exact.  Order is
-            # irrelevant to the expansion, so the sorted view is skipped.
-            candidates = list(query_state.neighbors)
-        else:
-            # Re-distance every surviving candidate against the pruned tree:
-            # :func:`object_distance_csr` inlined (one call per candidate is
-            # measurable on storm ticks that resume hundreds of queries).
-            candidates = []
-            locations_get = self._edge_table.locations.get
-            edge_index = csr.edge_index
-            edge_weight = csr.edge_weight
-            edge_start = csr.edge_start
-            edge_end = csr.edge_end
-            node_ids = csr.node_ids
-            node_dist_get = state.node_dist.get
-            query_edge = query_state.location.edge_id
-            query_fraction = query_state.location.fraction
-            inf = float("inf")
-            for object_id, _ in query_state.neighbors:
-                location = locations_get(object_id)
-                if location is None:
-                    continue
-                position = edge_index.get(location.edge_id)
-                if position is None:
-                    # Same contract as object_distance_csr / the legacy path.
-                    raise EdgeNotFoundError(location.edge_id)
-                weight = edge_weight[position]
-                offset = location.fraction * weight
-                dist_start = node_dist_get(node_ids[edge_start[position]], inf)
-                dist_end = node_dist_get(node_ids[edge_end[position]], inf)
-                via_start = dist_start + offset if dist_start != inf else inf
-                via_end = dist_end + (weight - offset) if dist_end != inf else inf
-                distance = via_start if via_start < via_end else via_end
-                if location.edge_id == query_edge:
-                    direct = abs(location.fraction - query_fraction) * weight
-                    if direct < distance:
-                        distance = direct
-                if distance != inf:
-                    candidates.append((object_id, distance))
         outcome = expand_knn(
             self._network,
             self._edge_table,
@@ -557,7 +868,7 @@ class ImaMonitor(MonitorBase):
             query_location=query_state.location,
             preverified=state.node_dist,
             preverified_parent=state.parent,
-            candidates=candidates,
+            candidates=self._resume_candidates(query_state, entry, csr),
             coverage_radius=self._coverage_radius(query_state, entry),
             counters=self._counters,
             csr=csr,
@@ -611,16 +922,17 @@ class ImaMonitor(MonitorBase):
         coverage = query_state.radius - slack
         return coverage if coverage > 0 else None
 
-    def _adopt_outcome(self, query_state: _QueryState, outcome) -> None:
+    def _adopt_outcome(self, query_state: _QueryState, outcome, refresh: bool = True) -> None:
         query_state.state = outcome.state
         query_state.radius = outcome.radius
         query_state.state.shrink_to_radius(outcome.radius)
         query_state.neighbors = NeighborList.from_pairs(
             query_state.k, outcome.neighbors
         )
-        self._refresh_influence(query_state)
+        if refresh:
+            self._refresh_influence(query_state)
 
-    def _finalize_fast_path(self, query_state: _QueryState) -> None:
+    def _finalize_fast_path(self, query_state: _QueryState, refresh: bool = True) -> bool:
         """Finish a query affected only by object updates with enough survivors.
 
         The surviving and incoming candidates all carry exact distances (see
@@ -630,6 +942,10 @@ class ImaMonitor(MonitorBase):
         keeping slightly-too-large intervals is safe (over-inclusive
         filtering merely processes a few irrelevant updates) and skipping the
         refresh keeps the fast path cheap — which is the point of IMA.
+
+        Returns True when the influence region needs a refresh; with
+        ``refresh=False`` (the dial kernel's flush) the caller performs it
+        through the bulk path instead.
         """
         query_state.neighbors.trim_to_k()
         new_radius = query_state.neighbors.radius
@@ -637,7 +953,10 @@ class ImaMonitor(MonitorBase):
         query_state.radius = new_radius
         if new_radius < 0.9 * old_radius:
             query_state.state.shrink_to_radius(new_radius)
-            self._refresh_influence(query_state)
+            if refresh:
+                self._refresh_influence(query_state)
+            return True
+        return False
 
     def _refresh_influence(self, query_state: _QueryState) -> None:
         if not self._use_csr:
@@ -648,6 +967,7 @@ class ImaMonitor(MonitorBase):
             query_state.radius,
             query_state.location,
             csr=self._batch_csr,
+            support=self._batch_support,
         )
         self._influence.replace_subscriber(query_state.query_id, influences)
 

@@ -28,6 +28,10 @@ from typing import Dict, Iterator, Mapping, Optional, Set, Tuple
 from repro.utils.intervals import Spans, point_in_spans
 
 
+#: Shared empty mapping returned by the zero-copy subscriber view.
+_NO_SUBSCRIBERS: Dict[int, "Spans"] = {}
+
+
 class InfluenceIndex:
     """Bidirectional edge <-> subscriber influence mapping."""
 
@@ -58,6 +62,47 @@ class InfluenceIndex:
         self.clear_subscriber(subscriber_id)
         for edge_id, intervals in influences.items():
             self.set_influence(subscriber_id, edge_id, intervals)
+
+    def replace_subscribers(
+        self, influences_by_subscriber: Mapping[int, Mapping[int, Spans]]
+    ) -> None:
+        """Bulk :meth:`replace_subscriber` for a whole flushed tick.
+
+        Semantically identical to calling :meth:`replace_subscriber` once
+        per entry, but diff-aware: consecutive influence regions of a query
+        overlap heavily, so entries on edges present in both the old and the
+        new map are overwritten in place instead of removed and re-inserted;
+        only the old-minus-new edges pay a removal.  The dial kernel's
+        collect-then-flush tick refreshes hundreds of subscribers here in
+        one call.
+        """
+        by_edge = self._by_edge
+        by_subscriber = self._by_subscriber
+        for subscriber_id, influences in influences_by_subscriber.items():
+            old_edges = by_subscriber.get(subscriber_id)
+            edges: Set[int] = set()
+            for edge_id, intervals in influences.items():
+                if not intervals:
+                    continue
+                per_edge = by_edge.get(edge_id)
+                if per_edge is None:
+                    by_edge[edge_id] = {subscriber_id: intervals}
+                else:
+                    per_edge[subscriber_id] = intervals
+                edges.add(edge_id)
+            if old_edges:
+                for edge_id in old_edges:
+                    if edge_id in edges:
+                        continue
+                    per_edge = by_edge.get(edge_id)
+                    if per_edge is not None:
+                        per_edge.pop(subscriber_id, None)
+                        if not per_edge:
+                            del by_edge[edge_id]
+            if edges:
+                by_subscriber[subscriber_id] = edges
+            else:
+                by_subscriber.pop(subscriber_id, None)
 
     def remove_influence(self, subscriber_id: int, edge_id: int) -> None:
         """Remove one (subscriber, edge) entry if present."""
@@ -93,6 +138,16 @@ class InfluenceIndex:
     def subscribers_on_edge(self, edge_id: int) -> Set[int]:
         """Every subscriber affected by *edge_id* (any interval)."""
         return set(self._by_edge.get(edge_id, ()))
+
+    def subscribers_on_edge_view(self, edge_id: int):
+        """Zero-copy iterable of the subscribers affected by *edge_id*.
+
+        Unlike :meth:`subscribers_on_edge` this does not copy; the caller
+        must not register or remove influence entries while iterating.  The
+        monitors' update-collection loops (which only read the index) use it
+        to avoid one set copy per update.
+        """
+        return self._by_edge.get(edge_id, _NO_SUBSCRIBERS)
 
     def subscribers_at_point(
         self, edge_id: int, offset: float, tolerance: float = 1e-6

@@ -16,7 +16,12 @@ from repro.core.base import MonitorBase
 from repro.core.events import UpdateBatch
 from repro.core.ima import KERNELS
 from repro.core.results import KnnResult
-from repro.core.search import SearchCounters, expand_knn
+from repro.core.search import (
+    ExpansionRequest,
+    SearchCounters,
+    expand_knn,
+    expand_knn_batch,
+)
 from repro.core.search_legacy import expand_knn_legacy
 from repro.exceptions import MonitoringError
 from repro.network.csr import csr_snapshot
@@ -49,25 +54,34 @@ class OvhMonitor(MonitorBase):
                 f"unknown kernel {kernel!r}; choose one of {KERNELS}"
             )
         self._kernel = kernel
-        self._use_csr = kernel == "csr"
+        self._use_csr = kernel != "legacy"
+        self._use_dial = kernel == "dial"
 
     @property
     def kernel(self) -> str:
-        """The search kernel this monitor runs on ("csr" or "legacy")."""
+        """The search kernel this monitor runs on ("csr", "dial" or "legacy")."""
         return self._kernel
 
     # ------------------------------------------------------------------
     # MonitorBase hooks
     # ------------------------------------------------------------------
     def _install_query(self, query_id: int, location: NetworkLocation, k: int) -> KnnResult:
-        search = expand_knn if self._use_csr else expand_knn_legacy
-        outcome = search(
-            self._network,
-            self._edge_table,
-            k,
-            query_location=location,
-            counters=self._counters,
-        )
+        if self._use_dial:
+            [outcome] = expand_knn_batch(
+                self._network,
+                self._edge_table,
+                [ExpansionRequest(k=k, query_location=location)],
+                counters=self._counters,
+            )
+        else:
+            search = expand_knn if self._use_csr else expand_knn_legacy
+            outcome = search(
+                self._network,
+                self._edge_table,
+                k,
+                query_location=location,
+                counters=self._counters,
+            )
         return KnnResult(
             query_id=query_id,
             k=k,
@@ -81,6 +95,26 @@ class OvhMonitor(MonitorBase):
 
     def _process(self, batch: UpdateBatch) -> Set[int]:
         changed: Set[int] = set()
+        if self._use_dial:
+            # The whole timestamp's recomputation as one batched kernel call.
+            query_ids = list(self._query_k)
+            outcomes = expand_knn_batch(
+                self._network,
+                self._edge_table,
+                [
+                    ExpansionRequest(
+                        k=self._query_k[query_id],
+                        query_location=self._query_location[query_id],
+                    )
+                    for query_id in query_ids
+                ],
+                counters=self._counters,
+                csr=csr_snapshot(self._network),
+            )
+            for query_id, outcome in zip(query_ids, outcomes):
+                if self._store_result(query_id, outcome.neighbors, outcome.radius):
+                    changed.add(query_id)
+            return changed
         if self._use_csr:
             # One snapshot refresh for the whole timestamp's recomputation.
             search = partial(expand_knn, csr=csr_snapshot(self._network))

@@ -120,6 +120,83 @@ class SearchOutcome:
         return tuple(object_id for object_id, _ in self.neighbors)
 
 
+@dataclass
+class ExpansionRequest:
+    """One expansion of a batched :func:`expand_knn_batch` call.
+
+    Fields mirror the keyword arguments of :func:`expand_knn` one-to-one;
+    see its docstring for the semantics of each.  Monitors collect one
+    request per query they need to (re)compute in a tick and flush the
+    whole batch through a single kernel call.
+
+    Example::
+
+        request = ExpansionRequest(k=4, query_location=location)
+        outcome = expand_knn_batch(network, edge_table, [request])[0]
+    """
+
+    k: int
+    query_location: Optional[NetworkLocation] = None
+    source_node: Optional[int] = None
+    preverified: Optional[Mapping[int, float]] = None
+    preverified_parent: Optional[Mapping[int, Optional[int]]] = None
+    candidates: Iterable[Neighbor] = ()
+    barrier_candidates: Optional[Mapping[int, Iterable[Neighbor]]] = None
+    coverage_radius: Optional[float] = None
+    excluded_objects: Optional[Set[int]] = None
+
+
+def expand_knn_batch(
+    network: RoadNetwork,
+    edge_table: EdgeTable,
+    requests: List[ExpansionRequest],
+    counters: Optional[SearchCounters] = None,
+    csr: Optional[CSRGraph] = None,
+    kernel: str = "dial",
+) -> List[SearchOutcome]:
+    """Run a batch of expansions through one shared-scratch kernel call.
+
+    With ``kernel="dial"`` (default) the batch runs on the bucket-queue
+    engine of :mod:`repro.network.dial` — one snapshot refresh and one
+    scratch acquisition for the whole batch, Dial bucket frontiers instead
+    of binary heaps, and an exact per-search fallback to the heap path
+    whenever quantization cannot reproduce its settle order.  With
+    ``kernel="csr"`` each request is served by a plain :func:`expand_knn`
+    call over the shared snapshot (the reference used by the differential
+    tests).  Outcomes are byte-identical between the two kernels and are
+    returned in request order.
+
+    Example::
+
+        requests = [ExpansionRequest(k=4, query_location=loc) for loc in locations]
+        outcomes = expand_knn_batch(network, edge_table, requests)
+    """
+    if csr is None:
+        csr = csr_snapshot(network)
+    if kernel == "dial":
+        from repro.network.dial import dial_expand_batch
+
+        return dial_expand_batch(network, edge_table, requests, csr=csr, counters=counters)
+    return [
+        expand_knn(
+            network,
+            edge_table,
+            request.k,
+            query_location=request.query_location,
+            source_node=request.source_node,
+            preverified=request.preverified,
+            preverified_parent=request.preverified_parent,
+            candidates=request.candidates,
+            barrier_candidates=request.barrier_candidates,
+            coverage_radius=request.coverage_radius,
+            excluded_objects=request.excluded_objects,
+            counters=counters,
+            csr=csr,
+        )
+        for request in requests
+    ]
+
+
 def expand_knn(
     network: RoadNetwork,
     edge_table: EdgeTable,

@@ -102,9 +102,12 @@ class MonitoringServer:
                 network and edge table.
             edge_table: optionally a pre-populated edge table to share.
             kernel: search kernel for by-name algorithms — ``"csr"``
-                (default) or ``"legacy"`` (the dict-walking reference paths,
-                used for differential testing).  Ignored when *algorithm* is
-                an already constructed monitor.
+                (default), ``"dial"`` (the batched bucket-queue engine of
+                :mod:`repro.network.dial`; identical results, faster on
+                update-heavy deep-tree workloads) or ``"legacy"`` (the
+                dict-walking reference paths, used for differential
+                testing).  Ignored when *algorithm* is an already
+                constructed monitor.
             workers: number of query-execution processes (keyword-only).
                 ``1`` (default) runs everything in-process; larger values
                 hand construction over to

@@ -147,7 +147,7 @@ class ShardedMonitoringServer(MonitoringServer):
                 are rejected because monitors live in the workers.
             edge_table: optionally a pre-populated edge table; its objects
                 are shipped to every worker as the initial placements.
-            kernel: ``"csr"`` (default) or ``"legacy"`` for the workers'
+            kernel: ``"csr"`` (default), ``"dial"`` or ``"legacy"`` for the workers'
                 monitors.
             workers: number of worker processes (>= 1).
             start_method: multiprocessing start method; defaults to

@@ -61,7 +61,11 @@ class ShardInit:
     dropped its in-process weight listeners) and is unpickled *inside* the
     worker: the parent serializes once for the whole fleet, holds no
     replica objects itself, and the ``spawn`` start method ships the bytes
-    without a decode/re-encode round trip.
+    without a decode/re-encode round trip.  ``kernel`` selects the worker
+    monitor's search engine (``"csr"``, ``"dial"`` — the batched
+    bucket-queue kernel — or ``"legacy"``); each worker derives its own
+    per-epoch dial support from the attached snapshot, so the choice needs
+    no extra shared state.
     """
 
     shard_id: int

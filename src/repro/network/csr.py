@@ -226,6 +226,8 @@ class CSRGraph:
         self._build_entry_slots()
         self._topology_version = network.topology_version
         self._weights_stale = False
+        self._weights_epoch = getattr(self, "_weights_epoch", -1) + 1
+        self._dial_support = None
         self._scratch = _Scratch(len(self.node_ids))
         self._edge_scratch = _EdgeScratch(len(self.edge_ids))
 
@@ -244,12 +246,14 @@ class CSRGraph:
     def _on_weight_change(self, edge_id: Optional[int], new_weight: float) -> None:
         if edge_id is None:
             self._weights_stale = True
+            self._weights_epoch += 1
             return
         position = self.edge_index.get(edge_id)
         if position is None:
             # Edge added after the snapshot; the topology version already
             # differs, so the next csr_snapshot() call rebuilds everything.
             return
+        self._weights_epoch += 1
         self.edge_weight[position] = new_weight
         adj_weight = self.adj_weight
         for slot in self._entry_slots[position]:
@@ -284,6 +288,7 @@ class CSRGraph:
                 for slot in self._entry_slots[position]:
                     adj_weight[slot] = weight
             self._weights_stale = False
+            self._weights_epoch += 1
         return self
 
     # ------------------------------------------------------------------
@@ -328,6 +333,50 @@ class CSRGraph:
             (self.adj_eid[slot], self.adj_node[slot], self.adj_weight[slot])
             for slot in range(start, stop)
         ]
+
+    # ------------------------------------------------------------------
+    # kernel support metadata
+    # ------------------------------------------------------------------
+    @property
+    def weights_epoch(self) -> int:
+        """Counter bumped on every weight patch (and on every rebuild).
+
+        Derived per-weight metadata (the dial kernel's quantization state,
+        numpy column mirrors) caches against this value and rebuilds lazily
+        when it moves, so a storm of ``set_edge_weight`` calls costs one
+        refresh at the next kernel use instead of one per call.
+
+        Example::
+
+            before = csr_snapshot(network).weights_epoch
+            network.set_edge_weight(edge_id, 2.5)
+            assert csr_snapshot(network).weights_epoch > before
+        """
+        return self._weights_epoch
+
+    def dial_support(self):
+        """The bucket-queue kernel's quantization + numpy metadata (cached).
+
+        Returns the :class:`repro.network.dial.DialSupport` for the current
+        weights, rebuilding it only when :attr:`weights_epoch` moved since
+        the last call.  The support object decides whether Dial quantization
+        is usable (positive minimum weight, bounded weight spread) and holds
+        the numpy mirrors of the numeric columns that the vectorized paths
+        gather over.
+
+        Example::
+
+            support = csr_snapshot(network).dial_support()
+            print(support.usable, support.min_weight)
+        """
+        support = self._dial_support
+        if support is not None and support.epoch == self._weights_epoch:
+            return support
+        from repro.network.dial import DialSupport
+
+        support = DialSupport.build(self)
+        self._dial_support = support
+        return support
 
     # ------------------------------------------------------------------
     # scratch buffers
@@ -631,6 +680,8 @@ def attach_shared_csr(
         shm.close()
     csr._build_entry_slots()
     csr._topology_version = handle.topology_version
+    csr._weights_epoch = 0
+    csr._dial_support = None
     csr._scratch = _Scratch(len(csr.node_ids))
     csr._edge_scratch = _EdgeScratch(len(csr.edge_ids))
     csr._register_listener(network)

@@ -29,22 +29,27 @@ from repro.testing.oracle import OracleMonitor
 from repro.testing.scenarios import ScenarioEngine, resolve_scenario
 
 #: Algorithm names accepted by :func:`run_differential_scenario`: an
-#: optional ``-legacy`` suffix selects the dict-walking kernel.
+#: optional ``-legacy`` / ``-dial`` suffix selects the kernel.
 _MONITOR_CLASSES = {"OVH": OvhMonitor, "IMA": ImaMonitor, "GMA": GmaMonitor}
 
 #: The default panel: the production CSR paths and the preserved legacy
 #: paths, all of which must agree with the oracle.
 DEFAULT_ALGORITHMS = ("IMA", "GMA", "IMA-legacy", "GMA-legacy")
 
+#: The batched bucket-queue panel (selected by the CI fuzz matrix's
+#: ``FUZZ_KERNEL=dial`` leg): the dial monitors next to their CSR
+#: references, all diffed against the oracle.
+DIAL_ALGORITHMS = ("IMA-dial", "GMA-dial", "IMA", "GMA")
+
 
 def _make_monitor(name: str, network, edge_table) -> MonitorBase:
     base, _, variant = name.partition("-")
     cls = _MONITOR_CLASSES.get(base.upper())
-    if cls is None or variant not in ("", "legacy"):
+    if cls is None or variant not in ("", "legacy", "dial"):
         raise SimulationError(
             f"unknown differential algorithm {name!r}; use e.g. 'IMA' or 'GMA-legacy'"
         )
-    kernel = "legacy" if variant == "legacy" else "csr"
+    kernel = variant if variant else "csr"
     return cls(network, edge_table, kernel=kernel)
 
 
@@ -53,18 +58,26 @@ def replay_command(
     seed: int,
     workers: Optional[int] = None,
     server_algorithm: str = "ima",
+    server_kernel: str = "csr",
+    kernel: str = "csr",
 ) -> str:
     """The one-command local reproduction of a fuzz failure.
 
-    When the failing run drove servers (``workers`` set), the command
-    carries ``FUZZ_WORKERS`` (and ``FUZZ_SERVER_ALGORITHM`` when not the
-    default) so a sharded-only divergence reproduces too.
+    When the failing run fuzzed the dial monitor panel, the command carries
+    ``FUZZ_KERNEL=dial`` so ``test_replay_from_env`` rebuilds the same
+    panel.  When it drove servers (``workers`` set), the command carries
+    ``FUZZ_WORKERS`` (and ``FUZZ_SERVER_ALGORITHM`` / ``FUZZ_SERVER_KERNEL``
+    when not the defaults) so a sharded-only divergence reproduces too.
     """
     env = f"FUZZ_SCENARIO={scenario} FUZZ_SEED={seed} "
+    if kernel != "csr":
+        env += f"FUZZ_KERNEL={kernel} "
     if workers is not None:
         env += f"FUZZ_WORKERS={workers} "
         if server_algorithm.lower() != "ima":
             env += f"FUZZ_SERVER_ALGORITHM={server_algorithm} "
+        if server_kernel != "csr":
+            env += f"FUZZ_SERVER_KERNEL={server_kernel} "
     return (
         env + "PYTHONPATH=src "
         "python -m pytest tests/test_fuzz_differential.py::test_replay_from_env -q -s"
@@ -84,6 +97,10 @@ class DifferentialReport:
     #: emit a replay command that reconstructs the same servers
     workers: Optional[int] = None
     server_algorithm: str = "ima"
+    server_kernel: str = "csr"
+    #: the monitor panel of the run, carried so failure_message can emit
+    #: FUZZ_KERNEL for dial-panel failures
+    algorithms: Tuple[str, ...] = ()
 
     @property
     def ok(self) -> bool:
@@ -100,8 +117,15 @@ class DifferentialReport:
             f"({len(self.mismatches)} mismatches over {self.timestamps} ticks):\n"
             f"  {shown}{suffix}\n"
             f"replay locally with:\n  "
-            f"{replay_command(self.scenario, self.seed, self.workers, self.server_algorithm)}"
+            f"{replay_command(self.scenario, self.seed, self.workers, self.server_algorithm, self.server_kernel, kernel=self.panel_kernel)}"
         )
+
+    @property
+    def panel_kernel(self) -> str:
+        """``"dial"`` when the fuzzed monitor panel included a dial variant."""
+        if any(name.endswith("-dial") for name in self.algorithms):
+            return "dial"
+        return "csr"
 
 
 def _make_scenario_server(
@@ -109,6 +133,7 @@ def _make_scenario_server(
     engine: ScenarioEngine,
     algorithm: str,
     workers: Optional[int],
+    kernel: str = "csr",
 ) -> MonitoringServer:
     """A server over a private network replica, primed with the engine's state.
 
@@ -127,10 +152,16 @@ def _make_scenario_server(
     for object_id, location in engine.initial_objects().items():
         edge_table.insert_object(object_id, location)
     if workers is None:
-        server = MonitoringServer(replica, algorithm=algorithm, edge_table=edge_table)
+        server = MonitoringServer(
+            replica, algorithm=algorithm, edge_table=edge_table, kernel=kernel
+        )
     else:
         server = ShardedMonitoringServer(
-            replica, algorithm=algorithm, edge_table=edge_table, workers=workers
+            replica,
+            algorithm=algorithm,
+            edge_table=edge_table,
+            kernel=kernel,
+            workers=workers,
         )
     for query_id, (location, k) in engine.initial_queries().items():
         server.add_query(query_id, location, k)
@@ -146,6 +177,7 @@ def run_differential_scenario(
     timestamps: Optional[int] = None,
     workers: Optional[int] = None,
     server_algorithm: str = "ima",
+    server_kernel: str = "csr",
 ) -> DifferentialReport:
     """Run *algorithms* over a scenario stream and diff them against the oracle.
 
@@ -193,10 +225,10 @@ def run_differential_scenario(
         # in-process server, the second a sharded one with that many worker
         # processes.
         servers[f"{server_algorithm.upper()}-server-single"] = _make_scenario_server(
-            network, engine, server_algorithm, workers=None
+            network, engine, server_algorithm, workers=None, kernel=server_kernel
         )
         servers[f"{server_algorithm.upper()}-server-x{workers}"] = _make_scenario_server(
-            network, engine, server_algorithm, workers=workers
+            network, engine, server_algorithm, workers=workers, kernel=server_kernel
         )
 
     rounds = spec.timestamps if timestamps is None else timestamps
@@ -206,6 +238,8 @@ def run_differential_scenario(
         timestamps=rounds,
         workers=workers,
         server_algorithm=server_algorithm,
+        server_kernel=server_kernel,
+        algorithms=tuple(algorithms),
     )
     try:
         for batch in engine.batches(rounds):

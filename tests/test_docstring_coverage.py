@@ -36,6 +36,7 @@ ENFORCED_MODULES = (
     "src/repro/core/results.py",
     "src/repro/network/graph.py",
     "src/repro/network/csr.py",
+    "src/repro/network/dial.py",
     "src/repro/network/edge_table.py",
     "src/repro/testing/harness.py",
     "src/repro/testing/scenarios.py",

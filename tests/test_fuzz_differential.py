@@ -21,10 +21,20 @@ import os
 import pytest
 
 from repro.testing import SCENARIO_PRESETS, run_differential_scenario
+from repro.testing.harness import DEFAULT_ALGORITHMS, DIAL_ALGORITHMS
 
 #: Rotating base seed: CI exports the workflow run id, local runs use a
 #: fixed default so plain `pytest` stays deterministic.
 BASE_SEED = int(os.environ.get("FUZZ_BASE_SEED", "20060912"))
+
+#: Kernel matrix axis: ``FUZZ_KERNEL=dial`` swaps the fuzzed monitor panel
+#: to the batched bucket-queue kernel (next to its CSR references); the
+#: default panel covers csr + legacy.
+FUZZ_ALGORITHMS = (
+    DIAL_ALGORITHMS
+    if os.environ.get("FUZZ_KERNEL", "csr") == "dial"
+    else DEFAULT_ALGORITHMS
+)
 
 #: Seeds per preset; 7 presets x 4 seeds = 28 differential runs (>= 25).
 SEEDS_PER_PRESET = 4
@@ -43,7 +53,7 @@ def _seed(offset: int) -> int:
 def test_scenarios_match_oracle(scenario, offset):
     """IMA/GMA on both kernels exactly match the oracle on every tick."""
     seed = _seed(offset)
-    report = run_differential_scenario(scenario, seed=seed)
+    report = run_differential_scenario(scenario, seed=seed, algorithms=FUZZ_ALGORITHMS)
     assert report.checks > 0
     assert report.ok, report.failure_message()
 
@@ -64,8 +74,12 @@ def test_replay_from_env():
     report = run_differential_scenario(
         scenario,
         seed=int(seed),
+        # FUZZ_KERNEL=dial reconstructs the dial monitor panel of the
+        # failing matrix leg (module-level FUZZ_ALGORITHMS reads it).
+        algorithms=FUZZ_ALGORITHMS,
         workers=int(workers) if workers else None,
         server_algorithm=os.environ.get("FUZZ_SERVER_ALGORITHM", "ima"),
+        server_kernel=os.environ.get("FUZZ_SERVER_KERNEL", "csr"),
     )
     assert report.ok, report.failure_message(limit=50)
 

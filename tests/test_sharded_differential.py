@@ -26,6 +26,9 @@ BASE_SEED = int(os.environ.get("FUZZ_BASE_SEED", "20060912"))
 #: Worker count of the sharded server under test (CI matrixes 1 vs 4).
 WORKERS = int(os.environ.get("SHARDED_WORKERS", "4"))
 
+#: Search kernel the servers run on (CI matrixes csr vs dial).
+KERNEL = os.environ.get("SHARDED_KERNEL", "csr")
+
 
 #: Spread per-scenario seeds apart, mirroring the main fuzz suite, so each
 #: CI run exercises a different (query-id population, shard assignment)
@@ -43,6 +46,7 @@ def test_sharded_server_matches_oracle(index, scenario):
         seed=(BASE_SEED + 7_919 + index * _SEED_STRIDE) % 2_000_000_011,
         algorithms=(),  # the in-process monitor panel is covered elsewhere
         workers=WORKERS,
+        server_kernel=KERNEL,
     )
     assert report.checks > 0
     assert report.ok, report.failure_message()
@@ -56,6 +60,7 @@ def test_sharded_server_matches_oracle_gma():
         algorithms=(),
         workers=WORKERS,
         server_algorithm="gma",
+        server_kernel=KERNEL,
     )
     assert report.checks > 0
     assert report.ok, report.failure_message()
