@@ -1,0 +1,107 @@
+"""Mixed query-type throughput: kNN + range + aggregate in one stream.
+
+Drives IMA and GMA through the update streams of the query-type presets —
+``mixed-fleet`` (all three kinds sharing one stream) and ``geofence-churn``
+(range-dominated under heavy object churn) — and reports per-tick
+processing time through pytest-benchmark (the standard BENCH JSON uploaded
+by CI via ``--benchmark-json``).  A summary BENCH line records the
+per-kind query population and updates-per-second so the workload mix is
+visible in the trajectory.
+
+Run with ``--quick`` for the CI smoke sizing.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.core.events import apply_batch
+from repro.experiments.config import SCALED_DEFAULTS, SMOKE_DEFAULTS
+from repro.sim.simulator import Simulator
+from repro.testing.scenarios import SCENARIO_PRESETS, ScenarioEngine
+
+PRESETS = ("mixed-fleet", "geofence-churn")
+
+#: Ticks generated per scenario stream (cycled by the benchmark rounds).
+STREAM_TICKS = 8
+
+
+@pytest.fixture(scope="module")
+def bench_config(request):
+    base = SMOKE_DEFAULTS if request.config.getoption("--quick") else SCALED_DEFAULTS
+    return base.with_overrides(timestamps=1)
+
+
+def _prepared_stream(config, preset, algorithm):
+    """A registered monitor plus the preset's (unapplied) update batches.
+
+    The engine's own query mix replaces the simulator's uniform-k queries:
+    the stream starts from freshly drawn kNN / range / aggregate specs.
+    """
+    simulator = Simulator(config)
+    spec = SCENARIO_PRESETS[preset].with_overrides(
+        num_queries=max(8, config.num_queries)
+    )
+    # The engine draws its own initial queries from the preset's query mix
+    # (adopting the simulator's would make the stream kNN-only); objects
+    # adopt the simulator's pre-placed population.
+    engine = ScenarioEngine(
+        simulator.network,
+        spec,
+        seed=config.seed + 1,
+        initial_objects=simulator.object_locations(),
+    )
+    monitor = simulator.build_monitors([algorithm])[algorithm]
+    for query_id, (location, query_spec) in engine.initial_queries().items():
+        monitor.register_query(query_id, location, query_spec)
+    return simulator, monitor, engine, list(engine.batches(STREAM_TICKS))
+
+
+def _kind_histogram(engine):
+    """Query-kind -> count over the stream's live queries."""
+    histogram = {}
+    for _, query_spec in engine.live_queries().values():
+        histogram[query_spec.kind] = histogram.get(query_spec.kind, 0) + 1
+    return histogram
+
+
+@pytest.mark.parametrize("preset", PRESETS)
+@pytest.mark.parametrize("algorithm", ["IMA", "GMA"])
+def test_mixed_query_tick_throughput(benchmark, algorithm, preset, bench_config):
+    """One preset tick (apply + process) per algorithm over mixed query types."""
+    simulator, monitor, engine, batches = _prepared_stream(
+        bench_config, preset, algorithm
+    )
+    total_updates = sum(len(batch) for batch in batches)
+    cursor = {"index": 0}
+
+    def process():
+        batch = batches[cursor["index"]]
+        cursor["index"] += 1
+        apply_batch(simulator.network, simulator.edge_table, batch.normalized())
+        return monitor.process_batch(batch)
+
+    report = benchmark.pedantic(process, rounds=len(batches), iterations=1)
+    assert report.timestamp >= 0
+    mean_tick_seconds = benchmark.stats.stats.mean
+    kinds = _kind_histogram(engine)
+    benchmark.extra_info["scenario"] = preset
+    benchmark.extra_info["algorithm"] = algorithm
+    benchmark.extra_info["query_kinds"] = kinds
+    benchmark.extra_info["updates_per_tick"] = round(total_updates / len(batches), 1)
+    record = {
+        "benchmark": "mixed_query_types",
+        "scenario": preset,
+        "algorithm": algorithm,
+        "ticks": len(batches),
+        "query_kinds": kinds,
+        "mean_tick_ms": round(mean_tick_seconds * 1000.0, 3),
+        "updates_per_second": (
+            round(total_updates / len(batches) / mean_tick_seconds)
+            if mean_tick_seconds > 0
+            else None
+        ),
+    }
+    print(f"\nBENCH {json.dumps(record)}")

@@ -51,6 +51,19 @@ SECTIONS = (
         ),
     ),
     (
+        "Query types",
+        "The QuerySpec abstraction behind every `k` parameter: classic "
+        "k-NN, fixed-radius range monitoring, and aggregate k-NN over "
+        "several points, plus the normalization helper.",
+        (
+            "QuerySpec",
+            "knn",
+            "range_query",
+            "aggregate_knn",
+            "as_query_spec",
+        ),
+    ),
+    (
         "Updates and events",
         "The three update streams of Section 3 and the batch container "
         "with its Section 4.5 normalization.",
@@ -94,6 +107,8 @@ SECTIONS = (
             "linear_network",
             "network_distance",
             "brute_force_knn",
+            "brute_force_range",
+            "brute_force_aggregate_knn",
             "load_network",
             "save_network",
         ),

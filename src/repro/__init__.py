@@ -52,16 +52,21 @@ from repro.core import (
     MonitoringServer,
     ObjectUpdate,
     OvhMonitor,
+    QuerySpec,
     QueryUpdate,
     SearchCounters,
     ShardedMonitoringServer,
     TimestepReport,
     UpdateBatch,
+    aggregate_knn,
     apply_batch,
+    as_query_spec,
     expand_knn,
     expand_knn_batch,
     ExpansionRequest,
     expand_knn_legacy,
+    knn,
+    range_query,
     shard_of,
 )
 from repro.exceptions import ReproError
@@ -75,7 +80,9 @@ from repro.network import (
     SharedCSRHandle,
     attach_shared_csr,
     csr_snapshot,
+    brute_force_aggregate_knn,
     brute_force_knn,
+    brute_force_range,
     city_network,
     grid_network,
     linear_network,
@@ -101,6 +108,11 @@ __all__ = [
     "MonitoringServer",
     "ShardedMonitoringServer",
     "shard_of",
+    "QuerySpec",
+    "knn",
+    "range_query",
+    "aggregate_knn",
+    "as_query_spec",
     "MonitorBase",
     "OvhMonitor",
     "ImaMonitor",
@@ -133,6 +145,8 @@ __all__ = [
     "linear_network",
     "network_distance",
     "brute_force_knn",
+    "brute_force_range",
+    "brute_force_aggregate_knn",
     "load_network",
     "save_network",
     # spatial

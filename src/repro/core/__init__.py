@@ -19,6 +19,14 @@ from repro.core.gma import GmaMonitor
 from repro.core.ima import ImaMonitor
 from repro.core.influence import InfluenceIndex
 from repro.core.ovh import OvhMonitor
+from repro.core.queries import (
+    QuerySpec,
+    aggregate_knn,
+    as_query_spec,
+    evaluate_aggregate,
+    knn,
+    range_query,
+)
 from repro.core.results import KnnResult, NeighborList, results_equal
 from repro.core.search import (
     ExpansionRequest,
@@ -55,6 +63,12 @@ __all__ = [
     "expand_knn_batch",
     "ExpansionRequest",
     "expand_knn_legacy",
+    "QuerySpec",
+    "knn",
+    "range_query",
+    "aggregate_knn",
+    "as_query_spec",
+    "evaluate_aggregate",
     "OvhMonitor",
     "ImaMonitor",
     "GmaMonitor",

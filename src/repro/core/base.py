@@ -14,9 +14,10 @@ from __future__ import annotations
 import abc
 import time
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Set
+from typing import Dict, List, Optional, Set, Union
 
 from repro.core.events import QueryUpdate, UpdateBatch
+from repro.core.queries import QuerySpec, as_query_spec, evaluate_aggregate
 from repro.core.results import KnnResult, Neighbor
 from repro.core.search import SearchCounters
 from repro.exceptions import (
@@ -67,33 +68,46 @@ class MonitorBase(abc.ABC):
         self._network = network
         self._edge_table = edge_table
         self._results: Dict[int, KnnResult] = {}
-        self._query_k: Dict[int, int] = {}
+        self._query_spec: Dict[int, QuerySpec] = {}
         self._query_location: Dict[int, NetworkLocation] = {}
         self._counters = counters if counters is not None else SearchCounters()
         self._timestep_reports: List[TimestepReport] = []
+        #: Aggregate k-NN queries of monitors that serve them through the
+        #: shared :meth:`_refresh_aggregates` policy (IMA and GMA register
+        #: ids here; OVH and the oracle recompute everything anyway).
+        self._aggregates: Set[int] = set()
 
     # ------------------------------------------------------------------
     # registration
     # ------------------------------------------------------------------
-    def register_query(self, query_id: int, location: NetworkLocation, k: int) -> KnnResult:
-        """Install a new continuous query and compute its initial result."""
-        if query_id in self._query_k:
+    def register_query(
+        self, query_id: int, location: NetworkLocation, k: Union[int, QuerySpec]
+    ) -> KnnResult:
+        """Install a new continuous query and compute its initial result.
+
+        *k* is a plain integer (classic k-NN) or a
+        :class:`~repro.core.queries.QuerySpec` selecting any query type.
+        """
+        if query_id in self._query_spec:
             raise DuplicateQueryError(query_id)
-        if k < 1:
-            raise InvalidQueryError(f"k must be >= 1, got {k}")
+        spec = as_query_spec(k)
+        if spec is None:
+            raise InvalidQueryError(f"query {query_id} needs a k or QuerySpec")
         self._network.validate_location(location)
-        self._query_k[query_id] = k
+        for point in spec.points:
+            self._network.validate_location(point)
+        self._query_spec[query_id] = spec
         self._query_location[query_id] = location
-        result = self._install_query(query_id, location, k)
+        result = self._install_query(query_id, location, spec)
         self._results[query_id] = result
         return result
 
     def unregister_query(self, query_id: int) -> None:
         """Terminate a continuous query."""
-        if query_id not in self._query_k:
+        if query_id not in self._query_spec:
             raise UnknownQueryError(query_id)
         self._remove_query(query_id)
-        del self._query_k[query_id]
+        del self._query_spec[query_id]
         del self._query_location[query_id]
         self._results.pop(query_id, None)
 
@@ -117,7 +131,7 @@ class MonitorBase(abc.ABC):
 
     def query_ids(self) -> Set[int]:
         """Ids of every registered continuous query."""
-        return set(self._query_k)
+        return set(self._query_spec)
 
     def query_location(self, query_id: int) -> NetworkLocation:
         """Current position of a query (raises :class:`UnknownQueryError`)."""
@@ -126,17 +140,25 @@ class MonitorBase(abc.ABC):
         except KeyError as exc:
             raise UnknownQueryError(query_id) from exc
 
-    def query_k(self, query_id: int) -> int:
-        """The ``k`` of a query (raises :class:`UnknownQueryError`)."""
+    def query_spec(self, query_id: int) -> QuerySpec:
+        """The :class:`QuerySpec` of a query (raises :class:`UnknownQueryError`)."""
         try:
-            return self._query_k[query_id]
+            return self._query_spec[query_id]
         except KeyError as exc:
             raise UnknownQueryError(query_id) from exc
+
+    def query_k(self, query_id: int) -> int:
+        """The ``k`` of a query (raises :class:`UnknownQueryError`).
+
+        For range queries this is the placeholder 1 — their result size is
+        unbounded; see :meth:`query_spec` for the full query type.
+        """
+        return self.query_spec(query_id).k
 
     @property
     def query_count(self) -> int:
         """Number of registered continuous queries."""
-        return len(self._query_k)
+        return len(self._query_spec)
 
     # ------------------------------------------------------------------
     # processing
@@ -161,24 +183,28 @@ class MonitorBase(abc.ABC):
         for update in normalized.query_updates:
             if update.is_installation or update.is_termination:
                 continue
+            spec = update.spec
             if (
-                update.k is not None
-                and update.query_id in self._query_k
-                and update.k != self._query_k[update.query_id]
+                spec is not None
+                and update.query_id in self._query_spec
+                and spec != self._query_spec[update.query_id]
             ):
                 # A same-tick terminate+install collapses (Section 4.5) into
-                # a movement carrying the new k.  A changed k cannot be
-                # applied as a movement — algorithm state is sized to k —
-                # so split it back into its termination + installation.
+                # a movement carrying the new spec.  A changed spec — a new
+                # k, radius, aggregate points, or a different query *kind* —
+                # cannot be applied as a movement (algorithm state is sized
+                # to the spec), so split it back into its termination +
+                # installation.  A type-preserving remove+add with the same
+                # spec stays a movement and keeps the incremental path.
                 terminations.append(QueryUpdate(update.query_id, update.old_location, None))
                 installations.append(
-                    QueryUpdate(update.query_id, None, update.new_location, update.k)
+                    QueryUpdate(update.query_id, None, update.new_location, spec)
                 )
             else:
                 movements.append(update)
 
         for update in terminations:
-            if update.query_id in self._query_k:
+            if update.query_id in self._query_spec:
                 self.unregister_query(update.query_id)
 
         for update in movements:
@@ -235,7 +261,9 @@ class MonitorBase(abc.ABC):
     # subclass hooks
     # ------------------------------------------------------------------
     @abc.abstractmethod
-    def _install_query(self, query_id: int, location: NetworkLocation, k: int) -> KnnResult:
+    def _install_query(
+        self, query_id: int, location: NetworkLocation, spec: QuerySpec
+    ) -> KnnResult:
         """Compute the initial result of a newly registered query."""
 
     @abc.abstractmethod
@@ -249,11 +277,55 @@ class MonitorBase(abc.ABC):
     # ------------------------------------------------------------------
     # shared helpers for subclasses
     # ------------------------------------------------------------------
+    def _refresh_aggregates(self, batch: UpdateBatch) -> Set[int]:
+        """Re-evaluate registered aggregate queries that could have changed.
+
+        Shared policy of the incremental monitors (IMA and GMA register
+        their aggregate ids in ``self._aggregates``): any object or edge
+        update can move an aggregate distance, so a tick carrying either
+        re-evaluates every aggregate query; a tick carrying only query
+        movements re-evaluates just the moved ones.  (An empty tick is a
+        no-op — nothing the aggregate depends on changed.)
+        """
+        if batch.object_updates or batch.edge_updates:
+            stale = self._aggregates
+        else:
+            stale = {
+                update.query_id
+                for update in batch.query_updates
+                if update.query_id in self._aggregates
+            }
+        changed: Set[int] = set()
+        for query_id in sorted(stale):
+            neighbors, radius = self._evaluate_aggregate(
+                self._query_location[query_id], self._query_spec[query_id]
+            )
+            if self._store_result(query_id, neighbors, radius):
+                changed.add(query_id)
+        return changed
+
+    def _evaluate_aggregate(self, location: NetworkLocation, spec: QuerySpec):
+        """Per-point expansions merged under the spec's aggregate function.
+
+        Reads the subclass's ``_kernel`` / per-batch ``_batch_csr`` when
+        present (IMA and GMA define both) and falls back to the default
+        kernel with a per-call snapshot lookup otherwise.
+        """
+        return evaluate_aggregate(
+            self._network,
+            self._edge_table,
+            location,
+            spec,
+            kernel=getattr(self, "_kernel", "csr"),
+            csr=getattr(self, "_batch_csr", None),
+            counters=self._counters,
+        )
+
     def _store_result(self, query_id: int, neighbors: List[Neighbor], radius: float) -> bool:
         """Store a new result; return True when it differs from the old one."""
         new_result = KnnResult(
             query_id=query_id,
-            k=self._query_k[query_id],
+            k=self._query_spec[query_id].result_k,
             neighbors=tuple(neighbors),
             radius=radius,
         )

@@ -69,11 +69,15 @@ class QueryUpdate:
     """A query update: movement, installation, or termination.
 
     ``old_location is None`` encodes a newly installed query (``k`` must be
-    provided), ``new_location is None`` a terminated one.
+    provided), ``new_location is None`` a terminated one.  ``k`` is either
+    a plain integer (classic k-NN) or a
+    :class:`~repro.core.queries.QuerySpec` selecting any query type; the
+    normalized view is exposed as :attr:`spec`.
 
     Example::
 
-        QueryUpdate(100, None, location, k=4)  # installation
+        QueryUpdate(100, None, location, k=4)  # k-NN installation
+        QueryUpdate(100, None, location, k=QuerySpec.range(25.0))
         QueryUpdate(100, location, other)      # movement
         QueryUpdate(100, other, None)          # termination
     """
@@ -81,17 +85,32 @@ class QueryUpdate:
     query_id: int
     old_location: Optional[NetworkLocation]
     new_location: Optional[NetworkLocation]
-    k: Optional[int] = None
+    k: Optional[object] = None
 
     def __post_init__(self) -> None:
         if self.old_location is None and self.new_location is None:
             raise SimulationError(
                 f"query update {self.query_id} has neither old nor new location"
             )
-        if self.old_location is None and (self.k is None or self.k < 1):
+        # Normalize (and validate) the spec exactly once; every consumer on
+        # the ingestion path reads the cached value through .spec.  The
+        # import is call-time to keep this module a leaf of repro.core.
+        from repro.core.queries import as_query_spec
+
+        object.__setattr__(self, "_spec", as_query_spec(self.k))
+        if self.old_location is None and self._spec is None:
             raise InvalidQueryError(
-                f"newly installed query {self.query_id} needs a positive k"
+                f"newly installed query {self.query_id} needs a k or QuerySpec"
             )
+
+    @property
+    def spec(self):
+        """The update's :class:`~repro.core.queries.QuerySpec`, or None.
+
+        A plain-int ``k`` was normalized into a k-NN spec at construction;
+        a movement that carries no spec returns None.
+        """
+        return self._spec
 
     @property
     def is_installation(self) -> bool:

@@ -46,6 +46,7 @@ from repro.core.expansion import (
 )
 from repro.core.ima import KERNELS, ImaMonitor
 from repro.core.influence import InfluenceIndex
+from repro.core.queries import QuerySpec
 from repro.core.results import KnnResult, Neighbor
 from repro.core.search import ExpansionRequest, SearchCounters, expand_knn, expand_knn_batch
 from repro.core.search_legacy import expand_knn_legacy
@@ -116,6 +117,9 @@ class GmaMonitor(MonitorBase):
         self._query_sequence: Dict[int, int] = {}
         self._node_queries: Dict[int, Set[int]] = {}
         self._node_k: Dict[int, int] = {}
+        # Aggregate k-NN queries (not grouped under sequences) register in
+        # the inherited self._aggregates and are re-evaluated through
+        # MonitorBase._refresh_aggregates.
 
     # ------------------------------------------------------------------
     # introspection helpers
@@ -154,16 +158,27 @@ class GmaMonitor(MonitorBase):
     # ------------------------------------------------------------------
     # MonitorBase hooks
     # ------------------------------------------------------------------
-    def _install_query(self, query_id: int, location: NetworkLocation, k: int) -> KnnResult:
-        sequence_id = self._sequences.sequence_id_of_edge(location.edge_id)
-        self._attach_to_sequence(query_id, sequence_id, k)
-        neighbors, radius = self._evaluate_query(query_id, location, k)
+    def _install_query(
+        self, query_id: int, location: NetworkLocation, spec: QuerySpec
+    ) -> KnnResult:
+        if spec.kind == "aggregate_knn":
+            self._aggregates.add(query_id)
+            neighbors, radius = self._evaluate_aggregate(location, spec)
+        else:
+            if spec.is_knn:
+                sequence_id = self._sequences.sequence_id_of_edge(location.edge_id)
+                self._attach_to_sequence(query_id, sequence_id, spec.k)
+            neighbors, radius = self._evaluate_query(query_id, location, spec)
         return KnnResult(
-            query_id=query_id, k=k, neighbors=tuple(neighbors), radius=radius
+            query_id=query_id,
+            k=spec.result_k,
+            neighbors=tuple(neighbors),
+            radius=radius,
         )
 
     def _remove_query(self, query_id: int) -> None:
         self._influence.clear_subscriber(query_id)
+        self._aggregates.discard(query_id)
         sequence_id = self._query_sequence.pop(query_id, None)
         if sequence_id is not None:
             self._detach_from_sequence(query_id, sequence_id)
@@ -177,7 +192,10 @@ class GmaMonitor(MonitorBase):
             if self._use_dial:
                 self._batch_support = self._batch_csr.dial_support()
         try:
-            return self._process_updates(batch)
+            changed = self._process_updates(batch)
+            if self._aggregates:
+                changed |= self._refresh_aggregates(batch)
+            return changed
         finally:
             self._batch_csr = None
             self._batch_support = None
@@ -198,12 +216,23 @@ class GmaMonitor(MonitorBase):
         )
         node_report = self._node_monitor.process_batch(node_batch)
 
-        # Step 2 — user query movements: re-group queries whose sequence
-        # changed, activate / deactivate endpoints accordingly.
+        # Step 2 — user query movements: re-group k-NN queries whose
+        # sequence changed (activating / deactivating endpoints); moved
+        # range queries simply join the affected set — their fixed-radius
+        # evaluation is sequence-free.  (Moved aggregate queries are
+        # re-evaluated by the :meth:`_refresh_aggregates` postlude.)
         moved_queries: Set[int] = set()
         for update in batch.query_updates:
             query_id = update.query_id
-            if query_id not in self._query_sequence or update.new_location is None:
+            if update.new_location is None:
+                continue
+            spec = self._query_spec.get(query_id)
+            if spec is None:
+                continue
+            if spec.kind == "range":
+                moved_queries.add(query_id)
+                continue
+            if query_id not in self._query_sequence:
                 continue
             old_sequence = self._query_sequence[query_id]
             new_sequence = self._sequences.sequence_id_of_edge(
@@ -211,7 +240,7 @@ class GmaMonitor(MonitorBase):
             )
             if new_sequence != old_sequence:
                 self._detach_from_sequence(query_id, old_sequence)
-                self._attach_to_sequence(query_id, new_sequence, self._query_k[query_id])
+                self._attach_to_sequence(query_id, new_sequence, spec.k)
             moved_queries.add(query_id)
 
         # Step 3 — determine the affected user queries: queries that moved,
@@ -251,18 +280,27 @@ class GmaMonitor(MonitorBase):
             query_ids: List[int] = []
             requests: List[ExpansionRequest] = []
             for query_id in affected:
-                if query_id not in self._query_sequence:
+                spec = self._live_expansion_spec(query_id)
+                if spec is None:
                     continue
                 location = self._query_location[query_id]
-                k = self._query_k[query_id]
                 query_ids.append(query_id)
-                requests.append(
-                    ExpansionRequest(
-                        k=k,
-                        query_location=location,
-                        barrier_candidates=self._barrier_candidates_for(location, k),
+                if spec.kind == "range":
+                    requests.append(
+                        ExpansionRequest(
+                            k=1, query_location=location, fixed_radius=spec.radius
+                        )
                     )
-                )
+                else:
+                    requests.append(
+                        ExpansionRequest(
+                            k=spec.k,
+                            query_location=location,
+                            barrier_candidates=self._barrier_candidates_for(
+                                location, spec.k
+                            ),
+                        )
+                    )
             if not requests:
                 return changed
             outcomes = expand_knn_batch(
@@ -288,14 +326,28 @@ class GmaMonitor(MonitorBase):
             return changed
 
         for query_id in affected:
-            if query_id not in self._query_sequence:
+            spec = self._live_expansion_spec(query_id)
+            if spec is None:
                 continue
             location = self._query_location[query_id]
-            k = self._query_k[query_id]
-            neighbors, radius = self._evaluate_query(query_id, location, k)
+            neighbors, radius = self._evaluate_query(query_id, location, spec)
             if self._store_result(query_id, neighbors, radius):
                 changed.add(query_id)
         return changed
+
+    def _live_expansion_spec(self, query_id: int) -> Optional[QuerySpec]:
+        """The spec of an affected query served by an expansion, or None.
+
+        Filters terminated ids (they may linger in the affected set) and
+        aggregate queries (re-evaluated by :meth:`_refresh_aggregates`); a
+        live k-NN query is always grouped under a sequence.
+        """
+        spec = self._query_spec.get(query_id)
+        if spec is None or spec.kind == "aggregate_knn":
+            return None
+        if spec.is_knn and query_id not in self._query_sequence:
+            return None
+        return spec
 
     # ------------------------------------------------------------------
     # grouping / active-node management
@@ -351,28 +403,37 @@ class GmaMonitor(MonitorBase):
     # per-query evaluation
     # ------------------------------------------------------------------
     def _evaluate_query(
-        self, query_id: int, location: NetworkLocation, k: int
+        self, query_id: int, location: NetworkLocation, spec: QuerySpec
     ) -> Tuple[List[Neighbor], float]:
         """Evaluate one query: in-sequence expansion bounded by active nodes.
 
-        The expansion stops at the sequence's monitored endpoints (the
-        *barriers*), merging their k-NN sets instead of exploring beyond
-        them.  This is the paper's shared execution: per query only the part
-        of the sequence within ``kNN_dist`` is traversed.
+        For a k-NN query the expansion stops at the sequence's monitored
+        endpoints (the *barriers*), merging their k-NN sets instead of
+        exploring beyond them — the paper's shared execution: per query only
+        the part of the sequence within ``kNN_dist`` is traversed.  A range
+        query runs a barrier-free fixed-radius expansion instead (an
+        endpoint's monitored k-NN set cannot cover an arbitrary radius);
+        GMA's contribution for it is the influence-interval *detection* of
+        which ticks require re-evaluation at all.
 
         Runs over the batch's CSR snapshot; :meth:`_evaluate_query_legacy`
         preserves the dict path for differential testing.
         """
         if not self._use_csr:
-            return self._evaluate_query_legacy(query_id, location, k)
-        barriers = self._barrier_candidates_for(location, k)
+            return self._evaluate_query_legacy(query_id, location, spec)
+        is_range = spec.kind == "range"
+        barriers = None if is_range else self._barrier_candidates_for(location, spec.k)
+        fixed_radius = spec.radius if is_range else None
         if self._use_dial:
             [outcome] = expand_knn_batch(
                 self._network,
                 self._edge_table,
                 [
                     ExpansionRequest(
-                        k=k, query_location=location, barrier_candidates=barriers
+                        k=spec.k,
+                        query_location=location,
+                        barrier_candidates=barriers,
+                        fixed_radius=fixed_radius,
                     )
                 ],
                 counters=self._counters,
@@ -382,11 +443,12 @@ class GmaMonitor(MonitorBase):
             outcome = expand_knn(
                 self._network,
                 self._edge_table,
-                k,
+                spec.k,
                 query_location=location,
                 barrier_candidates=barriers,
                 counters=self._counters,
                 csr=self._batch_csr,
+                fixed_radius=fixed_radius,
             )
         influences = compute_influence_map(
             self._network,
@@ -400,17 +462,19 @@ class GmaMonitor(MonitorBase):
         return outcome.neighbors, outcome.radius
 
     def _evaluate_query_legacy(
-        self, query_id: int, location: NetworkLocation, k: int
+        self, query_id: int, location: NetworkLocation, spec: QuerySpec
     ) -> Tuple[List[Neighbor], float]:
         """Dict-walking barrier-bounded evaluation, kept for differential tests."""
-        barriers = self._barrier_candidates_for(location, k)
+        is_range = spec.kind == "range"
+        barriers = None if is_range else self._barrier_candidates_for(location, spec.k)
         outcome = expand_knn_legacy(
             self._network,
             self._edge_table,
-            k,
+            spec.k,
             query_location=location,
             barrier_candidates=barriers,
             counters=self._counters,
+            fixed_radius=spec.radius if is_range else None,
         )
         influences = compute_influence_map_legacy(
             self._network, outcome.state, outcome.radius, location

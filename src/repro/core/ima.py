@@ -50,7 +50,8 @@ from repro.core.expansion import (
     object_distance_via_state,
 )
 from repro.core.influence import InfluenceIndex
-from repro.core.results import KnnResult, NeighborList
+from repro.core.queries import QuerySpec
+from repro.core.results import KnnResult, Neighbor, NeighborList
 from repro.core.search import ExpansionRequest, expand_knn, expand_knn_batch
 from repro.core.search_legacy import expand_knn_legacy
 from repro.exceptions import EdgeNotFoundError, MonitoringError
@@ -72,14 +73,38 @@ KERNELS = ("csr", "dial", "legacy")
 
 @dataclass
 class _QueryState:
-    """Per-query incremental state (the paper's query-table entry)."""
+    """Per-query incremental state (the paper's query-table entry).
+
+    Shared by k-NN and range queries: for a range query ``radius`` is the
+    spec's fixed radius (the influence region never grows or shrinks with
+    the result), ``k`` is a placeholder 1, and ``neighbors`` holds *every*
+    in-range candidate instead of a top-k ranking.
+    """
 
     query_id: int
     k: int
     location: NetworkLocation
+    spec: QuerySpec = field(default_factory=QuerySpec)
     state: ExpansionState = field(default_factory=ExpansionState)
     neighbors: NeighborList = field(default_factory=lambda: NeighborList(1))
     radius: float = float("inf")
+
+    @property
+    def is_range(self) -> bool:
+        return self.spec.kind == "range"
+
+    @property
+    def fixed_radius(self) -> Optional[float]:
+        """The pinned search radius of a range query (None for k-NN)."""
+        return self.spec.radius if self.spec.kind == "range" else None
+
+    def result_neighbors(self) -> List[Neighbor]:
+        """The result list: top-k for k-NN, all in-range objects for range."""
+        if self.spec.kind == "range":
+            return [
+                pair for pair in self.neighbors.all_candidates() if pair[1] <= self.radius
+            ]
+        return self.neighbors.top_k()
 
 
 @dataclass
@@ -153,6 +178,9 @@ class ImaMonitor(MonitorBase):
         self._batch_support = None
         self._states: Dict[int, _QueryState] = {}
         self._influence = InfluenceIndex()
+        # Aggregate k-NN queries (no expansion tree / influence entries)
+        # register in the inherited self._aggregates and are re-evaluated
+        # through MonitorBase._refresh_aggregates.
 
     # ------------------------------------------------------------------
     # introspection helpers (used by tests and memory accounting)
@@ -181,22 +209,38 @@ class ImaMonitor(MonitorBase):
     # ------------------------------------------------------------------
     # MonitorBase hooks
     # ------------------------------------------------------------------
-    def _install_query(self, query_id: int, location: NetworkLocation, k: int) -> KnnResult:
+    def _install_query(
+        self, query_id: int, location: NetworkLocation, spec: QuerySpec
+    ) -> KnnResult:
+        if spec.kind == "aggregate_knn":
+            self._aggregates.add(query_id)
+            neighbors, radius = self._evaluate_aggregate(location, spec)
+            return KnnResult(
+                query_id=query_id,
+                k=spec.result_k,
+                neighbors=tuple(neighbors),
+                radius=radius,
+            )
         query_state = _QueryState(
-            query_id=query_id, k=k, location=location, neighbors=NeighborList(k)
+            query_id=query_id,
+            k=spec.k,
+            location=location,
+            spec=spec,
+            neighbors=NeighborList(spec.k),
         )
         self._states[query_id] = query_state
         self._fresh_search(query_state)
         return KnnResult(
             query_id=query_id,
-            k=k,
-            neighbors=tuple(query_state.neighbors.top_k()),
+            k=spec.result_k,
+            neighbors=tuple(query_state.result_neighbors()),
             radius=query_state.radius,
         )
 
     def _remove_query(self, query_id: int) -> None:
         self._influence.clear_subscriber(query_id)
         self._states.pop(query_id, None)
+        self._aggregates.discard(query_id)
 
     def _process(self, batch: UpdateBatch) -> Set[int]:
         if self._use_csr:
@@ -207,7 +251,10 @@ class ImaMonitor(MonitorBase):
             if self._use_dial:
                 self._batch_support = self._batch_csr.dial_support()
         try:
-            return self._process_updates(batch)
+            changed = self._process_updates(batch)
+            if self._aggregates:
+                changed |= self._refresh_aggregates(batch)
+            return changed
         finally:
             self._batch_csr = None
             self._batch_support = None
@@ -286,13 +333,18 @@ class ImaMonitor(MonitorBase):
             if entry.full_recompute:
                 continue
             query_state = self._states[query_id]
-            candidate_radius = query_state.neighbors.radius
-            if entry.needs_resume or candidate_radius > query_state.radius + _EPS:
+            if entry.needs_resume or (
+                not query_state.is_range
+                and query_state.neighbors.radius > query_state.radius + _EPS
+            ):
                 self._resume_search(query_state, entry)
-            else:
+            elif not query_state.is_range:
                 self._finalize_fast_path(query_state)
+            # A range query touched only by object updates is already final:
+            # the maintained candidate distances are exact and the radius —
+            # hence the tree and influence region — is pinned by the spec.
             if self._store_result(
-                query_id, query_state.neighbors.top_k(), query_state.radius
+                query_id, query_state.result_neighbors(), query_state.radius
             ):
                 changed.add(query_id)
 
@@ -304,7 +356,7 @@ class ImaMonitor(MonitorBase):
             query_state = self._states[query_id]
             self._fresh_search(query_state)
             if self._store_result(
-                query_id, query_state.neighbors.top_k(), query_state.radius
+                query_id, query_state.result_neighbors(), query_state.radius
             ):
                 changed.add(query_id)
 
@@ -665,22 +717,33 @@ class ImaMonitor(MonitorBase):
         resume_states: List[_QueryState] = []
         fresh_states: List[_QueryState] = []
         fast_states: List[_QueryState] = []
+        settled_states: List[_QueryState] = []
         requests: List[ExpansionRequest] = []
         for query_id, entry in pending.items():
             query_state = self._states[query_id]
             if entry.full_recompute:
                 fresh_states.append(query_state)
                 continue
-            candidate_radius = query_state.neighbors.radius
-            if entry.needs_resume or candidate_radius > query_state.radius + _EPS:
+            if entry.needs_resume or (
+                not query_state.is_range
+                and query_state.neighbors.radius > query_state.radius + _EPS
+            ):
                 resume_states.append(query_state)
                 requests.append(self._resume_request(query_state, entry, csr))
-            else:
+            elif not query_state.is_range:
                 fast_states.append(query_state)
+            else:
+                # Range fast path: object-only updates left exact candidate
+                # distances and the pinned radius; only the result changes.
+                settled_states.append(query_state)
         for query_state in fresh_states:
             query_state.state = ExpansionState()
             requests.append(
-                ExpansionRequest(k=query_state.k, query_location=query_state.location)
+                ExpansionRequest(
+                    k=query_state.k,
+                    query_location=query_state.location,
+                    fixed_radius=query_state.fixed_radius,
+                )
             )
 
         refresh_jobs: List[tuple] = []
@@ -718,19 +781,11 @@ class ImaMonitor(MonitorBase):
             )
             self._influence.replace_subscribers(maps)
 
-        for query_state in resume_states:
+        for query_state in resume_states + fast_states + settled_states + fresh_states:
             if self._store_result(
-                query_state.query_id, query_state.neighbors.top_k(), query_state.radius
-            ):
-                changed.add(query_state.query_id)
-        for query_state in fast_states:
-            if self._store_result(
-                query_state.query_id, query_state.neighbors.top_k(), query_state.radius
-            ):
-                changed.add(query_state.query_id)
-        for query_state in fresh_states:
-            if self._store_result(
-                query_state.query_id, query_state.neighbors.top_k(), query_state.radius
+                query_state.query_id,
+                query_state.result_neighbors(),
+                query_state.radius,
             ):
                 changed.add(query_state.query_id)
         return changed
@@ -801,18 +856,22 @@ class ImaMonitor(MonitorBase):
             preverified_parent=state.parent,
             candidates=self._resume_candidates(query_state, entry, csr),
             coverage_radius=self._coverage_radius(query_state, entry),
+            fixed_radius=query_state.fixed_radius,
         )
 
     def _fresh_search(self, query_state: _QueryState) -> None:
         """Compute the query's result from scratch (Figure 2)."""
         query_state.state = ExpansionState()
+        fixed_radius = query_state.fixed_radius
         if self._use_dial:
             [outcome] = expand_knn_batch(
                 self._network,
                 self._edge_table,
                 [
                     ExpansionRequest(
-                        k=query_state.k, query_location=query_state.location
+                        k=query_state.k,
+                        query_location=query_state.location,
+                        fixed_radius=fixed_radius,
                     )
                 ],
                 counters=self._counters,
@@ -826,6 +885,7 @@ class ImaMonitor(MonitorBase):
                 query_location=query_state.location,
                 counters=self._counters,
                 csr=self._batch_csr,
+                fixed_radius=fixed_radius,
             )
         else:
             outcome = expand_knn_legacy(
@@ -834,6 +894,7 @@ class ImaMonitor(MonitorBase):
                 query_state.k,
                 query_location=query_state.location,
                 counters=self._counters,
+                fixed_radius=fixed_radius,
             )
         self._adopt_outcome(query_state, outcome)
 
@@ -872,6 +933,7 @@ class ImaMonitor(MonitorBase):
             coverage_radius=self._coverage_radius(query_state, entry),
             counters=self._counters,
             csr=csr,
+            fixed_radius=query_state.fixed_radius,
         )
         self._adopt_outcome(query_state, outcome)
 
@@ -906,6 +968,7 @@ class ImaMonitor(MonitorBase):
             candidates=candidates,
             coverage_radius=self._coverage_radius(query_state, entry),
             counters=self._counters,
+            fixed_radius=query_state.fixed_radius,
         )
         self._adopt_outcome(query_state, outcome)
 

@@ -1,21 +1,23 @@
 """OVH — the overhaul baseline: recompute every query at every timestamp.
 
 The paper's benchmark competitor (Section 6): at every timestamp each
-registered query is re-evaluated from scratch with the Figure-2 expansion,
-regardless of whether any update could have affected it.  OVH is trivially
-correct, which also makes it the reference the differential tests compare
-IMA and GMA against.
+registered query is re-evaluated from scratch, regardless of whether any
+update could have affected it — the Figure-2 expansion for k-NN queries, a
+fixed-radius expansion for range queries, and per-point expansions merged
+under the aggregate distance function for aggregate k-NN queries.  OVH is
+trivially correct, which also makes it the reference the differential tests
+compare IMA and GMA against.
 """
 
 from __future__ import annotations
 
-from functools import partial
-from typing import Optional, Set
+from typing import List, Optional, Set, Tuple
 
 from repro.core.base import MonitorBase
 from repro.core.events import UpdateBatch
 from repro.core.ima import KERNELS
-from repro.core.results import KnnResult
+from repro.core.queries import QuerySpec, evaluate_aggregate
+from repro.core.results import KnnResult, Neighbor
 from repro.core.search import (
     ExpansionRequest,
     SearchCounters,
@@ -24,13 +26,13 @@ from repro.core.search import (
 )
 from repro.core.search_legacy import expand_knn_legacy
 from repro.exceptions import MonitoringError
-from repro.network.csr import csr_snapshot
+from repro.network.csr import CSRGraph, csr_snapshot
 from repro.network.edge_table import EdgeTable
 from repro.network.graph import NetworkLocation, RoadNetwork
 
 
 class OvhMonitor(MonitorBase):
-    """Recompute-from-scratch continuous k-NN monitoring.
+    """Recompute-from-scratch continuous monitoring (all query types).
 
     Example::
 
@@ -65,28 +67,15 @@ class OvhMonitor(MonitorBase):
     # ------------------------------------------------------------------
     # MonitorBase hooks
     # ------------------------------------------------------------------
-    def _install_query(self, query_id: int, location: NetworkLocation, k: int) -> KnnResult:
-        if self._use_dial:
-            [outcome] = expand_knn_batch(
-                self._network,
-                self._edge_table,
-                [ExpansionRequest(k=k, query_location=location)],
-                counters=self._counters,
-            )
-        else:
-            search = expand_knn if self._use_csr else expand_knn_legacy
-            outcome = search(
-                self._network,
-                self._edge_table,
-                k,
-                query_location=location,
-                counters=self._counters,
-            )
+    def _install_query(
+        self, query_id: int, location: NetworkLocation, spec: QuerySpec
+    ) -> KnnResult:
+        neighbors, radius = self._evaluate(location, spec)
         return KnnResult(
             query_id=query_id,
-            k=k,
-            neighbors=tuple(outcome.neighbors),
-            radius=outcome.radius,
+            k=spec.result_k,
+            neighbors=tuple(neighbors),
+            radius=radius,
         )
 
     def _remove_query(self, query_id: int) -> None:
@@ -95,39 +84,99 @@ class OvhMonitor(MonitorBase):
 
     def _process(self, batch: UpdateBatch) -> Set[int]:
         changed: Set[int] = set()
+        csr = csr_snapshot(self._network) if self._use_csr else None
         if self._use_dial:
-            # The whole timestamp's recomputation as one batched kernel call.
-            query_ids = list(self._query_k)
+            # The whole timestamp's expansions as one batched kernel call
+            # (aggregate queries batch their per-point expansions inside
+            # _evaluate, over the same snapshot).
+            expansion_ids = [
+                query_id
+                for query_id, spec in self._query_spec.items()
+                if spec.kind != "aggregate_knn"
+            ]
             outcomes = expand_knn_batch(
+                self._network,
+                self._edge_table,
+                [self._request_for(query_id) for query_id in expansion_ids],
+                counters=self._counters,
+                csr=csr,
+            )
+            for query_id, outcome in zip(expansion_ids, outcomes):
+                if self._store_result(query_id, outcome.neighbors, outcome.radius):
+                    changed.add(query_id)
+            for query_id, spec in self._query_spec.items():
+                if spec.kind != "aggregate_knn":
+                    continue
+                neighbors, radius = self._evaluate(
+                    self._query_location[query_id], spec, csr=csr
+                )
+                if self._store_result(query_id, neighbors, radius):
+                    changed.add(query_id)
+            return changed
+        for query_id in list(self._query_spec):
+            neighbors, radius = self._evaluate(
+                self._query_location[query_id], self._query_spec[query_id], csr=csr
+            )
+            if self._store_result(query_id, neighbors, radius):
+                changed.add(query_id)
+        return changed
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+    def _request_for(self, query_id: int) -> ExpansionRequest:
+        """The batched-kernel request of one k-NN or range query."""
+        spec = self._query_spec[query_id]
+        return ExpansionRequest(
+            k=spec.k,
+            query_location=self._query_location[query_id],
+            fixed_radius=spec.radius if spec.kind == "range" else None,
+        )
+
+    def _evaluate(
+        self, location: NetworkLocation, spec: QuerySpec, csr: Optional[CSRGraph] = None
+    ) -> Tuple[List[Neighbor], float]:
+        """One from-scratch evaluation, dispatched on query kind and kernel."""
+        if spec.kind == "aggregate_knn":
+            return evaluate_aggregate(
+                self._network,
+                self._edge_table,
+                location,
+                spec,
+                kernel=self._kernel,
+                csr=csr,
+                counters=self._counters,
+            )
+        fixed_radius = spec.radius if spec.kind == "range" else None
+        if self._use_dial:
+            [outcome] = expand_knn_batch(
                 self._network,
                 self._edge_table,
                 [
                     ExpansionRequest(
-                        k=self._query_k[query_id],
-                        query_location=self._query_location[query_id],
+                        k=spec.k, query_location=location, fixed_radius=fixed_radius
                     )
-                    for query_id in query_ids
                 ],
                 counters=self._counters,
-                csr=csr_snapshot(self._network),
+                csr=csr,
             )
-            for query_id, outcome in zip(query_ids, outcomes):
-                if self._store_result(query_id, outcome.neighbors, outcome.radius):
-                    changed.add(query_id)
-            return changed
-        if self._use_csr:
-            # One snapshot refresh for the whole timestamp's recomputation.
-            search = partial(expand_knn, csr=csr_snapshot(self._network))
-        else:
-            search = expand_knn_legacy
-        for query_id in list(self._query_k):
-            outcome = search(
+        elif self._use_csr:
+            outcome = expand_knn(
                 self._network,
                 self._edge_table,
-                self._query_k[query_id],
-                query_location=self._query_location[query_id],
+                spec.k,
+                query_location=location,
                 counters=self._counters,
+                csr=csr,
+                fixed_radius=fixed_radius,
             )
-            if self._store_result(query_id, outcome.neighbors, outcome.radius):
-                changed.add(query_id)
-        return changed
+        else:
+            outcome = expand_knn_legacy(
+                self._network,
+                self._edge_table,
+                spec.k,
+                query_location=location,
+                counters=self._counters,
+                fixed_radius=fixed_radius,
+            )
+        return outcome.neighbors, outcome.radius

@@ -144,6 +144,7 @@ class ExpansionRequest:
     barrier_candidates: Optional[Mapping[int, Iterable[Neighbor]]] = None
     coverage_radius: Optional[float] = None
     excluded_objects: Optional[Set[int]] = None
+    fixed_radius: Optional[float] = None
 
 
 def expand_knn_batch(
@@ -191,6 +192,7 @@ def expand_knn_batch(
             coverage_radius=request.coverage_radius,
             excluded_objects=request.excluded_objects,
             counters=counters,
+            fixed_radius=request.fixed_radius,
             csr=csr,
         )
         for request in requests
@@ -211,6 +213,7 @@ def expand_knn(
     excluded_objects: Optional[Set[int]] = None,
     counters: Optional[SearchCounters] = None,
     csr: Optional[CSRGraph] = None,
+    fixed_radius: Optional[float] = None,
 ) -> SearchOutcome:
     """Expand the network around a query until its k NNs are known.
 
@@ -256,6 +259,16 @@ def expand_knn(
             processors pass the snapshot they acquired once per timestamp so
             that the per-search staleness check is skipped; when omitted the
             cached snapshot is looked up (and refreshed) per call.
+        fixed_radius: run a fixed-radius *range* search instead of a k-NN
+            one: the termination bound is pinned to this value (it never
+            shrinks with the candidates), nodes at distance exactly the
+            radius are still settled, and the outcome holds **every** object
+            within the radius sorted by ``(distance, object id)`` with
+            ``radius`` set to this value.  ``k`` is ignored (pass 1).  All
+            resume machinery (``preverified``, ``candidates``,
+            ``coverage_radius``) composes unchanged, which is what lets IMA
+            maintain range queries with the same tree repair it uses for
+            k-NN.
 
     Returns:
         A :class:`SearchOutcome` with the exact top-k result.
@@ -290,7 +303,13 @@ def expand_knn(
             previous = cand_get(object_id)
             if previous is None or distance < previous:
                 cand[object_id] = distance
-    radius = sorted(cand.values())[k - 1] if len(cand) >= k else _INF
+    if fixed_radius is not None:
+        # Range search: the bound is pinned — seeded candidates cannot
+        # shrink it and offers never dirty it (the recompute sites below are
+        # all guarded), so the loop settles everything within the radius.
+        radius = fixed_radius
+    else:
+        radius = sorted(cand.values())[k - 1] if len(cand) >= k else _INF
 
     if csr is None:
         csr = csr_snapshot(network)
@@ -459,9 +478,12 @@ def expand_knn(
             if settled[u] or d > tentative[u]:
                 continue
             if radius_dirty:
-                radius = sorted(cand.values())[k - 1] if len(cand) >= k else _INF
+                if fixed_radius is None:
+                    radius = sorted(cand.values())[k - 1] if len(cand) >= k else _INF
                 radius_dirty = False
-            if d >= radius:
+            if d >= radius and (fixed_radius is None or d > radius):
+                # k-NN stops at the radius; a range search is inclusive, so
+                # nodes at distance exactly the radius still settle.
                 break
             settled[u] = 1
             best[u] = d
@@ -475,14 +497,15 @@ def expand_knn(
                 # the current radius none of the following ones can either.
                 for object_id, from_node_distance in barrier:
                     if radius_dirty:
-                        radius = (
-                            sorted(cand.values())[k - 1]
-                            if len(cand) >= k
-                            else _INF
-                        )
+                        if fixed_radius is None:
+                            radius = (
+                                sorted(cand.values())[k - 1]
+                                if len(cand) >= k
+                                else _INF
+                            )
                         radius_dirty = False
                     total = d + from_node_distance
-                    if total >= radius:
+                    if total >= radius and (fixed_radius is None or total > radius):
                         break
                     if object_id not in excluded:
                         objects_considered += 1
@@ -556,11 +579,22 @@ def expand_knn(
     counters.objects_considered += objects_considered
     counters.heap_pushes += heap_pushes
 
-    if radius_dirty:
-        radius = sorted(cand.values())[k - 1] if len(cand) >= k else _INF
-    # Sort (distance, id) tuples so ties break by object id, matching
-    # NeighborList.top_k().
-    top = sorted(zip(cand.values(), cand.keys()))[:k]
+    if fixed_radius is None:
+        if radius_dirty:
+            radius = sorted(cand.values())[k - 1] if len(cand) >= k else _INF
+        # Sort (distance, id) tuples so ties break by object id, matching
+        # NeighborList.top_k().
+        top = sorted(zip(cand.values(), cand.keys()))[:k]
+    else:
+        # Range result: every in-radius candidate, sorted like top_k().
+        # Seeded candidates that stayed upper bounds beyond the radius are
+        # dropped (their exact distances, if in range, were re-offered).
+        radius = fixed_radius
+        top = sorted(
+            (distance, object_id)
+            for object_id, distance in cand.items()
+            if distance <= fixed_radius
+        )
     state = ExpansionState(node_dist=node_dist, parent=parent)
     return SearchOutcome(
         neighbors=[(oid, d) for d, oid in top],

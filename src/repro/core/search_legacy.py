@@ -41,6 +41,7 @@ def expand_knn_legacy(
     coverage_radius: Optional[float] = None,
     excluded_objects: Optional[Set[int]] = None,
     counters: Optional[SearchCounters] = None,
+    fixed_radius: Optional[float] = None,
 ) -> SearchOutcome:
     """Dict-based reference expansion; same contract as ``expand_knn``.
 
@@ -135,7 +136,16 @@ def expand_knn_legacy(
     # ------------------------------------------------------------------
     # main Dijkstra loop (Figure 2, lines 7-23)
     # ------------------------------------------------------------------
-    while heap and heap.min_key() < neighbors.radius:
+    def frontier_open() -> bool:
+        """Termination bound: the k-th candidate, or the pinned range radius."""
+        if not heap:
+            return False
+        if fixed_radius is not None:
+            # Range searches are inclusive: settle nodes at exactly the radius.
+            return heap.min_key() <= fixed_radius
+        return heap.min_key() < neighbors.radius
+
+    while frontier_open():
         current_node, current_distance = heap.pop()
         if current_node in node_dist:
             continue
@@ -147,7 +157,10 @@ def expand_knn_legacy(
             # expansion here (the shared-execution core of GMA).
             for object_id, from_node_distance in barriers[current_node]:
                 total = current_distance + from_node_distance
-                if total >= neighbors.radius:
+                if fixed_radius is not None:
+                    if total > fixed_radius:
+                        break
+                elif total >= neighbors.radius:
                     break
                 if object_id not in excluded:
                     counters.objects_considered += 1
@@ -158,6 +171,14 @@ def expand_knn_legacy(
             relax(neighbor_node, current_distance + weight, current_node)
 
     state = ExpansionState(node_dist=node_dist, parent=parent)
+    if fixed_radius is not None:
+        # Range result: every in-radius candidate, sorted like top_k().
+        in_range = [
+            (object_id, distance)
+            for object_id, distance in neighbors.all_candidates()
+            if distance <= fixed_radius
+        ]
+        return SearchOutcome(neighbors=in_range, radius=fixed_radius, state=state)
     return SearchOutcome(
         neighbors=neighbors.top_k(),
         radius=neighbors.radius,

@@ -35,6 +35,7 @@ from repro.core.events import (
 from repro.core.gma import GmaMonitor
 from repro.core.ima import ImaMonitor
 from repro.core.ovh import OvhMonitor
+from repro.core.queries import QuerySpec, as_query_spec
 from repro.core.results import KnnResult
 from repro.exceptions import (
     DuplicateObjectError,
@@ -129,7 +130,7 @@ class MonitoringServer:
             object_id: location for object_id, location in self._edge_table.all_objects()
         }
         self._query_locations: Dict[int, NetworkLocation] = {}
-        self._query_k: Dict[int, int] = {}
+        self._query_specs: Dict[int, QuerySpec] = {}
         if workers is not None and workers > 1 and self._monitor is not None:
             # Only ShardedMonitoringServer (whose _make_monitor returns
             # None) honours workers > 1; a direct subclass reaching this
@@ -377,6 +378,9 @@ class MonitoringServer:
                     added.discard(update.query_id)
             if update.new_location is not None:
                 self._network.validate_location(update.new_location)
+            if update.is_installation:
+                for point in update.spec.points:
+                    self._network.validate_location(point)
         for edge_update in batch.edge_updates:
             self._network.edge(edge_update.edge_id)  # raises if unknown
 
@@ -399,25 +403,27 @@ class MonitoringServer:
         for update in batch.query_updates:
             if update.is_installation:
                 query_locations[update.query_id] = update.new_location
-                self._query_k[update.query_id] = update.k
+                self._query_specs[update.query_id] = update.spec
                 pending.query_updates.append(update)
             elif update.is_termination:
                 old_location = query_locations.pop(update.query_id)
-                self._query_k.pop(update.query_id, None)
+                self._query_specs.pop(update.query_id, None)
                 pending.query_updates.append(
                     QueryUpdate(update.query_id, old_location, None)
                 )
             else:
                 old_location = query_locations[update.query_id]
                 query_locations[update.query_id] = update.new_location
-                if update.k is not None:
+                spec = update.spec
+                if spec is not None:
                     # A normalized same-tick terminate+reinstall arrives as a
-                    # movement carrying the new k; adopt it and forward it so
-                    # monitors split it back into terminate + install.
-                    self._query_k[update.query_id] = update.k
+                    # movement carrying the new spec; adopt it and forward it
+                    # so monitors split it back into terminate + install
+                    # whenever the spec (k, radius, points, or kind) changed.
+                    self._query_specs[update.query_id] = spec
                 pending.query_updates.append(
                     QueryUpdate(
-                        update.query_id, old_location, update.new_location, update.k
+                        update.query_id, old_location, update.new_location, spec
                     )
                 )
         for edge_update in batch.edge_updates:
@@ -435,18 +441,37 @@ class MonitoringServer:
     # ------------------------------------------------------------------
     # queries
     # ------------------------------------------------------------------
-    def add_query(self, query_id: int, location: NetworkLocation, k: int) -> None:
-        """Install a continuous k-NN query (takes effect at the next tick)."""
+    def add_query(
+        self, query_id: int, location: NetworkLocation, k: Union[int, QuerySpec]
+    ) -> None:
+        """Install a continuous query (takes effect at the next tick).
+
+        *k* is a plain integer — the classic continuous k-NN query — or any
+        :class:`~repro.core.queries.QuerySpec`: ``QuerySpec.range(radius)``
+        for fixed-radius range monitoring, ``QuerySpec.aggregate_knn(k,
+        points, agg)`` for aggregate nearest neighbors over the query's
+        location plus fixed extra points.
+        """
         self._ensure_accepting_updates()
         if query_id in self._query_locations:
             raise DuplicateQueryError(query_id)
+        spec = as_query_spec(k)
         self._network.validate_location(location)
+        if spec is not None:
+            for point in spec.points:
+                self._network.validate_location(point)
+        # Construct the update before touching any state: its validation
+        # (a missing spec, most notably) must leave the server unchanged so
+        # the id stays usable.
+        update = QueryUpdate(query_id, None, location, spec)
         self._query_locations[query_id] = location
-        self._query_k[query_id] = k
-        self._pending.query_updates.append(QueryUpdate(query_id, None, location, k))
+        self._query_specs[query_id] = spec
+        self._pending.query_updates.append(update)
 
-    def add_query_at(self, query_id: int, x: float, y: float, k: int) -> NetworkLocation:
-        """Install a continuous k-NN query by coordinates."""
+    def add_query_at(
+        self, query_id: int, x: float, y: float, k: Union[int, QuerySpec]
+    ) -> NetworkLocation:
+        """Install a continuous query by coordinates (int k or a QuerySpec)."""
         location = self.snap(x, y)
         self.add_query(query_id, location, k)
         return location
@@ -475,12 +500,23 @@ class MonitoringServer:
         old_location = self._query_locations.pop(query_id, None)
         if old_location is None:
             raise UnknownQueryError(query_id)
-        self._query_k.pop(query_id, None)
+        self._query_specs.pop(query_id, None)
         self._pending.query_updates.append(QueryUpdate(query_id, old_location, None))
 
     def query_ids(self) -> Set[int]:
         """Ids of every installed query (including pending installations)."""
         return set(self._query_locations)
+
+    def query_spec_of(self, query_id: int) -> QuerySpec:
+        """The :class:`QuerySpec` of an installed query (typed error on miss).
+
+        Raises:
+            UnknownQueryError: if the query was never added (or was removed).
+        """
+        try:
+            return self._query_specs[query_id]
+        except KeyError as exc:
+            raise UnknownQueryError(query_id) from exc
 
     # ------------------------------------------------------------------
     # edges

@@ -294,9 +294,9 @@ class ShardedMonitoringServer(MonitoringServer):
         # result_of() behaves like the single-process server until the
         # termination is processed.
         live_queries = {
-            query_id: (self._query_locations[query_id], self._query_k[query_id])
+            query_id: (self._query_locations[query_id], self._query_specs[query_id])
             for query_id in self._merged_results
-            if query_id in self._query_locations and query_id in self._query_k
+            if query_id in self._query_locations and query_id in self._query_specs
         }
         old_shards, old_shared = self._shards, self._shared
         self._shards, self._shared = [], None

@@ -73,7 +73,10 @@ class ShardInit:
     kernel: str
     network_blob: bytes
     objects: Dict[int, NetworkLocation]
-    queries: Dict[int, Tuple[NetworkLocation, int]] = field(default_factory=dict)
+    #: query id -> (location, k-or-QuerySpec); the sharded server ships the
+    #: full :class:`~repro.core.queries.QuerySpec` so every query type
+    #: (k-NN, range, aggregate k-NN) partitions transparently.
+    queries: Dict[int, Tuple[NetworkLocation, object]] = field(default_factory=dict)
     csr_handle: Optional[SharedCSRHandle] = None
     zero_copy: bool = False
 

@@ -19,7 +19,10 @@ from repro.network.csr import (
 )
 from repro.network.distance import (
     approximate_center_node,
+    brute_force_aggregate_knn,
     brute_force_knn,
+    brute_force_object_distances,
+    brute_force_range,
     eccentricity,
     location_sources,
     multi_source_node_distances,
@@ -63,6 +66,9 @@ __all__ = [
     "network_distance",
     "shortest_path_nodes",
     "brute_force_knn",
+    "brute_force_range",
+    "brute_force_aggregate_knn",
+    "brute_force_object_distances",
     "location_sources",
     "eccentricity",
     "approximate_center_node",

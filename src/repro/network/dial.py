@@ -348,6 +348,16 @@ def dial_expand_batch(
     scratch = csr.acquire_scratch()
     try:
         for request in requests:
+            if request.fixed_radius is not None:
+                # Fixed-radius (range) searches terminate on a pinned bound
+                # instead of the shrinking k-NN radius; the quantized push
+                # gating below assumes the latter, so these requests are
+                # served by the exact heap kernel over the same shared
+                # snapshot (identical outcomes, same batch).
+                outcomes.append(
+                    _run_heap(expand_knn, network, edge_table, request, csr, counters)
+                )
+                continue
             try:
                 outcomes.append(
                     _dial_search(network, edge_table, request, csr, support, scratch, counters)
@@ -378,6 +388,7 @@ def _run_heap(expand_knn, network, edge_table, request, csr, counters):
         excluded_objects=request.excluded_objects,
         counters=counters,
         csr=csr,
+        fixed_radius=request.fixed_radius,
     )
 
 

@@ -179,24 +179,20 @@ def shortest_path_nodes(
     return dist[target], path
 
 
-def brute_force_knn(
+def brute_force_object_distances(
     network: RoadNetwork,
     edge_table: EdgeTable,
     query: NetworkLocation,
-    k: int,
 ) -> List[Tuple[int, float]]:
-    """Reference k-NN: compute the distance to *every* object and sort.
+    """Exact distance from *query* to every reachable object, sorted.
 
-    Quadratic and slow by design — it is the ground truth the monitoring
-    algorithms are validated against in the test suite.
-
-    Returns:
-        Up to *k* ``(object_id, distance)`` pairs ordered by distance, ties
-        broken by object id for determinism.
+    One plain multi-source Dijkstra followed by a linear scan over *all*
+    data objects (unreachable ones are omitted); the shared core of the
+    brute-force ground-truth helpers below.  Ties sort by object id.
 
     Example::
 
-        truth = brute_force_knn(network, edge_table, query_location, k=4)
+        pairs = brute_force_object_distances(network, edge_table, location)
     """
     origin_dists = multi_source_node_distances(network, location_sources(network, query))
     query_edge = network.edge(query.edge_id)
@@ -218,7 +214,92 @@ def brute_force_knn(
         if distance != float("inf"):
             results.append((object_id, distance))
     results.sort(key=lambda item: (item[1], item[0]))
-    return results[:k]
+    return results
+
+
+def brute_force_knn(
+    network: RoadNetwork,
+    edge_table: EdgeTable,
+    query: NetworkLocation,
+    k: int,
+) -> List[Tuple[int, float]]:
+    """Reference k-NN: compute the distance to *every* object and sort.
+
+    Quadratic and slow by design — it is the ground truth the monitoring
+    algorithms are validated against in the test suite.
+
+    Returns:
+        Up to *k* ``(object_id, distance)`` pairs ordered by distance, ties
+        broken by object id for determinism.
+
+    Example::
+
+        truth = brute_force_knn(network, edge_table, query_location, k=4)
+    """
+    return brute_force_object_distances(network, edge_table, query)[:k]
+
+
+def brute_force_range(
+    network: RoadNetwork,
+    edge_table: EdgeTable,
+    query: NetworkLocation,
+    radius: float,
+) -> List[Tuple[int, float]]:
+    """Reference range query: every object within *radius*, sorted.
+
+    The ground truth of continuous range monitoring: the full
+    ``(object_id, distance)`` list of objects at network distance at most
+    *radius* (inclusive), ordered like :func:`brute_force_knn`.
+
+    Example::
+
+        in_range = brute_force_range(network, edge_table, location, 25.0)
+    """
+    return [
+        pair
+        for pair in brute_force_object_distances(network, edge_table, query)
+        if pair[1] <= radius
+    ]
+
+
+def brute_force_aggregate_knn(
+    network: RoadNetwork,
+    edge_table: EdgeTable,
+    points: Sequence[NetworkLocation],
+    k: int,
+    agg: str = "sum",
+) -> List[Tuple[int, float]]:
+    """Reference aggregate k-NN over several query points.
+
+    The aggregate distance of an object is the ``"sum"`` or ``"max"`` of
+    its exact network distances from every point; objects unreachable from
+    any point aggregate to infinity and are omitted.  Returns up to *k*
+    ``(object_id, aggregate_distance)`` pairs ordered by (distance, id).
+
+    Example::
+
+        truth = brute_force_aggregate_knn(network, edge_table, (a, b), k=3)
+    """
+    per_point = [
+        dict(brute_force_object_distances(network, edge_table, point))
+        for point in points
+    ]
+    if not per_point:
+        return []
+    merged: List[Tuple[float, int]] = []
+    for object_id, total in per_point[0].items():
+        for other in per_point[1:]:
+            distance = other.get(object_id)
+            if distance is None:
+                break
+            if agg == "sum":
+                total += distance
+            elif distance > total:
+                total = distance
+        else:
+            merged.append((total, object_id))
+    merged.sort()
+    return [(object_id, distance) for distance, object_id in merged[:k]]
 
 
 def eccentricity(network: RoadNetwork, source: int) -> float:

@@ -25,6 +25,7 @@ from repro.testing.harness import (
 )
 from repro.testing.oracle import OracleMonitor
 from repro.testing.scenarios import (
+    MIXED_QUERY_MIX,
     SCENARIO_PRESETS,
     ScenarioEngine,
     ScenarioSpec,
@@ -33,6 +34,7 @@ from repro.testing.scenarios import (
 
 __all__ = [
     "DifferentialReport",
+    "MIXED_QUERY_MIX",
     "OracleMonitor",
     "SCENARIO_PRESETS",
     "ScenarioEngine",

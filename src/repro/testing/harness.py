@@ -26,7 +26,7 @@ from repro.network.builders import city_network
 from repro.network.edge_table import EdgeTable
 from repro.network.graph import RoadNetwork
 from repro.testing.oracle import OracleMonitor
-from repro.testing.scenarios import ScenarioEngine, resolve_scenario
+from repro.testing.scenarios import MIXED_QUERY_MIX, ScenarioEngine, resolve_scenario
 
 #: Algorithm names accepted by :func:`run_differential_scenario`: an
 #: optional ``-legacy`` / ``-dial`` suffix selects the kernel.
@@ -60,18 +60,23 @@ def replay_command(
     server_algorithm: str = "ima",
     server_kernel: str = "csr",
     kernel: str = "csr",
+    query_types: str = "default",
 ) -> str:
     """The one-command local reproduction of a fuzz failure.
 
     When the failing run fuzzed the dial monitor panel, the command carries
     ``FUZZ_KERNEL=dial`` so ``test_replay_from_env`` rebuilds the same
-    panel.  When it drove servers (``workers`` set), the command carries
-    ``FUZZ_WORKERS`` (and ``FUZZ_SERVER_ALGORITHM`` / ``FUZZ_SERVER_KERNEL``
-    when not the defaults) so a sharded-only divergence reproduces too.
+    panel; when it overlaid the mixed query-type distribution it carries
+    ``FUZZ_QUERY_TYPES=mixed``.  When it drove servers (``workers`` set),
+    the command carries ``FUZZ_WORKERS`` (and ``FUZZ_SERVER_ALGORITHM`` /
+    ``FUZZ_SERVER_KERNEL`` when not the defaults) so a sharded-only
+    divergence reproduces too.
     """
     env = f"FUZZ_SCENARIO={scenario} FUZZ_SEED={seed} "
     if kernel != "csr":
         env += f"FUZZ_KERNEL={kernel} "
+    if query_types != "default":
+        env += f"FUZZ_QUERY_TYPES={query_types} "
     if workers is not None:
         env += f"FUZZ_WORKERS={workers} "
         if server_algorithm.lower() != "ima":
@@ -101,6 +106,9 @@ class DifferentialReport:
     #: the monitor panel of the run, carried so failure_message can emit
     #: FUZZ_KERNEL for dial-panel failures
     algorithms: Tuple[str, ...] = ()
+    #: the query-type overlay of the run ("default" or "mixed"), carried so
+    #: failure_message can emit FUZZ_QUERY_TYPES
+    query_types: str = "default"
 
     @property
     def ok(self) -> bool:
@@ -117,7 +125,7 @@ class DifferentialReport:
             f"({len(self.mismatches)} mismatches over {self.timestamps} ticks):\n"
             f"  {shown}{suffix}\n"
             f"replay locally with:\n  "
-            f"{replay_command(self.scenario, self.seed, self.workers, self.server_algorithm, self.server_kernel, kernel=self.panel_kernel)}"
+            f"{replay_command(self.scenario, self.seed, self.workers, self.server_algorithm, self.server_kernel, kernel=self.panel_kernel, query_types=self.query_types)}"
         )
 
     @property
@@ -178,6 +186,7 @@ def run_differential_scenario(
     workers: Optional[int] = None,
     server_algorithm: str = "ima",
     server_kernel: str = "csr",
+    query_types: str = "default",
 ) -> DifferentialReport:
     """Run *algorithms* over a scenario stream and diff them against the oracle.
 
@@ -186,6 +195,10 @@ def run_differential_scenario(
     timestamp each monitor's :class:`~repro.core.base.TimestepReport` must
     carry the batch's timestamp and every live query's distance profile must
     match the brute-force oracle's.
+
+    ``query_types="mixed"`` overlays :data:`MIXED_QUERY_MIX` on the
+    scenario, so installed queries draw from all three kinds (k-NN, range,
+    aggregate k-NN) regardless of the preset's own mix.
 
     When *workers* is given, the same stream additionally drives two
     :class:`~repro.core.server.MonitoringServer` instances running
@@ -200,7 +213,15 @@ def run_differential_scenario(
         report = run_differential_scenario("churn-heavy", seed=7, workers=4)
         assert report.ok, report.failure_message()
     """
+    if query_types not in ("default", "mixed"):
+        raise SimulationError(
+            f"unknown query_types {query_types!r}; use 'default' or 'mixed'"
+        )
     spec = resolve_scenario(scenario)
+    if query_types == "mixed":
+        # Overlay the mixed query-kind distribution: every preset fuzzes
+        # k-NN, range and aggregate queries through the same stressors.
+        spec = spec.with_overrides(query_mix=MIXED_QUERY_MIX)
     if network is None:
         network = city_network(network_edges, seed=seed + 1)
     edge_table = EdgeTable(network, build_spatial_index=False)
@@ -240,6 +261,7 @@ def run_differential_scenario(
         server_algorithm=server_algorithm,
         server_kernel=server_kernel,
         algorithms=tuple(algorithms),
+        query_types=query_types,
     )
     try:
         for batch in engine.batches(rounds):

@@ -29,12 +29,17 @@ from repro.core.events import (
     QueryUpdate,
     UpdateBatch,
 )
+from repro.core.queries import QuerySpec, as_query_spec
 from repro.exceptions import SimulationError
 from repro.network.graph import NetworkLocation, RoadNetwork
 
 #: Default base for generated query ids (kept clear of object ids; matches
 #: the simulator's convention).
 QUERY_ID_BASE = 1_000_000
+
+#: The query-kind distribution the ``FUZZ_QUERY_TYPES=mixed`` fuzz leg
+#: overlays on every preset: all three types share one stream.
+MIXED_QUERY_MIX = (("knn", 0.4), ("range", 0.3), ("aggregate_knn", 0.3))
 
 
 @dataclass(frozen=True)
@@ -88,6 +93,17 @@ class ScenarioSpec:
     #: per-tick probability that one query both moves and terminates in the
     #: same tick (exercises the Section 4.5 batch preprocessing)
     move_and_remove_prob: float = 0.0
+    #: distribution of query kinds for generated installations: ``(kind,
+    #: weight)`` pairs over ``"knn"`` / ``"range"`` / ``"aggregate_knn"``
+    #: (weights need not sum to 1; the default keeps streams k-NN-only and
+    #: RNG-identical to the pre-query-type engine)
+    query_mix: Tuple[Tuple[str, float], ...] = (("knn", 1.0),)
+    #: range-query radii, drawn as multiples of the network's mean edge weight
+    range_radius_factors: Tuple[float, ...] = (2.0, 4.0)
+    #: how many *fixed* extra aggregation points an aggregate-kNN install gets
+    aggregate_point_counts: Tuple[int, ...] = (1, 2)
+    #: aggregate distance functions drawn for aggregate-kNN installs
+    aggregate_aggs: Tuple[str, ...] = ("sum", "max")
 
     def with_overrides(self, **overrides) -> "ScenarioSpec":
         """Return a copy with the given fields replaced."""
@@ -160,6 +176,34 @@ SCENARIO_PRESETS: Dict[str, ScenarioSpec] = {
             flicker_prob=0.3,
             move_and_remove_prob=0.15,
         ),
+        ScenarioSpec(
+            name="mixed-fleet",
+            description="kNN, range and aggregate queries share one stream",
+            object_move_fraction=0.20,
+            object_arrival_rate=0.8,
+            object_departure_rate=0.6,
+            edge_storm_fraction=0.10,
+            edge_storm_factor=0.20,
+            query_move_fraction=0.35,
+            query_teleport_fraction=0.3,
+            query_churn_prob=0.35,
+            move_and_remove_prob=0.15,
+            query_mix=MIXED_QUERY_MIX,
+        ),
+        ScenarioSpec(
+            name="geofence-churn",
+            description="range geofences under heavy object churn and weight noise",
+            object_move_fraction=0.25,
+            object_arrival_rate=1.5,
+            object_departure_rate=1.2,
+            flicker_prob=0.4,
+            edge_storm_fraction=0.15,
+            edge_storm_factor=0.25,
+            query_move_fraction=0.20,
+            query_churn_prob=0.30,
+            query_mix=(("range", 0.8), ("knn", 0.2)),
+            range_radius_factors=(1.5, 3.0, 5.0),
+        ),
     )
 }
 
@@ -195,7 +239,9 @@ class ScenarioEngine:
             simulator's edge table); freshly generated ones are returned by
             :meth:`initial_objects` for the caller to insert.
         initial_queries: optionally adopt existing queries as
-            ``{query_id: (location, k)}``.
+            ``{query_id: (location, k_or_spec)}`` — the second element is a
+            plain int k (classic k-NN) or any
+            :class:`~repro.core.queries.QuerySpec`.
 
     Example::
 
@@ -210,7 +256,7 @@ class ScenarioEngine:
         scenario,
         seed: int = 0,
         initial_objects: Optional[Dict[int, NetworkLocation]] = None,
-        initial_queries: Optional[Dict[int, Tuple[NetworkLocation, int]]] = None,
+        initial_queries: Optional[Dict[int, Tuple[NetworkLocation, object]]] = None,
     ) -> None:
         self._network = network
         self._spec = resolve_scenario(scenario)
@@ -222,6 +268,10 @@ class ScenarioEngine:
         self._weights: Dict[int, float] = {
             edge_id: network.edge(edge_id).weight for edge_id in self._edges
         }
+        #: Range radii scale with the network: factors multiply the mean
+        #: *initial* edge weight (frozen here so streams stay deterministic
+        #: under weight storms).
+        self._mean_weight = sum(self._weights.values()) / len(self._weights)
         self._hotspot_pool = self._build_hotspot_pool()
 
         if initial_objects is None:
@@ -232,15 +282,20 @@ class ScenarioEngine:
         else:
             self._objects = dict(initial_objects)
         if initial_queries is None:
-            self._queries: Dict[int, Tuple[NetworkLocation, int]] = {
+            self._queries: Dict[int, Tuple[NetworkLocation, QuerySpec]] = {
                 QUERY_ID_BASE + index: (
                     self._uniform_location(),
-                    self._rng.choice(self._spec.k_choices),
+                    self._draw_query_spec(),
                 )
                 for index in range(self._spec.num_queries)
             }
         else:
-            self._queries = dict(initial_queries)
+            # Adopted queries may carry plain int ks (the simulator's
+            # convention); normalize so consumers always see QuerySpecs.
+            self._queries = {
+                query_id: (location, as_query_spec(k))
+                for query_id, (location, k) in initial_queries.items()
+            }
         self._next_object_id = max(self._objects, default=-1) + 1
         self._next_query_id = max(self._queries, default=QUERY_ID_BASE - 1) + 1
         #: fractional arrival/departure rates accumulate across ticks
@@ -268,17 +323,57 @@ class ScenarioEngine:
         """The placements the stream starts from (insert before tick 0)."""
         return dict(self._initial_objects_cache)
 
-    def initial_queries(self) -> Dict[int, Tuple[NetworkLocation, int]]:
-        """The queries the stream starts from (register before tick 0)."""
+    def initial_queries(self) -> Dict[int, Tuple[NetworkLocation, QuerySpec]]:
+        """The queries the stream starts from (register before tick 0).
+
+        Values are ``(location, spec)`` pairs; pass the spec anywhere a
+        ``k`` is accepted (``register_query`` / ``add_query``).
+        """
         return dict(self._initial_queries_cache)
 
     def live_objects(self) -> Dict[int, NetworkLocation]:
         """Object id -> location after the last generated batch."""
         return dict(self._objects)
 
-    def live_queries(self) -> Dict[int, Tuple[NetworkLocation, int]]:
-        """Query id -> (location, k) after the last generated batch."""
+    def live_queries(self) -> Dict[int, Tuple[NetworkLocation, QuerySpec]]:
+        """Query id -> (location, spec) after the last generated batch."""
         return dict(self._queries)
+
+    # ------------------------------------------------------------------
+    # query-spec generation
+    # ------------------------------------------------------------------
+    def _draw_query_spec(self) -> QuerySpec:
+        """Draw one installation's :class:`QuerySpec` from the query mix.
+
+        A single-entry k-NN mix (the default) draws exactly one ``choice``
+        from ``k_choices`` — byte-identical RNG consumption to the engine
+        before query types existed, so legacy preset streams are unchanged.
+        """
+        spec = self._spec
+        mix = spec.query_mix
+        if len(mix) == 1:
+            kind = mix[0][0]
+        else:
+            total = sum(weight for _, weight in mix)
+            roll = self._rng.random() * total
+            kind = mix[-1][0]
+            for candidate, weight in mix:
+                roll -= weight
+                if roll <= 0:
+                    kind = candidate
+                    break
+        if kind == "knn":
+            return QuerySpec.knn(self._rng.choice(spec.k_choices))
+        if kind == "range":
+            factor = self._rng.choice(spec.range_radius_factors)
+            return QuerySpec.range(factor * self._mean_weight)
+        count = self._rng.choice(spec.aggregate_point_counts)
+        points = tuple(self._uniform_location() for _ in range(count))
+        return QuerySpec.aggregate_knn(
+            self._rng.choice(spec.k_choices),
+            points,
+            self._rng.choice(spec.aggregate_aggs),
+        )
 
     # ------------------------------------------------------------------
     # stream generation
@@ -365,7 +460,7 @@ class ScenarioEngine:
             q_movers = 1
         if q_movers:
             for query_id in rng.sample(sorted(self._queries), q_movers):
-                location, k = self._queries[query_id]
+                location, query_spec = self._queries[query_id]
                 if rng.random() < spec.query_teleport_fraction:
                     new_location = self._placement_location()
                 else:
@@ -373,16 +468,16 @@ class ScenarioEngine:
                 batch.query_updates.append(
                     QueryUpdate(query_id, location, new_location)
                 )
-                self._queries[query_id] = (new_location, k)
+                self._queries[query_id] = (new_location, query_spec)
 
         # Query churn: one installation and one termination.
         if spec.query_churn_prob and rng.random() < spec.query_churn_prob:
             query_id = self._next_query_id
             self._next_query_id += 1
             location = self._placement_location()
-            k = rng.choice(spec.k_choices)
-            batch.query_updates.append(QueryUpdate(query_id, None, location, k))
-            self._queries[query_id] = (location, k)
+            query_spec = self._draw_query_spec()
+            batch.query_updates.append(QueryUpdate(query_id, None, location, query_spec))
+            self._queries[query_id] = (location, query_spec)
             if len(self._queries) > 2:
                 victim = rng.choice(sorted(self._queries))
                 old_location, _ = self._queries.pop(victim)

@@ -6,7 +6,10 @@ bulk ingestion path that the fuzz scenarios hit probabilistically:
 * an object added and removed within the same batch (a net no-op),
 * ``k`` larger than the number of live objects (incomplete results that
   must fill up exactly as objects arrive),
-* a query that both moves and terminates in the same tick.
+* a query that both moves and terminates in the same tick,
+* a same-tick ``remove_query`` + ``add_query`` of one id — collapsing into
+  a movement when the reinstall preserves the query type and parameters,
+  splitting back into terminate+install when the spec (or kind) changed.
 
 Each case runs on every algorithm (CSR and legacy kernels where relevant)
 and is checked against the brute-force oracle.
@@ -17,10 +20,15 @@ from __future__ import annotations
 import pytest
 
 from repro.core.events import ObjectUpdate, QueryUpdate, UpdateBatch
+from repro.core.queries import aggregate_knn, knn, range_query
 from repro.core.server import MonitoringServer
 from repro.exceptions import UnknownQueryError
 from repro.network.builders import city_network
-from repro.network.distance import brute_force_knn
+from repro.network.distance import (
+    brute_force_aggregate_knn,
+    brute_force_knn,
+    brute_force_range,
+)
 from repro.network.edge_table import EdgeTable
 from repro.network.graph import NetworkLocation
 from repro.core.results import results_equal
@@ -144,6 +152,99 @@ def test_query_moved_and_removed_in_same_tick(algorithm, kernel):
     server.add_query(100, moved, k=2)
     server.tick()
     _check_against_oracle(server, 100)
+
+
+def _ground_truth(server, query_id):
+    """Dispatch to the brute-force helper matching the query's spec."""
+    spec = server.monitor.query_spec(query_id)
+    location = server.monitor.query_location(query_id)
+    if spec.kind == "range":
+        return brute_force_range(
+            server.network, server.edge_table, location, spec.radius
+        )
+    if spec.kind == "aggregate_knn":
+        return brute_force_aggregate_knn(
+            server.network,
+            server.edge_table,
+            spec.aggregation_points(location),
+            spec.k,
+            agg=spec.agg,
+        )
+    return brute_force_knn(server.network, server.edge_table, location, spec.k)
+
+
+def _specs_for(server, edges):
+    """One spec per query kind, scaled to the server's network."""
+    mean_weight = sum(
+        server.network.edge(edge_id).weight for edge_id in edges
+    ) / len(edges)
+    return {
+        "knn": knn(3),
+        "range": range_query(2.5 * mean_weight),
+        "aggregate_knn": aggregate_knn(2, (NetworkLocation(edges[25], 0.5),), "sum"),
+    }
+
+
+@pytest.mark.parametrize("algorithm", ALGORITHMS)
+@pytest.mark.parametrize("kernel", ["csr", "legacy"])
+@pytest.mark.parametrize("kind", ["knn", "range", "aggregate_knn"])
+def test_same_tick_remove_add_preserving_spec_collapses(algorithm, kernel, kind):
+    """remove_query + add_query of one id with the same spec is a movement.
+
+    The Section 4.5 collapse turns the terminate+install into a single
+    movement carrying the (unchanged) spec; monitors keep their incremental
+    state instead of recomputing from scratch, and the result at the new
+    position must still match the ground truth.
+    """
+    server, edges = _server(algorithm, kernel)
+    for object_id in range(10):
+        server.add_object(object_id, NetworkLocation(edges[3 * object_id], 0.4))
+    spec = _specs_for(server, edges)[kind]
+    server.add_query(100, NetworkLocation(edges[1], 0.5), k=spec)
+    server.tick()
+
+    new_location = NetworkLocation(edges[6], 0.3)
+    server.remove_query(100)
+    server.add_query(100, new_location, k=spec)
+    server.tick()
+
+    assert 100 in server.query_ids()
+    assert server.monitor.query_spec(100) == spec
+    assert server.monitor.query_location(100) == new_location
+    assert results_equal(
+        _ground_truth(server, 100), list(server.result_of(100).neighbors)
+    )
+    # The query keeps monitoring incrementally at its new position.
+    server.move_object(0, NetworkLocation(edges[6], 0.35))
+    server.tick()
+    assert results_equal(
+        _ground_truth(server, 100), list(server.result_of(100).neighbors)
+    )
+
+
+@pytest.mark.parametrize("algorithm", ALGORITHMS)
+@pytest.mark.parametrize(
+    "old_kind,new_kind",
+    [("knn", "range"), ("range", "aggregate_knn"), ("aggregate_knn", "knn")],
+)
+def test_same_tick_remove_add_changing_kind_splits(algorithm, old_kind, new_kind):
+    """A reinstall that changes the query *kind* re-registers from scratch."""
+    server, edges = _server(algorithm)
+    for object_id in range(10):
+        server.add_object(object_id, NetworkLocation(edges[3 * object_id], 0.4))
+    specs = _specs_for(server, edges)
+    server.add_query(100, NetworkLocation(edges[1], 0.5), k=specs[old_kind])
+    server.tick()
+
+    server.remove_query(100)
+    new_location = NetworkLocation(edges[9], 0.7)
+    server.add_query(100, new_location, k=specs[new_kind])
+    server.tick()
+
+    assert server.monitor.query_spec(100) == specs[new_kind]
+    result = server.result_of(100)
+    assert result.k == specs[new_kind].result_k
+    assert results_equal(_ground_truth(server, 100), list(result.neighbors))
 
 
 @pytest.mark.parametrize("algorithm", ALGORITHMS)

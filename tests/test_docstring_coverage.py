@@ -33,6 +33,7 @@ ENFORCED_MODULES = (
     "src/repro/core/worker.py",
     "src/repro/core/base.py",
     "src/repro/core/events.py",
+    "src/repro/core/queries.py",
     "src/repro/core/results.py",
     "src/repro/network/graph.py",
     "src/repro/network/csr.py",

@@ -36,7 +36,11 @@ FUZZ_ALGORITHMS = (
     else DEFAULT_ALGORITHMS
 )
 
-#: Seeds per preset; 7 presets x 4 seeds = 28 differential runs (>= 25).
+#: Query-type matrix axis: ``FUZZ_QUERY_TYPES=mixed`` overlays the mixed
+#: k-NN / range / aggregate query distribution on every preset.
+FUZZ_QUERY_TYPES = os.environ.get("FUZZ_QUERY_TYPES", "default")
+
+#: Seeds per preset; 9 presets x 4 seeds = 36 differential runs (>= 25).
 SEEDS_PER_PRESET = 4
 
 #: Spread the per-preset seeds far apart so neighboring CI runs (run ids
@@ -53,7 +57,12 @@ def _seed(offset: int) -> int:
 def test_scenarios_match_oracle(scenario, offset):
     """IMA/GMA on both kernels exactly match the oracle on every tick."""
     seed = _seed(offset)
-    report = run_differential_scenario(scenario, seed=seed, algorithms=FUZZ_ALGORITHMS)
+    report = run_differential_scenario(
+        scenario,
+        seed=seed,
+        algorithms=FUZZ_ALGORITHMS,
+        query_types=FUZZ_QUERY_TYPES,
+    )
     assert report.checks > 0
     assert report.ok, report.failure_message()
 
@@ -80,6 +89,7 @@ def test_replay_from_env():
         workers=int(workers) if workers else None,
         server_algorithm=os.environ.get("FUZZ_SERVER_ALGORITHM", "ima"),
         server_kernel=os.environ.get("FUZZ_SERVER_KERNEL", "csr"),
+        query_types=FUZZ_QUERY_TYPES,
     )
     assert report.ok, report.failure_message(limit=50)
 

@@ -29,6 +29,11 @@ WORKERS = int(os.environ.get("SHARDED_WORKERS", "4"))
 #: Search kernel the servers run on (CI matrixes csr vs dial).
 KERNEL = os.environ.get("SHARDED_KERNEL", "csr")
 
+#: Query-type overlay shared with the main fuzz suite (CI matrixes
+#: default vs mixed): the sharded server must partition and merge every
+#: query type, not just k-NN.
+QUERY_TYPES = os.environ.get("FUZZ_QUERY_TYPES", "default")
+
 
 #: Spread per-scenario seeds apart, mirroring the main fuzz suite, so each
 #: CI run exercises a different (query-id population, shard assignment)
@@ -47,6 +52,7 @@ def test_sharded_server_matches_oracle(index, scenario):
         algorithms=(),  # the in-process monitor panel is covered elsewhere
         workers=WORKERS,
         server_kernel=KERNEL,
+        query_types=QUERY_TYPES,
     )
     assert report.checks > 0
     assert report.ok, report.failure_message()
@@ -61,6 +67,7 @@ def test_sharded_server_matches_oracle_gma():
         workers=WORKERS,
         server_algorithm="gma",
         server_kernel=KERNEL,
+        query_types=QUERY_TYPES,
     )
     assert report.checks > 0
     assert report.ok, report.failure_message()

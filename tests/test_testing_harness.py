@@ -124,9 +124,9 @@ class TestScenarioEngine:
         assert set(engine.initial_objects()) == initial  # snapshot frozen
         for location in engine.live_objects().values():
             network.validate_location(location)
-        for location, k in engine.live_queries().values():
+        for location, spec in engine.live_queries().values():
             network.validate_location(location)
-            assert k >= 1
+            assert spec.k >= 1
 
 
 class TestSimulatorScenarioWiring:
