@@ -1,0 +1,161 @@
+"""Multi-tenant dedup throughput on the clustered popular-venue workload.
+
+Drives the same seeded popular-venue stream — thousands of k-NN tenants
+clustered onto venue anchors covering ~1% of the edges — through two IMA
+:class:`~repro.core.server.MonitoringServer` instances via the batched
+``apply_updates`` + ``tick`` pipeline:
+
+* ``plain`` — every logical query installed as its own physical query
+  (dedup off);
+* ``dedup`` — the same logical stream behind a
+  :class:`~repro.core.dedup.DedupFrontend`, so co-located same-spec
+  tenants share one physical query each.
+
+Per-tick wall-clock goes through pytest-benchmark (the standard BENCH JSON
+uploaded by CI via ``--benchmark-json``); the summary test prints a
+``BENCH`` JSON line with the tick-throughput ratio and the dedup census
+(logical vs physical query counts), then enforces the acceptance floor: at
+the full sizing (10k clustered tenants) dedup-on ticks must be at least
+**2x** faster than dedup-off; the ``--quick`` CI smoke sizing asserts a
+lighter 1.5x.  Set ``DEDUP_BENCH_STRICT=0`` to record without asserting
+(e.g. on a heavily co-tenanted machine).
+
+Run with ``--quick`` for the CI benchmark-smoke sizing.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+import pytest
+
+from repro.core.dedup import DedupFrontend
+from repro.core.server import MonitoringServer
+from repro.network.builders import city_network
+from repro.network.edge_table import EdgeTable
+from repro.testing.scenarios import SCENARIO_PRESETS, ScenarioEngine
+
+#: Benchmarked ticks per mode.
+TICKS = 3
+
+#: One shared stream seed: both modes replay the identical update stream.
+SEED = 20060912
+
+#: The acceptance workload: 10k tenants, 95% of placements snapping onto
+#: venue anchors spread over 1% of a 6000-edge network.  Movement and
+#: churn are kept moderate so a tick is dominated by query maintenance,
+#: which is where sharing physical queries pays.
+FULL_SPEC = SCENARIO_PRESETS["popular-venue"].with_overrides(
+    num_objects=1_000,
+    num_queries=10_000,
+    k_choices=(2, 4),
+    query_mix=(("knn", 1.0),),
+    venue_fraction=0.01,
+    venue_query_fraction=0.95,
+    object_move_fraction=0.05,
+    query_move_fraction=0.05,
+    edge_storm_fraction=0.02,
+    query_churn_prob=0.5,
+    timestamps=TICKS,
+)
+FULL_EDGES = 6_000
+
+#: Sized for the CI benchmark-smoke job (< a few seconds per run).
+QUICK_SPEC = FULL_SPEC.with_overrides(num_objects=300, num_queries=1_500)
+QUICK_EDGES = 1_200
+
+MODES = ("plain", "dedup")
+
+#: Mean tick seconds (and the dedup census) per mode, for the summary test.
+_RESULTS: dict = {}
+
+
+@pytest.fixture(scope="module")
+def bench_setup(request):
+    """The (spec, network_edges) pair of the selected sizing."""
+    if request.config.getoption("--quick"):
+        return QUICK_SPEC, QUICK_EDGES
+    return FULL_SPEC, FULL_EDGES
+
+
+def _prepared_server(spec, edges, dedup):
+    """A primed server (initial results computed) plus its update batches."""
+    network = city_network(edges, seed=SEED)
+    engine = ScenarioEngine(network, spec, seed=SEED)
+    edge_table = EdgeTable(network, build_spatial_index=False)
+    for object_id, location in engine.initial_objects().items():
+        edge_table.insert_object(object_id, location)
+    server = MonitoringServer(network, algorithm="ima", edge_table=edge_table)
+    if dedup:
+        server = DedupFrontend(server)
+    for query_id, (location, k) in engine.initial_queries().items():
+        server.add_query(query_id, location, k)
+    server.tick()  # initial result computation is excluded, as in the paper
+    batches = [engine.batch(timestamp) for timestamp in range(TICKS)]
+    return server, batches
+
+
+@pytest.mark.parametrize("mode", MODES)
+def test_popular_venue_tick(benchmark, mode, bench_setup):
+    """One tick (apply_updates + tick) per round, dedup off vs on."""
+    spec, edges = bench_setup
+    server, batches = _prepared_server(spec, edges, dedup=(mode == "dedup"))
+    cursor = {"index": 0}
+
+    def process():
+        batch = batches[cursor["index"]]
+        cursor["index"] += 1
+        server.apply_updates(batch)
+        return server.tick()
+
+    try:
+        report = benchmark.pedantic(process, rounds=len(batches), iterations=1)
+        assert report.timestamp == TICKS  # initial tick consumed timestamp 0
+        stats = server.dedup_stats() if mode == "dedup" else None
+    finally:
+        server.close()
+
+    mean_tick_seconds = benchmark.stats.stats.mean
+    _RESULTS[mode] = {
+        "mean_tick_seconds": mean_tick_seconds,
+        "logical_queries": stats.logical_queries if stats else spec.num_queries,
+        "physical_queries": stats.physical_queries if stats else None,
+    }
+    benchmark.extra_info["mode"] = mode
+    benchmark.extra_info["queries"] = spec.num_queries
+    if stats is not None:
+        benchmark.extra_info["physical_queries"] = stats.physical_queries
+        benchmark.extra_info["largest_group"] = stats.largest_group
+
+
+def test_dedup_speedup_summary(bench_setup):
+    """Aggregate the two runs into a speedup figure and enforce the floor."""
+    spec, edges = bench_setup
+    missing = [mode for mode in MODES if mode not in _RESULTS]
+    if missing:
+        pytest.skip(f"throughput runs missing for modes={missing} (ran with -k?)")
+    plain = _RESULTS["plain"]["mean_tick_seconds"]
+    dedup = _RESULTS["dedup"]["mean_tick_seconds"]
+    speedup = plain / dedup
+    record = {
+        "benchmark": "popular_venue_dedup",
+        "queries": spec.num_queries,
+        "network_edges": edges,
+        "venue_fraction": spec.venue_fraction,
+        "plain_tick_ms": round(plain * 1000.0, 2),
+        "dedup_tick_ms": round(dedup * 1000.0, 2),
+        "physical_queries": _RESULTS["dedup"]["physical_queries"],
+        "tick_speedup": round(speedup, 2),
+    }
+    print(f"\nBENCH {json.dumps(record)}")
+    if os.environ.get("DEDUP_BENCH_STRICT", "1") == "0":
+        return
+    if spec is QUICK_SPEC:
+        # The smoke sizing keeps the property visible without the full cost.
+        assert speedup >= 1.5, record
+    else:
+        # The acceptance floor: >= 2x tick throughput at 10k clustered
+        # tenants (the workload is dominated by shared physical queries, so
+        # the ratio is hardware-independent).
+        assert speedup >= 2.0, record

@@ -19,6 +19,11 @@ calibration — the gate catches *relative* regressions, which is the signal
 that survives runner heterogeneity.  Sub-millisecond baselines get twice
 the tolerance (their medians jitter more than the calibration can cancel).
 
+On both pass and fail the gate renders a per-benchmark markdown diff table
+— to stdout, and appended to ``$GITHUB_STEP_SUMMARY`` when that variable
+is set (the GitHub Actions job summary), so a regression is diagnosable
+from the run page without downloading artifacts.
+
 Baseline-refresh procedure (run on any machine; calibration makes the
 absolute scale irrelevant):
 
@@ -36,6 +41,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import pathlib
 import statistics
 import sys
@@ -72,21 +78,27 @@ def write_baseline(baseline_path: pathlib.Path, medians: dict, source: str) -> N
     baseline_path.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
 
 
-def check(medians: dict, baseline: dict, tolerance: float) -> int:
-    """Compare and report; returns the number of failures."""
+def compare(medians: dict, baseline: dict, tolerance: float):
+    """Diff *medians* against the baseline.
+
+    Returns ``(failures, factor, rows)``: the number of failing
+    benchmarks, the machine calibration factor (``None`` when the runs
+    share no benchmarks), and one row dict per benchmark —
+    ``{"name", "current_ms", "calibrated_ms", "delta", "verdict"}`` with
+    the timing fields ``None`` for missing/extra entries.
+    """
     base_medians = {
         name: float(entry["median"]) for name, entry in baseline["benchmarks"].items()
     }
     shared = sorted(set(medians) & set(base_medians))
     missing = sorted(set(base_medians) - set(medians))
     extra = sorted(set(medians) - set(base_medians))
+    rows = []
     failures = 0
 
     if not shared:
-        print("FAIL: no benchmarks in common with the baseline")
-        return 1
+        return 1, None, rows
     factor = statistics.median(medians[name] / base_medians[name] for name in shared)
-    print(f"machine calibration factor: {factor:.3f} ({len(shared)} shared benchmarks)")
 
     for name in shared:
         allowed = tolerance * (2.0 if base_medians[name] < SMALL_BENCH_SECONDS else 1.0)
@@ -99,17 +111,76 @@ def check(medians: dict, baseline: dict, tolerance: float) -> int:
             verdict = "improved (consider --update)"
         else:
             verdict = "ok"
-        print(
-            f"  {name}: {medians[name] * 1e3:.3f} ms vs calibrated baseline "
-            f"{calibrated * 1e3:.3f} ms ({ratio - 1.0:+.1%}) {verdict}"
+        rows.append(
+            {
+                "name": name,
+                "current_ms": medians[name] * 1e3,
+                "calibrated_ms": calibrated * 1e3,
+                "delta": ratio - 1.0,
+                "verdict": verdict,
+            }
         )
 
     for name in missing:
         failures += 1
-        print(f"  {name}: FAIL missing from this run (baseline stale? run --update)")
+        rows.append(
+            {
+                "name": name,
+                "current_ms": None,
+                "calibrated_ms": float(base_medians[name]) * 1e3,
+                "delta": None,
+                "verdict": "FAIL missing from this run (baseline stale? run --update)",
+            }
+        )
     for name in extra:
-        print(f"  {name}: new benchmark, not in baseline (run --update to adopt)")
-    return failures
+        rows.append(
+            {
+                "name": name,
+                "current_ms": medians[name] * 1e3,
+                "calibrated_ms": None,
+                "delta": None,
+                "verdict": "new benchmark, not in baseline (run --update to adopt)",
+            }
+        )
+    return failures, factor, rows
+
+
+def _cell(value, fmt: str) -> str:
+    """Format an optional numeric table cell."""
+    return format(value, fmt) if value is not None else "—"
+
+
+def render_markdown(factor, rows, failures: int, tolerance: float) -> str:
+    """The per-benchmark diff as a GitHub-flavored markdown table."""
+    status = "PASS" if failures == 0 else f"FAIL ({failures} benchmark(s))"
+    lines = [
+        f"### Benchmark gate: {status}",
+        "",
+        f"Self-calibrated against `BENCH_baseline.json` "
+        f"(machine factor {_cell(factor, '.3f')}, tolerance ±{tolerance:.0%} "
+        f"per benchmark, doubled below {SMALL_BENCH_SECONDS * 1e3:g} ms).",
+        "",
+        "| benchmark | current (ms) | calibrated baseline (ms) | delta | verdict |",
+        "|---|---:|---:|---:|---|",
+    ]
+    for row in rows:
+        delta = f"{row['delta']:+.1%}" if row["delta"] is not None else "—"
+        lines.append(
+            f"| `{row['name']}` | {_cell(row['current_ms'], '.3f')} "
+            f"| {_cell(row['calibrated_ms'], '.3f')} | {delta} | {row['verdict']} |"
+        )
+    if not rows:
+        lines.append("| *(no benchmarks in common with the baseline)* | — | — | — | FAIL |")
+    return "\n".join(lines)
+
+
+def emit_report(markdown: str) -> None:
+    """Print the markdown report and mirror it to the CI job summary."""
+    print(markdown)
+    summary_path = os.environ.get("GITHUB_STEP_SUMMARY")
+    if summary_path:
+        with open(summary_path, "a", encoding="utf-8") as handle:
+            handle.write(markdown + "\n")
 
 
 def main(argv=None) -> int:
@@ -142,7 +213,8 @@ def main(argv=None) -> int:
         print(f"FAIL: baseline {args.baseline} missing; create it with --update")
         return 1
     baseline = json.loads(args.baseline.read_text(encoding="utf-8"))
-    failures = check(medians, baseline, args.tolerance)
+    failures, factor, rows = compare(medians, baseline, args.tolerance)
+    emit_report(render_markdown(factor, rows, failures, args.tolerance))
     if failures:
         print(
             f"{failures} benchmark(s) regressed beyond tolerance; if the change "

@@ -33,8 +33,15 @@ SECTIONS = (
     (
         "Servers and sharding",
         "The user-facing entry points: the monitoring server facade, its "
-        "multi-process sharded variant, and the query-to-shard router.",
-        ("MonitoringServer", "ShardedMonitoringServer", "shard_of"),
+        "multi-process sharded variant, the query-to-shard router, and the "
+        "multi-tenant dedup layer that wraps either server.",
+        (
+            "MonitoringServer",
+            "ShardedMonitoringServer",
+            "shard_of",
+            "DedupFrontend",
+            "DedupStats",
+        ),
     ),
     (
         "Monitoring algorithms",
@@ -61,6 +68,7 @@ SECTIONS = (
             "range_query",
             "aggregate_knn",
             "as_query_spec",
+            "evaluate_aggregates",
         ),
     ),
     (

@@ -40,10 +40,18 @@ per topology version through :class:`SharedCSR` /
 ``multiprocessing.shared_memory``, each tick fans out to the shards and
 merges their reports — with results identical to the single-process
 server's (enforced by the oracle-backed differential suite).
+
+Multi-tenant dedup.  Wrapping any server in a :class:`DedupFrontend` maps
+equivalent logical queries (same spec, same — or, with a positive snap
+tolerance, nearby — location) onto one reference-counted physical query
+with per-subscriber result fanout, so thousands of tenants watching the
+same venue cost one expansion tree instead of thousands.
 """
 
 from repro.core import (
     ALGORITHMS,
+    DedupFrontend,
+    DedupStats,
     EdgeWeightUpdate,
     GmaMonitor,
     ImaMonitor,
@@ -61,6 +69,7 @@ from repro.core import (
     aggregate_knn,
     apply_batch,
     as_query_spec,
+    evaluate_aggregates,
     expand_knn,
     expand_knn_batch,
     ExpansionRequest,
@@ -129,6 +138,9 @@ __all__ = [
     "expand_knn_batch",
     "ExpansionRequest",
     "expand_knn_legacy",
+    "evaluate_aggregates",
+    "DedupFrontend",
+    "DedupStats",
     "ALGORITHMS",
     # network
     "RoadNetwork",

@@ -1,6 +1,7 @@
 """Core monitoring algorithms: events, search engine, OVH, IMA, GMA, server."""
 
 from repro.core.base import MonitorBase, TimestepReport
+from repro.core.dedup import DedupFrontend, DedupStats
 from repro.core.events import (
     EdgeWeightUpdate,
     ObjectUpdate,
@@ -24,6 +25,7 @@ from repro.core.queries import (
     aggregate_knn,
     as_query_spec,
     evaluate_aggregate,
+    evaluate_aggregates,
     knn,
     range_query,
 )
@@ -69,6 +71,9 @@ __all__ = [
     "aggregate_knn",
     "as_query_spec",
     "evaluate_aggregate",
+    "evaluate_aggregates",
+    "DedupFrontend",
+    "DedupStats",
     "OvhMonitor",
     "ImaMonitor",
     "GmaMonitor",

@@ -17,7 +17,12 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Set, Union
 
 from repro.core.events import QueryUpdate, UpdateBatch
-from repro.core.queries import QuerySpec, as_query_spec, evaluate_aggregate
+from repro.core.queries import (
+    QuerySpec,
+    as_query_spec,
+    evaluate_aggregate,
+    evaluate_aggregates,
+)
 from repro.core.results import KnnResult, Neighbor
 from repro.core.search import SearchCounters
 from repro.exceptions import (
@@ -286,6 +291,12 @@ class MonitorBase(abc.ABC):
         re-evaluates every aggregate query; a tick carrying only query
         movements re-evaluates just the moved ones.  (An empty tick is a
         no-op — nothing the aggregate depends on changed.)
+
+        All stale queries of one tick are evaluated through a single
+        :func:`~repro.core.queries.evaluate_aggregates` call, so expansions
+        rooted at coinciding points — co-located tenants, shared aggregation
+        anchors — run once and are reused (the per-tick shared-expansion
+        cache).  Result values are identical to per-query evaluation.
         """
         if batch.object_updates or batch.edge_updates:
             stale = self._aggregates
@@ -295,11 +306,22 @@ class MonitorBase(abc.ABC):
                 for update in batch.query_updates
                 if update.query_id in self._aggregates
             }
+        stale_ids = sorted(stale)
         changed: Set[int] = set()
-        for query_id in sorted(stale):
-            neighbors, radius = self._evaluate_aggregate(
-                self._query_location[query_id], self._query_spec[query_id]
-            )
+        if not stale_ids:
+            return changed
+        evaluations = evaluate_aggregates(
+            self._network,
+            self._edge_table,
+            [
+                (self._query_location[query_id], self._query_spec[query_id])
+                for query_id in stale_ids
+            ],
+            kernel=getattr(self, "_kernel", "csr"),
+            csr=getattr(self, "_batch_csr", None),
+            counters=self._counters,
+        )
+        for query_id, (neighbors, radius) in zip(stale_ids, evaluations):
             if self._store_result(query_id, neighbors, radius):
                 changed.add(query_id)
         return changed

@@ -319,3 +319,77 @@ def evaluate_aggregate(
             for point in points
         ]
     return merge_aggregate([outcome.neighbors for outcome in outcomes], spec)
+
+
+def evaluate_aggregates(
+    network,
+    edge_table,
+    items: List[Tuple[NetworkLocation, QuerySpec]],
+    kernel: str = "csr",
+    csr=None,
+    counters=None,
+) -> List[Tuple[List[Neighbor], float]]:
+    """Evaluate many aggregate queries through one shared expansion batch.
+
+    *items* is a list of ``(location, spec)`` pairs; the return value holds
+    one ``(neighbors, radius)`` pair per item, in order, each identical to
+    what :func:`evaluate_aggregate` returns for that item alone.  All
+    aggregation points of all items are flattened into a single
+    :func:`~repro.core.search.expand_knn_batch` call with ``share=True``:
+    every point asks for the same ``k`` (the live object count), so points
+    that coincide — the query locations of co-located tenants, or popular
+    aggregation anchors repeated across queries — collapse into **one**
+    physical expansion whose outcome is reused verbatim.  This extends the
+    per-tick sharing the dial kernel already does (shared snapshot and
+    scratch) across the csr path too, and skips redundant expansions
+    entirely on both.
+
+    Kernels other than ``"csr"`` / ``"dial"`` (the legacy dict engine) fall
+    back to per-item :func:`evaluate_aggregate` calls.
+
+    Example::
+
+        evaluations = evaluate_aggregates(network, edge_table, [(loc, spec)])
+        neighbors, radius = evaluations[0]
+    """
+    if not items:
+        return []
+    object_count = edge_table.object_count
+    if object_count == 0:
+        return [([], float("inf")) for _ in items]
+    if kernel not in ("csr", "dial"):
+        return [
+            evaluate_aggregate(
+                network,
+                edge_table,
+                location,
+                spec,
+                kernel=kernel,
+                csr=csr,
+                counters=counters,
+            )
+            for location, spec in items
+        ]
+    requests: List[ExpansionRequest] = []
+    spans: List[Tuple[int, int]] = []
+    for location, spec in items:
+        points = spec.aggregation_points(location)
+        spans.append((len(requests), len(points)))
+        requests.extend(
+            ExpansionRequest(k=object_count, query_location=point) for point in points
+        )
+    outcomes = expand_knn_batch(
+        network,
+        edge_table,
+        requests,
+        counters=counters,
+        csr=csr,
+        kernel=kernel,
+        share=True,
+    )
+    return [
+        merge_aggregate(
+            [outcomes[start + offset].neighbors for offset in range(size)], spec
+        )
+        for (start, size), (_, spec) in zip(spans, items)
+    ]

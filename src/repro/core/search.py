@@ -147,6 +147,76 @@ class ExpansionRequest:
     fixed_radius: Optional[float] = None
 
 
+def _share_key(request: ExpansionRequest) -> Optional[tuple]:
+    """Key under which *request* may share another request's expansion.
+
+    Only *fresh* location-rooted expansions are shareable: a request that
+    resumes a tree (``preverified``), seeds candidates, uses barriers or a
+    coverage radius, or is rooted at a node carries per-query state that a
+    shared run cannot reproduce, so those return ``None`` (run privately).
+    Two shareable requests share when they sit at the **same** snapped
+    location, run the same search kind (k-NN vs fixed-radius range) and
+    exclude the same objects — the settled-distance prefix of the larger
+    search then contains the smaller search's entire answer.
+    """
+    if (
+        request.query_location is None
+        or request.source_node is not None
+        or request.preverified
+        or request.preverified_parent
+        or request.barrier_candidates
+        or request.coverage_radius is not None
+        or bool(request.candidates)
+    ):
+        return None
+    excluded = (
+        frozenset(request.excluded_objects)
+        if request.excluded_objects
+        else _NO_EXCLUDED
+    )
+    return (
+        request.query_location.edge_id,
+        request.query_location.fraction,
+        request.fixed_radius is not None,
+        excluded,
+    )
+
+
+def _share_bound(request: ExpansionRequest) -> float:
+    """Ordering bound of a shareable request: radius for range, k for k-NN."""
+    if request.fixed_radius is not None:
+        return request.fixed_radius
+    return float(request.k)
+
+
+def _derive_outcome(source: SearchOutcome, request: ExpansionRequest) -> SearchOutcome:
+    """Derive *request*'s outcome from a representative's wider expansion.
+
+    The representative ran the same search from the same location with a
+    bound at least as large (more neighbors for k-NN, a larger radius for
+    range), so its sorted neighbor list is a superset prefix of the derived
+    answer: truncating to ``k`` (or filtering to the smaller radius) yields
+    exactly what a private expansion would have returned, value for value.
+    The expansion state is a *copy* of the representative's tree — a
+    superset of the private tree with identical (exact) distances, safe for
+    any caller that treats verified distances as upper-bounded truth, and
+    copied because IMA mutates outcome states in place.
+    """
+    state = ExpansionState(
+        node_dist=dict(source.state.node_dist), parent=dict(source.state.parent)
+    )
+    if request.fixed_radius is not None:
+        neighbors = [
+            neighbor for neighbor in source.neighbors if neighbor[1] <= request.fixed_radius
+        ]
+        return SearchOutcome(
+            neighbors=neighbors, radius=request.fixed_radius, state=state
+        )
+    neighbors = list(source.neighbors[: request.k])
+    radius = neighbors[request.k - 1][1] if len(neighbors) == request.k else _INF
+    return SearchOutcome(neighbors=neighbors, radius=radius, state=state)
+
+
 def expand_knn_batch(
     network: RoadNetwork,
     edge_table: EdgeTable,
@@ -154,6 +224,7 @@ def expand_knn_batch(
     counters: Optional[SearchCounters] = None,
     csr: Optional[CSRGraph] = None,
     kernel: str = "dial",
+    share: bool = False,
 ) -> List[SearchOutcome]:
     """Run a batch of expansions through one shared-scratch kernel call.
 
@@ -167,13 +238,62 @@ def expand_knn_batch(
     tests).  Outcomes are byte-identical between the two kernels and are
     returned in request order.
 
+    With ``share=True`` the batch first groups *fresh* location-rooted
+    requests (no resume state, candidates, barriers or coverage radius) by
+    snapped location, search kind and exclusion set; each group runs **one**
+    physical expansion — the member with the largest bound (max ``k`` for
+    k-NN, max ``fixed_radius`` for range) — and the other members' outcomes
+    are derived from its settled-distance prefix by truncation/filtering
+    (see :func:`_derive_outcome` for why this is exact).  Work counters
+    reflect only the physical expansions, which is how the shared-expansion
+    savings are measured.  Defaults to ``False`` so existing callers keep
+    per-request counters byte-identical.
+
     Example::
 
         requests = [ExpansionRequest(k=4, query_location=loc) for loc in locations]
-        outcomes = expand_knn_batch(network, edge_table, requests)
+        outcomes = expand_knn_batch(network, edge_table, requests, share=True)
     """
     if csr is None:
         csr = csr_snapshot(network)
+    if share and len(requests) > 1:
+        groups: Dict[tuple, List[int]] = {}
+        for index, request in enumerate(requests):
+            key = _share_key(request)
+            if key is not None:
+                groups.setdefault(key, []).append(index)
+        derived_from: Dict[int, int] = {}
+        for members in groups.values():
+            if len(members) < 2:
+                continue
+            representative = members[0]
+            for index in members[1:]:
+                if _share_bound(requests[index]) > _share_bound(
+                    requests[representative]
+                ):
+                    representative = index
+            for index in members:
+                if index != representative:
+                    derived_from[index] = representative
+        if derived_from:
+            physical = [
+                index for index in range(len(requests)) if index not in derived_from
+            ]
+            outcomes = expand_knn_batch(
+                network,
+                edge_table,
+                [requests[index] for index in physical],
+                counters=counters,
+                csr=csr,
+                kernel=kernel,
+            )
+            by_index = dict(zip(physical, outcomes))
+            return [
+                _derive_outcome(by_index[derived_from[index]], request)
+                if index in derived_from
+                else by_index[index]
+                for index, request in enumerate(requests)
+            ]
     if kernel == "dial":
         from repro.network.dial import dial_expand_batch
 

@@ -61,6 +61,7 @@ def replay_command(
     server_kernel: str = "csr",
     kernel: str = "csr",
     query_types: str = "default",
+    dedup: bool = False,
 ) -> str:
     """The one-command local reproduction of a fuzz failure.
 
@@ -70,13 +71,16 @@ def replay_command(
     ``FUZZ_QUERY_TYPES=mixed``.  When it drove servers (``workers`` set),
     the command carries ``FUZZ_WORKERS`` (and ``FUZZ_SERVER_ALGORITHM`` /
     ``FUZZ_SERVER_KERNEL`` when not the defaults) so a sharded-only
-    divergence reproduces too.
+    divergence reproduces too.  When it ran the dedup frontend next to the
+    plain servers it carries ``FUZZ_DEDUP=1``.
     """
     env = f"FUZZ_SCENARIO={scenario} FUZZ_SEED={seed} "
     if kernel != "csr":
         env += f"FUZZ_KERNEL={kernel} "
     if query_types != "default":
         env += f"FUZZ_QUERY_TYPES={query_types} "
+    if dedup:
+        env += "FUZZ_DEDUP=1 "
     if workers is not None:
         env += f"FUZZ_WORKERS={workers} "
         if server_algorithm.lower() != "ima":
@@ -109,6 +113,9 @@ class DifferentialReport:
     #: the query-type overlay of the run ("default" or "mixed"), carried so
     #: failure_message can emit FUZZ_QUERY_TYPES
     query_types: str = "default"
+    #: whether the run drove the dedup frontend next to the plain servers,
+    #: carried so failure_message can emit FUZZ_DEDUP
+    dedup: bool = False
 
     @property
     def ok(self) -> bool:
@@ -125,7 +132,7 @@ class DifferentialReport:
             f"({len(self.mismatches)} mismatches over {self.timestamps} ticks):\n"
             f"  {shown}{suffix}\n"
             f"replay locally with:\n  "
-            f"{replay_command(self.scenario, self.seed, self.workers, self.server_algorithm, self.server_kernel, kernel=self.panel_kernel, query_types=self.query_types)}"
+            f"{replay_command(self.scenario, self.seed, self.workers, self.server_algorithm, self.server_kernel, kernel=self.panel_kernel, query_types=self.query_types, dedup=self.dedup)}"
         )
 
     @property
@@ -142,6 +149,7 @@ def _make_scenario_server(
     algorithm: str,
     workers: Optional[int],
     kernel: str = "csr",
+    dedup: bool = False,
 ) -> MonitoringServer:
     """A server over a private network replica, primed with the engine's state.
 
@@ -151,7 +159,10 @@ def _make_scenario_server(
     any integer — including 1 — builds a
     :class:`~repro.core.sharding.ShardedMonitoringServer` with that many
     worker processes, so the IPC layer is exercised even in the
-    single-worker matrix leg.
+    single-worker matrix leg.  With ``dedup=True`` the server is wrapped in
+    a :class:`~repro.core.dedup.DedupFrontend` *before* the initial queries
+    are installed, so co-located tenants of the scenario share physical
+    queries from the very first tick.
     """
     from repro.core.sharding import ShardedMonitoringServer
 
@@ -171,6 +182,10 @@ def _make_scenario_server(
             kernel=kernel,
             workers=workers,
         )
+    if dedup:
+        from repro.core.dedup import DedupFrontend
+
+        server = DedupFrontend(server)
     for query_id, (location, k) in engine.initial_queries().items():
         server.add_query(query_id, location, k)
     return server
@@ -187,6 +202,7 @@ def run_differential_scenario(
     server_algorithm: str = "ima",
     server_kernel: str = "csr",
     query_types: str = "default",
+    dedup: bool = False,
 ) -> DifferentialReport:
     """Run *algorithms* over a scenario stream and diff them against the oracle.
 
@@ -207,6 +223,25 @@ def run_differential_scenario(
     ``apply_updates`` + ``tick`` pipeline.  Both must match the oracle at
     every timestamp, and the sharded server's results must be identical to
     the single-process server's.
+
+    With ``dedup=True`` the stream additionally drives servers wrapped in a
+    :class:`~repro.core.dedup.DedupFrontend` — one over a single-process
+    server (always) and one over a sharded server (when *workers* is set) —
+    and a plain single-process reference even if *workers* is unset.  Every
+    dedup server must match the oracle, and its per-logical-query neighbor
+    lists must be **byte-identical** to the plain reference server's: the
+    canonicalization shares physical queries but never changes any tenant's
+    answer.  One carve-out: on venue scenarios (the only ones whose
+    placements *exactly* coincide, so tenants can join an existing group
+    mid-stream) an IMA joiner inherits the group's expansion tree, whose
+    float history — composed weight shifts and movement re-root offsets —
+    differs in the last ULP from the fresh private install the plain
+    server gives that tenant (co-located IMA queries installed at
+    different times diverge the same way *within* the plain server).  For
+    that combination the dedup answers are checked with
+    :func:`~repro.core.results.results_equal` like every other panel
+    member; byte-identity stays enforced for every other scenario and for
+    the history-free GMA/OVH servers on venue scenarios too.
 
     Example::
 
@@ -239,18 +274,41 @@ def run_differential_scenario(
             monitor.register_query(query_id, location, k)
 
     servers: Dict[str, MonitoringServer] = {}
-    if workers is not None:
-        if workers < 1:
-            raise SimulationError(f"workers must be >= 1, got {workers}")
+    if workers is not None and workers < 1:
+        raise SimulationError(f"workers must be >= 1, got {workers}")
+    prefix = server_algorithm.upper()
+    if workers is not None or dedup:
         # Distinct keys even when workers == 1: the baseline is always the
         # in-process server, the second a sharded one with that many worker
-        # processes.
-        servers[f"{server_algorithm.upper()}-server-single"] = _make_scenario_server(
+        # processes.  The baseline doubles as the byte-identity reference
+        # for the dedup frontends.
+        servers[f"{prefix}-server-single"] = _make_scenario_server(
             network, engine, server_algorithm, workers=None, kernel=server_kernel
         )
-        servers[f"{server_algorithm.upper()}-server-x{workers}"] = _make_scenario_server(
+    if workers is not None:
+        servers[f"{prefix}-server-x{workers}"] = _make_scenario_server(
             network, engine, server_algorithm, workers=workers, kernel=server_kernel
         )
+    if dedup:
+        servers[f"{prefix}-dedup-single"] = _make_scenario_server(
+            network, engine, server_algorithm, workers=None, kernel=server_kernel,
+            dedup=True,
+        )
+        if workers is not None:
+            servers[f"{prefix}-dedup-x{workers}"] = _make_scenario_server(
+                network, engine, server_algorithm, workers=workers,
+                kernel=server_kernel, dedup=True,
+            )
+
+    # Byte-identity of dedup vs plain results holds unless a tenant can
+    # join an existing dedup group mid-stream (only venue scenarios place
+    # queries on *exactly* coinciding locations) AND the algorithm carries
+    # per-query float history across ticks (IMA composes weight shifts and
+    # movement re-root offsets onto its expansion trees) — see the
+    # docstring carve-out.
+    byte_identical = (
+        spec.venue_fraction == 0 or server_algorithm.lower() != "ima"
+    )
 
     rounds = spec.timestamps if timestamps is None else timestamps
     report = DifferentialReport(
@@ -262,6 +320,7 @@ def run_differential_scenario(
         server_kernel=server_kernel,
         algorithms=tuple(algorithms),
         query_types=query_types,
+        dedup=dedup,
     )
     try:
         for batch in engine.batches(rounds):
@@ -312,6 +371,12 @@ def run_differential_scenario(
                         report.mismatches.append(
                             f"t={batch.timestamp} {name} q={query_id}: sharded "
                             f"result {answer} != single-process {reference}"
+                        )
+                    elif "-dedup-" in name and byte_identical and answer != reference:
+                        report.mismatches.append(
+                            f"t={batch.timestamp} {name} q={query_id}: dedup "
+                            f"result {answer} not byte-identical to plain "
+                            f"{reference}"
                         )
     finally:
         for server in servers.values():

@@ -104,6 +104,13 @@ class ScenarioSpec:
     aggregate_point_counts: Tuple[int, ...] = (1, 2)
     #: aggregate distance functions drawn for aggregate-kNN installs
     aggregate_aggs: Tuple[str, ...] = ("sum", "max")
+    #: fraction of edges that become *venues* — fixed popular anchor points
+    #: (one exact location each) that query placements cluster onto; 0
+    #: disables venues and consumes no RNG, keeping legacy streams unchanged
+    venue_fraction: float = 0.0
+    #: probability that a query placement (install, teleport, initial
+    #: position, aggregate point) snaps exactly onto a venue anchor
+    venue_query_fraction: float = 0.0
 
     def with_overrides(self, **overrides) -> "ScenarioSpec":
         """Return a copy with the given fields replaced."""
@@ -191,6 +198,22 @@ SCENARIO_PRESETS: Dict[str, ScenarioSpec] = {
             query_mix=MIXED_QUERY_MIX,
         ),
         ScenarioSpec(
+            name="popular-venue",
+            description="many tenants watch identical spots on a few venue edges",
+            num_objects=60,
+            num_queries=24,
+            k_choices=(2, 4),
+            object_move_fraction=0.15,
+            edge_storm_fraction=0.05,
+            edge_storm_factor=0.20,
+            query_move_fraction=0.20,
+            query_teleport_fraction=1.0,
+            query_churn_prob=0.5,
+            venue_fraction=0.02,
+            venue_query_fraction=0.85,
+            query_mix=(("knn", 0.7), ("range", 0.2), ("aggregate_knn", 0.1)),
+        ),
+        ScenarioSpec(
             name="geofence-churn",
             description="range geofences under heavy object churn and weight noise",
             object_move_fraction=0.25,
@@ -273,6 +296,7 @@ class ScenarioEngine:
         #: under weight storms).
         self._mean_weight = sum(self._weights.values()) / len(self._weights)
         self._hotspot_pool = self._build_hotspot_pool()
+        self._venue_pool = self._build_venue_pool()
 
         if initial_objects is None:
             self._objects = {
@@ -284,7 +308,7 @@ class ScenarioEngine:
         if initial_queries is None:
             self._queries: Dict[int, Tuple[NetworkLocation, QuerySpec]] = {
                 QUERY_ID_BASE + index: (
-                    self._uniform_location(),
+                    self._venue_or(self._uniform_location),
                     self._draw_query_spec(),
                 )
                 for index in range(self._spec.num_queries)
@@ -368,7 +392,7 @@ class ScenarioEngine:
             factor = self._rng.choice(spec.range_radius_factors)
             return QuerySpec.range(factor * self._mean_weight)
         count = self._rng.choice(spec.aggregate_point_counts)
-        points = tuple(self._uniform_location() for _ in range(count))
+        points = tuple(self._venue_or(self._uniform_location) for _ in range(count))
         return QuerySpec.aggregate_knn(
             self._rng.choice(spec.k_choices),
             points,
@@ -462,7 +486,7 @@ class ScenarioEngine:
             for query_id in rng.sample(sorted(self._queries), q_movers):
                 location, query_spec = self._queries[query_id]
                 if rng.random() < spec.query_teleport_fraction:
-                    new_location = self._placement_location()
+                    new_location = self._venue_or(self._placement_location)
                 else:
                     new_location = self._adjacent_location(location)
                 batch.query_updates.append(
@@ -474,7 +498,7 @@ class ScenarioEngine:
         if spec.query_churn_prob and rng.random() < spec.query_churn_prob:
             query_id = self._next_query_id
             self._next_query_id += 1
-            location = self._placement_location()
+            location = self._venue_or(self._placement_location)
             query_spec = self._draw_query_spec()
             batch.query_updates.append(QueryUpdate(query_id, None, location, query_spec))
             self._queries[query_id] = (location, query_spec)
@@ -517,6 +541,35 @@ class ScenarioEngine:
         node = self._rng.choice((edge.start, edge.end))
         incident = list(self._network.incident_edges(node))
         return NetworkLocation(self._rng.choice(incident), self._rng.random())
+
+    def _venue_or(self, fallback) -> NetworkLocation:
+        """A venue anchor with the configured probability, else ``fallback()``.
+
+        With no venue pool (every legacy preset) this calls *fallback*
+        directly without touching the RNG, so pre-venue streams are
+        byte-identical.  Anchors are returned *exactly* — same edge, same
+        fraction — which is what makes venue tenants dedup-equivalent.
+        """
+        if self._venue_pool and self._rng.random() < self._spec.venue_query_fraction:
+            return self._venue_pool[self._rng.randrange(len(self._venue_pool))]
+        return fallback()
+
+    def _build_venue_pool(self) -> List[NetworkLocation]:
+        """Fixed anchor locations on ``venue_fraction`` of the edges.
+
+        Consumes RNG only when venues are enabled (the pool draw happens
+        after the hotspot pool, before initial placements).
+        """
+        if self._spec.venue_fraction <= 0:
+            return []
+        count = min(
+            max(1, int(len(self._edges) * self._spec.venue_fraction)),
+            len(self._edges),
+        )
+        return [
+            NetworkLocation(edge_id, self._rng.random())
+            for edge_id in self._rng.sample(self._edges, count)
+        ]
 
     def _build_hotspot_pool(self) -> List[int]:
         if self._spec.hotspot_fraction <= 0:

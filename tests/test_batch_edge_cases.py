@@ -266,3 +266,68 @@ def test_install_move_and_object_flows_in_single_batch(algorithm):
 
     assert server.edge_table.location_of(1) == second
     _check_against_oracle(server, 300)
+
+
+@pytest.mark.parametrize("algorithm", ALGORITHMS)
+def test_same_tick_tenant_swap_in_shared_dedup_group(algorithm):
+    """One tenant leaving while another joins the same canonical key in a
+    single batch must neither orphan the joiner nor double-terminate the
+    group's physical query (the refcount crosses 2 -> 1 -> 2, never 0)."""
+    from repro.core.dedup import DedupFrontend
+
+    server, edges = _server(algorithm)
+    frontend = DedupFrontend(server)
+    for object_id in range(8):
+        frontend.add_object(object_id, NetworkLocation(edges[object_id], 0.5))
+    venue = NetworkLocation(edges[3], 0.25)
+    frontend.add_query(100, venue, k=2)
+    frontend.add_query(101, venue, k=2)
+    frontend.tick()
+    physical_ids = set(server.query_ids())
+    assert len(physical_ids) == 1
+
+    batch = UpdateBatch()
+    batch.query_updates.append(QueryUpdate(100, venue, None))
+    batch.query_updates.append(QueryUpdate(102, None, venue, 2))
+    frontend.apply_updates(batch)
+    frontend.tick()
+
+    # The co-tenant kept the original physical query alive through the swap.
+    assert set(server.query_ids()) == physical_ids
+    assert frontend.query_ids() == {101, 102}
+    assert frontend.result_of(102).neighbors == frontend.result_of(101).neighbors
+    with pytest.raises(UnknownQueryError):
+        frontend.result_of(100)
+    stats = frontend.dedup_stats()
+    assert stats.physical_queries == 1 and stats.largest_group == 2
+    _check_against_oracle(server, next(iter(physical_ids)))
+
+
+@pytest.mark.parametrize("algorithm", ALGORITHMS)
+def test_same_tick_sole_tenant_swap_reinstalls_physical(algorithm):
+    """When the leaving tenant was the *only* subscriber, the same-tick swap
+    reaches the server as terminate + install with a fresh physical id —
+    never a same-id collapse — and the joiner gets correct results."""
+    from repro.core.dedup import DedupFrontend
+
+    server, edges = _server(algorithm)
+    frontend = DedupFrontend(server)
+    for object_id in range(8):
+        frontend.add_object(object_id, NetworkLocation(edges[object_id], 0.5))
+    venue = NetworkLocation(edges[3], 0.25)
+    frontend.add_query(100, venue, k=2)
+    frontend.tick()
+    old_physical = set(server.query_ids())
+
+    batch = UpdateBatch()
+    batch.query_updates.append(QueryUpdate(100, venue, None))
+    batch.query_updates.append(QueryUpdate(101, None, venue, 2))
+    frontend.apply_updates(batch)
+    frontend.tick()
+
+    new_physical = set(server.query_ids())
+    assert len(new_physical) == 1
+    assert new_physical.isdisjoint(old_physical)  # ids are never reused
+    assert frontend.query_ids() == {101}
+    assert frontend.result_of(101).query_id == 101
+    _check_against_oracle(server, next(iter(new_physical)))

@@ -32,6 +32,7 @@ ENFORCED_MODULES = (
     "src/repro/core/sharding.py",
     "src/repro/core/worker.py",
     "src/repro/core/base.py",
+    "src/repro/core/dedup.py",
     "src/repro/core/events.py",
     "src/repro/core/queries.py",
     "src/repro/core/results.py",

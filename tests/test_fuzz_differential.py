@@ -40,6 +40,12 @@ FUZZ_ALGORITHMS = (
 #: k-NN / range / aggregate query distribution on every preset.
 FUZZ_QUERY_TYPES = os.environ.get("FUZZ_QUERY_TYPES", "default")
 
+#: Dedup matrix axis: ``FUZZ_DEDUP=1`` drives
+#: :class:`~repro.core.dedup.DedupFrontend`-wrapped servers next to a plain
+#: reference server in every run (see ``run_differential_scenario``'s
+#: ``dedup`` flag for the byte-identity contract).
+FUZZ_DEDUP = os.environ.get("FUZZ_DEDUP", "0") == "1"
+
 #: Seeds per preset; 9 presets x 4 seeds = 36 differential runs (>= 25).
 SEEDS_PER_PRESET = 4
 
@@ -62,6 +68,7 @@ def test_scenarios_match_oracle(scenario, offset):
         seed=seed,
         algorithms=FUZZ_ALGORITHMS,
         query_types=FUZZ_QUERY_TYPES,
+        dedup=FUZZ_DEDUP,
     )
     assert report.checks > 0
     assert report.ok, report.failure_message()
@@ -90,6 +97,7 @@ def test_replay_from_env():
         server_algorithm=os.environ.get("FUZZ_SERVER_ALGORITHM", "ima"),
         server_kernel=os.environ.get("FUZZ_SERVER_KERNEL", "csr"),
         query_types=FUZZ_QUERY_TYPES,
+        dedup=FUZZ_DEDUP,
     )
     assert report.ok, report.failure_message(limit=50)
 
@@ -119,3 +127,14 @@ def test_sharded_failure_report_carries_workers():
     message = report.failure_message()
     assert "FUZZ_WORKERS=2" in message
     assert "FUZZ_SERVER_ALGORITHM=gma" in message
+
+
+def test_dedup_failure_report_carries_flag():
+    """Dedup-run reports embed FUZZ_DEDUP=1 so divergences reproduce."""
+    report = run_differential_scenario(
+        "uniform-drift", seed=_seed(2), algorithms=(), dedup=True, timestamps=1
+    )
+    report.mismatches.append("t=0 IMA-dedup-single q=1000000: synthetic mismatch")
+    message = report.failure_message()
+    assert "FUZZ_DEDUP=1" in message
+    assert "test_replay_from_env" in message

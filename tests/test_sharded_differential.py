@@ -34,6 +34,11 @@ KERNEL = os.environ.get("SHARDED_KERNEL", "csr")
 #: query type, not just k-NN.
 QUERY_TYPES = os.environ.get("FUZZ_QUERY_TYPES", "default")
 
+#: Dedup overlay shared with the main fuzz suite (``FUZZ_DEDUP=1``): adds
+#: DedupFrontend-wrapped single and sharded servers to every run, so the
+#: canonical-id fanout is exercised across worker partitioning too.
+DEDUP = os.environ.get("FUZZ_DEDUP", "0") == "1"
+
 
 #: Spread per-scenario seeds apart, mirroring the main fuzz suite, so each
 #: CI run exercises a different (query-id population, shard assignment)
@@ -53,6 +58,7 @@ def test_sharded_server_matches_oracle(index, scenario):
         workers=WORKERS,
         server_kernel=KERNEL,
         query_types=QUERY_TYPES,
+        dedup=DEDUP,
     )
     assert report.checks > 0
     assert report.ok, report.failure_message()
@@ -68,6 +74,7 @@ def test_sharded_server_matches_oracle_gma():
         server_algorithm="gma",
         server_kernel=KERNEL,
         query_types=QUERY_TYPES,
+        dedup=DEDUP,
     )
     assert report.checks > 0
     assert report.ok, report.failure_message()

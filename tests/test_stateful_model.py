@@ -5,9 +5,11 @@ A hypothesis :class:`RuleBasedStateMachine` drives IMA and GMA
 network replica, through the production ``apply_updates`` + ``tick``
 pipeline — with randomly interleaved object adds/moves/removes, query
 installs/moves/terminations (all three query types: k-NN, fixed-radius
-range, aggregate k-NN), edge-weight updates, and same-tick remove+add
-collapses.  After every tick each live query's distance profile on every
-server must match the independent brute-force
+range, aggregate k-NN), edge-weight updates, same-tick remove+add
+collapses, and duplicate installs at an existing query's exact spot (which
+exercise the :class:`~repro.core.dedup.DedupFrontend`-wrapped server's
+group sharing).  After every tick each live query's distance profile on
+every server must match the independent brute-force
 :class:`~repro.testing.oracle.OracleMonitor`.
 
 Unlike the scenario fuzz suite (which samples from preset stressor
@@ -36,6 +38,7 @@ from repro.core.events import (
     UpdateBatch,
     apply_batch,
 )
+from repro.core.dedup import DedupFrontend
 from repro.core.queries import QuerySpec
 from repro.core.results import results_equal
 from repro.core.server import MonitoringServer
@@ -85,6 +88,18 @@ class MonitoringModel(RuleBasedStateMachine):
                 edge_table=EdgeTable(replica, build_spatial_index=False),
                 kernel=self.kernel,
             )
+        # A dedup-wrapped IMA server rides the identical stream: its
+        # logical-id surface must be indistinguishable from a plain server
+        # even as duplicate_install grows and remove_query shrinks groups.
+        replica = base.copy()
+        self.servers["ima-dedup"] = DedupFrontend(
+            MonitoringServer(
+                replica,
+                algorithm="ima",
+                edge_table=EdgeTable(replica, build_spatial_index=False),
+                kernel=self.kernel,
+            )
+        )
         self.objects = {}
         self.queries = {}
         self.weights = {
@@ -203,6 +218,22 @@ class MonitoringModel(RuleBasedStateMachine):
         spec = old_spec if keep_spec else self._draw_spec(data.draw)
         self.batch.query_updates.append(QueryUpdate(query_id, None, location, spec))
         self.queries[query_id] = (location, spec)
+
+    @precondition(lambda self: self.queries)
+    @rule(data=st.data())
+    def duplicate_install(self, data):
+        """Install a new tenant at an existing query's exact spot and spec.
+
+        Plain servers see an independent query; the dedup server instead
+        joins (or forms) a shared group — the per-tick diff then checks the
+        fanned-out result against both the oracle and the plain answers.
+        """
+        template = data.draw(st.sampled_from(sorted(self.queries)))
+        location, spec = self.queries[template]
+        query_id = self.next_query_id
+        self.next_query_id += 1
+        self.queries[query_id] = (location, spec)
+        self.batch.query_updates.append(QueryUpdate(query_id, None, location, spec))
 
     @rule(data=st.data())
     def update_weight(self, data):
