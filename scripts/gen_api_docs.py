@@ -81,6 +81,25 @@ SECTIONS = (
             "QueryUpdate",
             "EdgeWeightUpdate",
             "apply_batch",
+            "encode_batch",
+            "decode_batch",
+        ),
+    ),
+    (
+        "Durable streaming service",
+        "The always-on front-end: a socket service with watch-mode delta "
+        "pushes, write-ahead event logging with checkpoint/replay crash "
+        "recovery, snapshot/restore of whole servers, and the kill -9 "
+        "fault-injection driver that proves recovery is byte-identical.",
+        (
+            "StreamingService",
+            "ServiceClient",
+            "DurableMonitoringServer",
+            "EventLog",
+            "read_event_log",
+            "load_initial_state",
+            "restore_server",
+            "run_fault_injection",
         ),
     ),
     (
@@ -137,6 +156,7 @@ SECTIONS = (
             "ScenarioSpec",
             "SCENARIO_PRESETS",
             "run_differential_scenario",
+            "run_differential_log",
         ),
     ),
     (

@@ -46,6 +46,17 @@ equivalent logical queries (same spec, same — or, with a positive snap
 tolerance, nearby — location) onto one reference-counted physical query
 with per-subscriber result fanout, so thousands of tenants watching the
 same venue cost one expansion tree instead of thousands.
+
+Always-on service.  :mod:`repro.service` runs any server as a durable
+streaming service: clients stream updates over a socket API
+(:class:`StreamingService` / :class:`ServiceClient`), result deltas push
+to subscribers, and every batch is write-ahead logged
+(:class:`EventLog`) with periodic checkpoints
+(:class:`DurableMonitoringServer`) so a crashed service recovers to the
+exact pre-crash state — ``kill -9`` included, as
+:func:`repro.service.run_fault_injection` proves by doing it.  The log
+doubles as a workload capture replayable through the differential oracle
+harness (:func:`run_differential_log`).
 """
 
 from repro.core import (
@@ -69,6 +80,8 @@ from repro.core import (
     aggregate_knn,
     apply_batch,
     as_query_spec,
+    decode_batch,
+    encode_batch,
     evaluate_aggregates,
     expand_knn,
     expand_knn_batch,
@@ -76,6 +89,7 @@ from repro.core import (
     expand_knn_legacy,
     knn,
     range_query,
+    restore_server,
     shard_of,
 )
 from repro.exceptions import ReproError
@@ -99,12 +113,22 @@ from repro.network import (
     network_distance,
     save_network,
 )
+from repro.service import (
+    DurableMonitoringServer,
+    EventLog,
+    ServiceClient,
+    StreamingService,
+    load_initial_state,
+    read_event_log,
+    run_fault_injection,
+)
 from repro.spatial import PMRQuadtree, Point, Rect, Segment
 from repro.testing import (
     SCENARIO_PRESETS,
     OracleMonitor,
     ScenarioEngine,
     ScenarioSpec,
+    run_differential_log,
     run_differential_scenario,
 )
 
@@ -134,6 +158,9 @@ __all__ = [
     "TimestepReport",
     "SearchCounters",
     "apply_batch",
+    "encode_batch",
+    "decode_batch",
+    "restore_server",
     "expand_knn",
     "expand_knn_batch",
     "ExpansionRequest",
@@ -166,10 +193,19 @@ __all__ = [
     "Rect",
     "Segment",
     "PMRQuadtree",
+    # durable streaming service
+    "DurableMonitoringServer",
+    "EventLog",
+    "StreamingService",
+    "ServiceClient",
+    "read_event_log",
+    "load_initial_state",
+    "run_fault_injection",
     # testing / verification harness
     "OracleMonitor",
     "ScenarioEngine",
     "ScenarioSpec",
     "SCENARIO_PRESETS",
     "run_differential_scenario",
+    "run_differential_log",
 ]

@@ -8,6 +8,8 @@ from repro.core.events import (
     QueryUpdate,
     UpdateBatch,
     apply_batch,
+    decode_batch,
+    encode_batch,
 )
 from repro.core.expansion import (
     ExpansionState,
@@ -38,7 +40,7 @@ from repro.core.search import (
     expand_knn_batch,
 )
 from repro.core.search_legacy import expand_knn_legacy
-from repro.core.server import ALGORITHMS, MonitoringServer
+from repro.core.server import ALGORITHMS, MonitoringServer, restore_server
 from repro.core.sharding import ShardedMonitoringServer
 from repro.core.worker import shard_of
 
@@ -50,6 +52,8 @@ __all__ = [
     "EdgeWeightUpdate",
     "UpdateBatch",
     "apply_batch",
+    "encode_batch",
+    "decode_batch",
     "ExpansionState",
     "compute_influence_map",
     "compute_influence_map_legacy",
@@ -79,6 +83,7 @@ __all__ = [
     "GmaMonitor",
     "MonitoringServer",
     "ShardedMonitoringServer",
+    "restore_server",
     "shard_of",
     "ALGORITHMS",
 ]

@@ -21,10 +21,11 @@ lock-step on identical inputs.
 
 from __future__ import annotations
 
+import pickle
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
-from repro.exceptions import InvalidQueryError, SimulationError
+from repro.exceptions import EventLogError, InvalidQueryError, SimulationError
 from repro.network.edge_table import EdgeTable
 from repro.network.graph import NetworkLocation, RoadNetwork
 
@@ -282,6 +283,68 @@ class UpdateBatch:
                 if merged_edges[i].old_weight != merged_edges[i].new_weight
             ],
         )
+
+
+#: Version tag prefixed to every encoded batch; bumped if the payload shape
+#: ever changes so old logs fail loudly instead of decoding garbage.
+_BATCH_CODEC_VERSION = 1
+
+
+def encode_batch(batch: UpdateBatch) -> bytes:
+    """Serialize a batch to the binary payload stored in the event log.
+
+    The inverse of :func:`decode_batch`.  Encoding is deterministic for a
+    given batch and survives process boundaries, which is what the durable
+    service's write-ahead log (:class:`~repro.service.EventLog`) needs:
+    every logged batch must replay to exactly the updates the live server
+    processed.
+
+    Example::
+
+        payload = encode_batch(batch)
+        assert decode_batch(payload).timestamp == batch.timestamp
+    """
+    return pickle.dumps(
+        (
+            _BATCH_CODEC_VERSION,
+            batch.timestamp,
+            batch.object_updates,
+            batch.query_updates,
+            batch.edge_updates,
+        ),
+        protocol=pickle.HIGHEST_PROTOCOL,
+    )
+
+
+def decode_batch(payload: bytes) -> UpdateBatch:
+    """Rebuild an :class:`UpdateBatch` from :func:`encode_batch` output.
+
+    Raises:
+        EventLogError: if the payload does not decode to a batch of the
+            supported codec version (corrupt bytes, or a log written by an
+            incompatible library version).
+
+    Example::
+
+        batch = decode_batch(payload)
+        server.apply_updates(batch)
+    """
+    try:
+        record = pickle.loads(payload)
+        version, timestamp, object_updates, query_updates, edge_updates = record
+    except Exception as exc:
+        raise EventLogError(f"cannot decode event-log batch payload: {exc}") from exc
+    if version != _BATCH_CODEC_VERSION:
+        raise EventLogError(
+            f"unsupported batch codec version {version!r} "
+            f"(this library reads version {_BATCH_CODEC_VERSION})"
+        )
+    return UpdateBatch(
+        timestamp=timestamp,
+        object_updates=list(object_updates),
+        query_updates=list(query_updates),
+        edge_updates=list(edge_updates),
+    )
 
 
 def apply_batch(network: RoadNetwork, edge_table: EdgeTable, batch: UpdateBatch) -> None:

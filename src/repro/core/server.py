@@ -22,6 +22,7 @@ Example::
 
 from __future__ import annotations
 
+import pickle
 from typing import Dict, Iterable, List, Optional, Set, Tuple, Union
 
 from repro.core.base import MonitorBase, TimestepReport
@@ -41,6 +42,7 @@ from repro.exceptions import (
     DuplicateObjectError,
     DuplicateQueryError,
     MonitoringError,
+    RecoveryError,
     UnknownObjectError,
     UnknownQueryError,
 )
@@ -532,11 +534,15 @@ class MonitoringServer:
     # ------------------------------------------------------------------
     # processing
     # ------------------------------------------------------------------
-    def _take_pending_batch(self) -> UpdateBatch:
-        """Detach the pending buffer as this tick's batch and advance time.
+    def take_pending_batch(self) -> UpdateBatch:
+        """Detach the pending buffer as the next tick's batch and advance time.
 
-        Shared by the in-process and sharded tick paths so batch/timestamp
-        semantics cannot diverge between them.
+        The first half of :meth:`tick`, exposed so write-ahead callers (the
+        durable service) can persist the batch *between* taking and applying
+        it: ``take_pending_batch()`` stamps the batch with the current
+        timestamp and advances the clock, :meth:`apply_taken_batch` then
+        processes it.  Shared by the in-process and sharded tick paths so
+        batch/timestamp semantics cannot diverge between them.
         """
         batch = self._pending
         batch.timestamp = self._timestamp
@@ -544,11 +550,48 @@ class MonitoringServer:
         self._timestamp += 1
         return batch
 
-    def tick(self) -> TimestepReport:
-        """Process every buffered update as one timestamp."""
-        batch = self._take_pending_batch()
+    def apply_taken_batch(self, batch: UpdateBatch) -> TimestepReport:
+        """Process a batch previously detached by :meth:`take_pending_batch`.
+
+        The second half of :meth:`tick`: applies the batch to the shared
+        network/edge table and runs the monitor.  The batch must carry the
+        timestamp :meth:`take_pending_batch` stamped on it; feeding anything
+        else desynchronizes the server clock from the monitor reports.
+        """
         apply_batch(self._network, self._edge_table, batch.normalized())
         return self._monitor.process_batch(batch)
+
+    def discard_pending(self) -> UpdateBatch:
+        """Drop (and return) every buffered-but-unprocessed update.
+
+        Used by crash recovery: updates that were ingested but never ticked
+        are not durable by design, so a recovered server starts its next
+        tick from an empty buffer.  The internal entity maps are rolled back
+        to the last ticked state by replaying the dropped installations /
+        removals in reverse effect.
+        """
+        dropped = self._pending
+        self._pending = UpdateBatch(timestamp=self._timestamp)
+        for update in reversed(dropped.object_updates):
+            if update.is_insertion:
+                self._object_locations.pop(update.object_id, None)
+            elif update.is_deletion:
+                self._object_locations[update.object_id] = update.old_location
+            else:
+                self._object_locations[update.object_id] = update.old_location
+        for update in reversed(dropped.query_updates):
+            if update.is_installation:
+                self._query_locations.pop(update.query_id, None)
+                self._query_specs.pop(update.query_id, None)
+            elif update.is_termination:
+                self._query_locations[update.query_id] = update.old_location
+            else:
+                self._query_locations[update.query_id] = update.old_location
+        return dropped
+
+    def tick(self) -> TimestepReport:
+        """Process every buffered update as one timestamp."""
+        return self.apply_taken_batch(self.take_pending_batch())
 
     def result_of(self, query_id: int) -> KnnResult:
         """Current k-NN result of a query (after the last tick)."""
@@ -557,6 +600,24 @@ class MonitoringServer:
     def results(self) -> Dict[int, KnnResult]:
         """Current results of every query (after the last tick)."""
         return self._monitor.results()
+
+    # ------------------------------------------------------------------
+    # snapshot / restore
+    # ------------------------------------------------------------------
+    def snapshot_state(self) -> bytes:
+        """Serialize the complete server state to one opaque blob.
+
+        The blob captures everything a byte-identical resume needs — the
+        network, edge table, monitor (including its per-query float
+        history), pending buffer, and timestamp — and is restored with
+        :func:`restore_server`.  Kernel snapshots (the CSR columns, dial
+        support) are deliberately *not* captured; they are rebuilt
+        deterministically from the restored weights on first use.
+        """
+        return pickle.dumps(
+            {"kind": "in-process", "server": self},
+            protocol=pickle.HIGHEST_PROTOCOL,
+        )
 
     # ------------------------------------------------------------------
     # lifecycle
@@ -577,3 +638,43 @@ class MonitoringServer:
     def __exit__(self, exc_type, exc, tb) -> None:
         """Close the server when the ``with`` block ends."""
         self.close()
+
+
+def restore_server(blob: bytes) -> MonitoringServer:
+    """Rebuild a server from a :meth:`MonitoringServer.snapshot_state` blob.
+
+    Dispatches on the blob's kind: an in-process snapshot unpickles to the
+    original :class:`MonitoringServer` (same monitor state, same pending
+    buffer, same timestamp); a sharded snapshot rebuilds a
+    :class:`~repro.core.sharding.ShardedMonitoringServer`, respawning one
+    worker per shard from its pickled monitor so every expansion tree
+    resumes with its exact float history.  Continuing the restored server
+    with the same updates yields results byte-identical to the original.
+
+    Raises:
+        RecoveryError: if the blob does not decode to a supported snapshot.
+
+    Example::
+
+        blob = server.snapshot_state()
+        clone = restore_server(blob)
+        assert clone.results() == server.results()
+    """
+    try:
+        state = pickle.loads(blob)
+        kind = state["kind"]
+    except Exception as exc:
+        raise RecoveryError(f"cannot decode server snapshot: {exc}") from exc
+    if kind == "in-process":
+        server = state["server"]
+        if not isinstance(server, MonitoringServer):
+            raise RecoveryError(
+                f"in-process snapshot holds {type(server).__name__}, "
+                "not a MonitoringServer"
+            )
+        return server
+    if kind == "sharded":
+        from repro.core.sharding import ShardedMonitoringServer
+
+        return ShardedMonitoringServer._restore(state)
+    raise RecoveryError(f"unsupported server snapshot kind {kind!r}")

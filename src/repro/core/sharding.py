@@ -50,11 +50,16 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional, Union
 
 from repro.core.base import MonitorBase, TimestepReport
-from repro.core.events import apply_batch
+from repro.core.events import UpdateBatch, apply_batch
 from repro.core.results import KnnResult
 from repro.core.server import ALGORITHMS, MonitoringServer
 from repro.core.worker import ShardInit, run_shard_worker, shard_of
-from repro.exceptions import MonitoringError, UnknownQueryError
+from repro.exceptions import (
+    MonitoringError,
+    RecoveryError,
+    ServerFailedError,
+    UnknownQueryError,
+)
 from repro.network.csr import SharedCSR, csr_snapshot
 from repro.network.edge_table import EdgeTable
 from repro.network.graph import RoadNetwork
@@ -100,8 +105,13 @@ def _cleanup(shards: List[_Shard], shared: Optional[SharedCSR]) -> None:
         except OSError:  # pragma: no cover - already closed
             pass
     if shared is not None:
-        shared.unlink()
+        # Close-then-unlink, matching the documented SharedCSR lifecycle:
+        # close() first restores the parent's adopted snapshot columns to
+        # private lists and unmaps the block, so the subsequent unlink never
+        # removes a name while this process still holds live views (on some
+        # platforms that defers the removal and leaks the mapping).
         shared.close()
+        shared.unlink()
 
 
 class ShardedMonitoringServer(MonitoringServer):
@@ -138,6 +148,7 @@ class ShardedMonitoringServer(MonitoringServer):
         workers: int = 2,
         start_method: Optional[str] = None,
         zero_copy: bool = False,
+        recv_timeout: Optional[float] = 120.0,
     ) -> None:
         """Create the sharded server and spawn its worker processes.
 
@@ -160,13 +171,22 @@ class ShardedMonitoringServer(MonitoringServer):
                 (once per topology version) and stay fresh through the
                 weight deltas broadcast in every batch: ~30 % faster ticks,
                 one column copy per worker.
+            recv_timeout: seconds to wait for any single worker reply before
+                declaring the shard stuck and failing the server with a
+                :class:`MonitoringError` (the 5s join cap in teardown has
+                the same role).  ``None`` disables the deadline and restores
+                the old block-forever behaviour.
         """
         if workers < 1:
             raise MonitoringError(f"workers must be >= 1, got {workers}")
+        if recv_timeout is not None and recv_timeout <= 0:
+            raise MonitoringError(f"recv_timeout must be positive, got {recv_timeout}")
         self._num_workers = workers
         self._zero_copy = zero_copy
         self._start_method = start_method or default_start_method()
+        self._recv_timeout = recv_timeout
         self._closed = False
+        self._failed: Optional[str] = None
         self._shards: List[_Shard] = []
         self._shared: Optional[SharedCSR] = None
         self._merged_results: Dict[int, KnnResult] = {}
@@ -215,25 +235,45 @@ class ShardedMonitoringServer(MonitoringServer):
     # ------------------------------------------------------------------
     # worker lifecycle
     # ------------------------------------------------------------------
-    def _spawn_workers(self, initial_queries: Dict[int, tuple]) -> None:
+    def _spawn_workers(
+        self,
+        initial_queries: Dict[int, tuple],
+        monitor_blobs: Optional[List[bytes]] = None,
+    ) -> None:
         """Export the snapshot, ship the state, start one process per shard."""
         try:
-            self._spawn_workers_inner(initial_queries)
+            self._spawn_workers_inner(initial_queries, monitor_blobs)
         except BaseException:
             shards, shared = self._shards, self._shared
             self._shards, self._shared = [], None
             _cleanup(shards, shared)
             raise
 
-    def _spawn_workers_inner(self, initial_queries: Dict[int, tuple]) -> None:
-        """The actual spawn sequence (:meth:`_spawn_workers` adds cleanup)."""
+    def _spawn_workers_inner(
+        self,
+        initial_queries: Dict[int, tuple],
+        monitor_blobs: Optional[List[bytes]] = None,
+    ) -> None:
+        """The actual spawn sequence (:meth:`_spawn_workers` adds cleanup).
+
+        With *monitor_blobs* (one pickled monitor per shard, from
+        :meth:`snapshot_state`), each worker resumes from its blob instead
+        of building a fresh replica — preserving the monitors' exact float
+        history, which is what makes restored results byte-identical.
+        """
         context = multiprocessing.get_context(self._start_method)
         self._shared = SharedCSR(csr_snapshot(self._network))
         self._exported_topology_version = self._network.topology_version
         # One serialization of the network for the whole fleet; each worker
-        # unpickles its own replica (listeners drop out in transit).
-        network_payload = pickle.dumps(self._network, protocol=pickle.HIGHEST_PROTOCOL)
-        objects = dict(self._edge_table.all_objects())
+        # unpickles its own replica (listeners drop out in transit).  A
+        # restore ships per-shard monitor blobs instead, which embed each
+        # worker's own replica.
+        network_payload = (
+            None
+            if monitor_blobs is not None
+            else pickle.dumps(self._network, protocol=pickle.HIGHEST_PROTOCOL)
+        )
+        objects = {} if monitor_blobs is not None else dict(self._edge_table.all_objects())
         per_shard_queries: List[Dict[int, tuple]] = [{} for _ in range(self._num_workers)]
         for query_id, assignment in initial_queries.items():
             per_shard_queries[shard_of(query_id, self._num_workers)][query_id] = assignment
@@ -249,6 +289,9 @@ class ShardedMonitoringServer(MonitoringServer):
                 queries=per_shard_queries[shard_id],
                 csr_handle=self._shared.handle,
                 zero_copy=self._zero_copy,
+                monitor_blob=(
+                    monitor_blobs[shard_id] if monitor_blobs is not None else None
+                ),
             )
             process = context.Process(
                 target=run_shard_worker,
@@ -271,8 +314,20 @@ class ShardedMonitoringServer(MonitoringServer):
         self._finalizer = weakref.finalize(self, _cleanup, self._shards, self._shared)
 
     def _recv(self, shard: _Shard):
-        """Receive one message from *shard*, translating failures."""
+        """Receive one message from *shard*, translating failures.
+
+        Bounded by the ``recv_timeout`` constructor argument: a worker that
+        neither replies nor dies (stuck in a syscall, SIGSTOPped, livelocked)
+        would otherwise freeze the parent forever — ``conn.recv()`` has no
+        deadline of its own.
+        """
         try:
+            if self._recv_timeout is not None and not shard.conn.poll(self._recv_timeout):
+                raise MonitoringError(
+                    f"shard {shard.shard_id} (pid {shard.process.pid}) did not "
+                    f"reply within {self._recv_timeout}s; treating the worker "
+                    f"as stuck"
+                )
             message = shard.conn.recv()
         except (EOFError, OSError) as exc:
             raise MonitoringError(
@@ -308,9 +363,30 @@ class ShardedMonitoringServer(MonitoringServer):
         self._spawn_workers(initial_queries=live_queries)
 
     def _ensure_open(self) -> None:
-        """Raise when the server was already closed."""
+        """Raise when the server was closed — with the failure cause if any.
+
+        A deliberate :meth:`close` keeps the generic message; a fail-closed
+        shutdown (a shard died or desynced mid-tick) raises the typed
+        :class:`~repro.exceptions.ServerFailedError` carrying what went
+        wrong, so callers can tell "I closed it" from "it broke".
+        """
+        if self._failed is not None:
+            raise ServerFailedError(self._failed)
         if self._closed:
             raise MonitoringError("this sharded server is closed")
+
+    def _fail(self, exc: BaseException) -> None:
+        """Mark the server failed and tear the fleet down (fail-closed).
+
+        Called when a tick (or snapshot) cannot complete: some shards may
+        have applied the batch while others did not, and unread replies may
+        sit in the pipes — the fleet is no longer in lock-step, so every
+        connection is closed, the workers are stopped, and any further use
+        raises :class:`~repro.exceptions.ServerFailedError`.
+        """
+        if self._failed is None and not self._closed:
+            self._failed = f"{type(exc).__name__}: {exc}"
+        self.close()
 
     def _ensure_accepting_updates(self) -> None:
         """Fail ingestion fast once closed — buffered updates could never run."""
@@ -319,8 +395,17 @@ class ShardedMonitoringServer(MonitoringServer):
     # ------------------------------------------------------------------
     # processing
     # ------------------------------------------------------------------
-    def tick(self) -> TimestepReport:
-        """Process every buffered update as one timestamp, across all shards.
+    def take_pending_batch(self) -> UpdateBatch:
+        """Detach the pending buffer as the next tick's batch (see base class).
+
+        Refuses on a closed or failed server, where the batch could never be
+        applied.
+        """
+        self._ensure_open()
+        return super().take_pending_batch()
+
+    def apply_taken_batch(self, batch: UpdateBatch) -> TimestepReport:
+        """Process a previously taken batch across all shards.
 
         The parent applies the normalized batch to its authoritative state
         (patching the shared snapshot's weight columns in place), sends each
@@ -328,24 +413,35 @@ class ShardedMonitoringServer(MonitoringServer):
         merges the replies into one :class:`TimestepReport` whose
         ``changed_queries`` / ``counters`` aggregate over shards.
 
-        A shard failure mid-tick (worker exception, dead process, protocol
-        violation) raises :class:`MonitoringError` **and closes the
-        server**: the fleet's replicas can no longer be trusted to be in
-        lock-step, so further ticks refuse with a clear error instead of
-        returning corrupt results.
+        A shard failure mid-tick (worker exception, dead process, stuck or
+        dropped reply, protocol violation) raises and **fails the server
+        closed**: by then some shards may have applied the batch while
+        others did not, and unread replies may sit in the pipes — a later
+        tick would read a stale report and silently desync — so every
+        connection is drained by closing it, the workers are stopped, and
+        any further use raises the typed
+        :class:`~repro.exceptions.ServerFailedError`.
         """
         self._ensure_open()
         try:
-            return self._tick_inner()
-        except BaseException:
-            self.close()
+            return self._apply_taken_inner(batch)
+        except BaseException as exc:
+            self._fail(exc)
             raise
 
-    def _tick_inner(self) -> TimestepReport:
-        """The actual tick sequence (:meth:`tick` adds fail-closed cleanup)."""
+    def tick(self) -> TimestepReport:
+        """Process every buffered update as one timestamp, across all shards.
+
+        Equivalent to :meth:`take_pending_batch` + :meth:`apply_taken_batch`;
+        see the latter for the fan-out/merge mechanics and the fail-closed
+        behaviour on shard failure.
+        """
+        return self.apply_taken_batch(self.take_pending_batch())
+
+    def _apply_taken_inner(self, batch: UpdateBatch) -> TimestepReport:
+        """The actual tick sequence (:meth:`apply_taken_batch` fail-closes)."""
         if self._network.topology_version != self._exported_topology_version:
             self._resync()
-        batch = self._take_pending_batch()
         start = time.perf_counter()
         normalized = batch.normalized()
         apply_batch(self._network, self._edge_table, normalized)
@@ -447,6 +543,107 @@ class ShardedMonitoringServer(MonitoringServer):
     def results(self) -> Dict[int, KnnResult]:
         """Current results of every query (readable even after close)."""
         return dict(self._merged_results)
+
+    # ------------------------------------------------------------------
+    # snapshot / restore
+    # ------------------------------------------------------------------
+    def snapshot_state(self) -> bytes:
+        """Serialize the complete fleet state to one opaque blob.
+
+        Each worker answers a ``("snapshot",)`` request with its pickled
+        monitor — expansion trees, per-query float history and all — and
+        the parent packs those blobs together with its own authoritative
+        state (network, edge table, entity maps, pending buffer, merged
+        results).  :func:`~repro.core.server.restore_server` rebuilds the
+        server by respawning one worker per blob, so the restored fleet
+        continues byte-identically.  Like a tick, a shard failure while
+        snapshotting fails the server closed.
+        """
+        self._ensure_open()
+        try:
+            return self._snapshot_state_inner()
+        except BaseException as exc:
+            self._fail(exc)
+            raise
+
+    def _snapshot_state_inner(self) -> bytes:
+        """The actual snapshot sequence (:meth:`snapshot_state` fail-closes)."""
+        for shard in self._shards:
+            try:
+                shard.conn.send(("snapshot",))
+            except (OSError, ValueError) as exc:
+                raise MonitoringError(
+                    f"shard {shard.shard_id} (pid {shard.process.pid}) is gone; "
+                    f"cannot request a snapshot"
+                ) from exc
+        shard_blobs: List[bytes] = []
+        for shard in self._shards:
+            kind, payload = self._recv(shard)
+            if kind != "snapshot":  # pragma: no cover - protocol violation
+                raise MonitoringError(
+                    f"shard {shard.shard_id} sent {kind!r} instead of 'snapshot'"
+                )
+            shard_blobs.append(payload)
+        state = {
+            "kind": "sharded",
+            "algorithm": self._algorithm_key,
+            "kernel": self._kernel,
+            "workers": self._num_workers,
+            "zero_copy": self._zero_copy,
+            "start_method": self._start_method,
+            "recv_timeout": self._recv_timeout,
+            "network": self._network,
+            "edge_table": self._edge_table,
+            "timestamp": self._timestamp,
+            "pending": self._pending,
+            "object_locations": self._object_locations,
+            "query_locations": self._query_locations,
+            "query_specs": self._query_specs,
+            "merged_results": self._merged_results,
+            "shard_blobs": shard_blobs,
+        }
+        return pickle.dumps(state, protocol=pickle.HIGHEST_PROTOCOL)
+
+    @classmethod
+    def _restore(cls, state: Dict[str, object]) -> "ShardedMonitoringServer":
+        """Rebuild a sharded server from a decoded snapshot-state dict.
+
+        Invoked by :func:`~repro.core.server.restore_server`; bypasses
+        ``__init__`` (the snapshot already holds constructed state) and
+        respawns the fleet from the per-shard monitor blobs.
+        """
+        try:
+            server = object.__new__(cls)
+            server._num_workers = state["workers"]
+            server._zero_copy = state["zero_copy"]
+            server._start_method = state["start_method"]
+            server._recv_timeout = state["recv_timeout"]
+            server._closed = False
+            server._failed = None
+            server._shards = []
+            server._shared = None
+            server._merged_results = dict(state["merged_results"])
+            server._finalizer = None
+            server._algorithm_key = state["algorithm"]
+            server._kernel = state["kernel"]
+            server._monitor = None
+            server._network = state["network"]
+            server._edge_table = state["edge_table"]
+            server._timestamp = state["timestamp"]
+            server._pending = state["pending"]
+            server._object_locations = dict(state["object_locations"])
+            server._query_locations = dict(state["query_locations"])
+            server._query_specs = dict(state["query_specs"])
+            shard_blobs = list(state["shard_blobs"])
+        except KeyError as exc:
+            raise RecoveryError(f"sharded snapshot is missing field {exc}") from exc
+        if len(shard_blobs) != server._num_workers:
+            raise RecoveryError(
+                f"sharded snapshot holds {len(shard_blobs)} shard blobs "
+                f"for {server._num_workers} workers"
+            )
+        server._spawn_workers(initial_queries={}, monitor_blobs=shard_blobs)
+        return server
 
     # ------------------------------------------------------------------
     # lifecycle

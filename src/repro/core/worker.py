@@ -13,6 +13,10 @@ The parent (:class:`~repro.core.sharding.ShardedMonitoringServer`) ships one
   :class:`~repro.core.events.UpdateBatch`, applies it to its replica, runs
   the monitor, and replies ``("report", payload)`` with the tick report
   fields and the full results of every changed query.
+* ``("snapshot",)`` — reply ``("snapshot", pickled_monitor)`` and keep
+  serving: the parent packs the blobs into a durable fleet snapshot
+  (:meth:`~repro.core.sharding.ShardedMonitoringServer.snapshot_state`)
+  that a restored server respawns workers from.
 * ``("stop",)`` — shut down.
 
 The flat-array CSR snapshot is *not* replicated: the parent exports it once
@@ -71,7 +75,9 @@ class ShardInit:
     shard_id: int
     algorithm: str
     kernel: str
-    network_blob: bytes
+    #: the pickled network replica; ``None`` when ``monitor_blob`` is set
+    #: (a restored monitor embeds its own replica).
+    network_blob: Optional[bytes]
     objects: Dict[int, NetworkLocation]
     #: query id -> (location, k-or-QuerySpec); the sharded server ships the
     #: full :class:`~repro.core.queries.QuerySpec` so every query type
@@ -79,6 +85,11 @@ class ShardInit:
     queries: Dict[int, Tuple[NetworkLocation, object]] = field(default_factory=dict)
     csr_handle: Optional[SharedCSRHandle] = None
     zero_copy: bool = False
+    #: a pickled monitor from a previous worker's ``("snapshot",)`` reply;
+    #: when set, the worker resumes from it — network replica, edge table,
+    #: registered queries and the exact per-query float history included —
+    #: instead of building fresh state from the fields above.
+    monitor_blob: Optional[bytes] = None
 
 
 def _plain_result(result: KnnResult) -> KnnResult:
@@ -99,12 +110,30 @@ def _plain_result(result: KnnResult) -> KnnResult:
 
 
 def _build_state(init: ShardInit):
-    """Construct the worker-local network state and monitor."""
+    """Construct (or restore) the worker-local network state and monitor."""
     # Imported here (not at module top) to keep the worker import graph free
     # of a server <-> worker cycle.
     from repro.core.server import ALGORITHMS
 
-    network: RoadNetwork = pickle.loads(init.network_blob)
+    if init.monitor_blob is not None:
+        # Restore path: the pickled monitor carries its own network replica
+        # and edge table; re-attach the (freshly exported) shared snapshot
+        # and re-announce the current results of every resumed query.
+        monitor = pickle.loads(init.monitor_blob)
+        network: RoadNetwork = monitor._network
+        edge_table: EdgeTable = monitor._edge_table
+        if init.csr_handle is not None:
+            snapshot = attach_shared_csr(
+                network, init.csr_handle, zero_copy=init.zero_copy
+            )
+            install_snapshot(network, snapshot)
+        results = {
+            query_id: _plain_result(monitor.result_of(query_id))
+            for query_id in monitor.query_ids()
+        }
+        return network, edge_table, monitor, results
+
+    network = pickle.loads(init.network_blob)
     edge_table = EdgeTable(network, build_spatial_index=False)
     for object_id, location in init.objects.items():
         edge_table.insert_object(object_id, location)
@@ -147,6 +176,20 @@ def run_shard_worker(conn, init: ShardInit) -> None:
             kind = message[0]
             if kind == "stop":
                 break
+            if kind == "snapshot":
+                # Pickle the monitor between ticks: its per-batch kernel
+                # fields (_batch_csr/_batch_support) are None outside
+                # _process, and the CSR snapshot cache is module-level and
+                # weak, so the blob carries exactly the replica + algorithm
+                # state a restored worker resumes from.
+                try:
+                    conn.send(
+                        ("snapshot", pickle.dumps(monitor, protocol=pickle.HIGHEST_PROTOCOL))
+                    )
+                except Exception:
+                    conn.send(("error", traceback.format_exc()))
+                    break
+                continue
             if kind != "tick":
                 conn.send(("error", f"shard {init.shard_id}: unknown message {kind!r}"))
                 break

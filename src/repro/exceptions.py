@@ -112,6 +112,40 @@ class InvalidQueryError(MonitoringError):
     """Raised when a query is malformed (e.g. k < 1)."""
 
 
+class ServerFailedError(MonitoringError):
+    """Raised when a sharded server is used after a fatal tick failure.
+
+    A shard dying mid-tick leaves the fleet's replicas out of lock-step, so
+    the server closes itself and every later call fails with this type
+    (rather than returning silently corrupt results).  ``cause`` carries a
+    one-line description of the original failure.
+    """
+
+    def __init__(self, cause: str) -> None:
+        super().__init__(
+            f"this sharded server failed and was closed: {cause}; "
+            "construct a new server (or recover from a checkpoint) to continue"
+        )
+        self.cause = cause
+
+
+class ServiceError(ReproError):
+    """Base class for errors raised by the durable streaming service."""
+
+
+class EventLogError(ServiceError):
+    """Raised when the append-only event log is corrupt or misused.
+
+    A truncated final record (a torn write from a crash) is *not* an error —
+    recovery trims it; this type signals real corruption (bad magic, a CRC
+    mismatch before the tail) or misuse of a closed log.
+    """
+
+
+class RecoveryError(ServiceError):
+    """Raised when checkpoint-plus-log recovery cannot reach a usable state."""
+
+
 class SimulationError(ReproError):
     """Raised when a simulation or workload configuration is invalid."""
 

@@ -21,6 +21,7 @@ This package is the correctness backbone the optimisation work leans on:
 from repro.testing.harness import (
     DifferentialReport,
     replay_command,
+    run_differential_log,
     run_differential_scenario,
 )
 from repro.testing.oracle import OracleMonitor
@@ -41,5 +42,6 @@ __all__ = [
     "ScenarioSpec",
     "replay_command",
     "resolve_scenario",
+    "run_differential_log",
     "run_differential_scenario",
 ]

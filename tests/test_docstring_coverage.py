@@ -40,6 +40,8 @@ ENFORCED_MODULES = (
     "src/repro/network/csr.py",
     "src/repro/network/dial.py",
     "src/repro/network/edge_table.py",
+    "src/repro/service/eventlog.py",
+    "src/repro/service/durable.py",
     "src/repro/testing/harness.py",
     "src/repro/testing/scenarios.py",
     "src/repro/testing/oracle.py",

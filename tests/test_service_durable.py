@@ -1,0 +1,249 @@
+"""Crash-recovery tests for the durable monitoring server.
+
+The core property (satellite of the durable-service PR): a checkpoint plus
+a replayed event-log prefix reproduces ``results()`` *byte-identically* at
+every timestamp, across the IMA/GMA algorithms and the csr/dial kernels.
+Also covers snapshot/restore of both server flavors, the non-durable
+pending buffer, and data-directory lifecycle rules.
+"""
+
+from __future__ import annotations
+
+import shutil
+
+import pytest
+
+from repro import (
+    DurableMonitoringServer,
+    MonitoringServer,
+    city_network,
+    load_initial_state,
+    restore_server,
+)
+from repro.exceptions import RecoveryError, ServiceError
+from repro.service.eventlog import scan_event_log
+from repro.service.faults import build_scenario_server
+from repro.testing.scenarios import ScenarioEngine, resolve_scenario
+
+TICKS = 6
+CHECKPOINT_EVERY = 3
+
+
+def _drive(data_dir, algorithm="IMA", kernel="csr", scenario="uniform-drift", seed=5,
+           ticks=TICKS, checkpoint_every=CHECKPOINT_EVERY, workers=None):
+    """Run a durable server over a scenario, recording results() per tick."""
+    spec = resolve_scenario(scenario)
+    network = city_network(120, seed=seed + 1)
+    engine = ScenarioEngine(network, spec, seed=seed)
+    server = build_scenario_server(scenario, seed, 120, algorithm, kernel, workers)
+    durable = DurableMonitoringServer(
+        server, data_dir, checkpoint_every=checkpoint_every
+    )
+    expected = {}
+    for timestamp in range(ticks):
+        batch = engine.batch(timestamp)
+        server.apply_updates(batch)
+        durable.tick()
+        expected[timestamp + 1] = durable.results()
+    return durable, expected
+
+
+def _truncate_to_prefix(data_dir, prefix):
+    """Trim a copied data directory to its first *prefix* logged batches."""
+    log_path = data_dir / "events.log"
+    scan = scan_event_log(log_path)
+    assert len(scan.records) >= prefix >= 1
+    with log_path.open("r+b") as stream:
+        stream.truncate(scan.records[prefix - 1].end)
+    for ckpt in (data_dir / "checkpoints").glob("ckpt-*.bin"):
+        if int(ckpt.stem.split("-")[1]) > prefix:
+            ckpt.unlink()
+
+
+@pytest.mark.parametrize("algorithm", ["IMA", "GMA"])
+@pytest.mark.parametrize("kernel", ["csr", "dial"])
+def test_prefix_replay_reproduces_every_timestamp(tmp_path, algorithm, kernel):
+    """checkpoint + log-prefix replay == the live run, at every timestamp."""
+    original = tmp_path / "run"
+    durable, expected = _drive(original, algorithm=algorithm, kernel=kernel)
+    durable.close()
+    for prefix in range(1, TICKS + 1):
+        clone = tmp_path / f"prefix-{prefix}"
+        shutil.copytree(original, clone)
+        _truncate_to_prefix(clone, prefix)
+        recovered = DurableMonitoringServer.recover(clone)
+        try:
+            assert recovered.current_timestamp == prefix
+            assert recovered.results() == expected[prefix], (
+                f"{algorithm}/{kernel}: results at t={prefix} diverged "
+                f"after checkpoint+replay"
+            )
+            # replay count = prefix minus what the newest kept checkpoint covers
+            assert 0 <= recovered.recovered_ticks <= CHECKPOINT_EVERY
+        finally:
+            recovered.close()
+
+
+def test_recovered_server_continues_byte_identically(tmp_path):
+    """Crash mid-run, recover, continue: indistinguishable from no crash."""
+    full_dir, crash_dir = tmp_path / "full", tmp_path / "crash"
+    full, _ = _drive(full_dir, seed=9)
+    reference = full.results()
+    reference_ts = full.current_timestamp
+    full.close()
+
+    spec = resolve_scenario("uniform-drift")
+    network = city_network(120, seed=10)
+    engine = ScenarioEngine(network, spec, seed=9)
+    server = build_scenario_server("uniform-drift", 9, 120, "IMA", "csr", None)
+    durable = DurableMonitoringServer(server, crash_dir, checkpoint_every=CHECKPOINT_EVERY)
+    crash_at = 4
+    for timestamp in range(crash_at):
+        batch = engine.batch(timestamp)
+        server.apply_updates(batch)
+        durable.tick()
+    # simulate the crash: no close(), just abandon the wrapper and recover
+    recovered = DurableMonitoringServer.recover(crash_dir)
+    assert recovered.current_timestamp == crash_at
+    for timestamp in range(crash_at, TICKS):
+        batch = engine.batch(timestamp)
+        recovered.server.apply_updates(batch)
+        recovered.tick()
+    assert recovered.current_timestamp == reference_ts
+    assert recovered.results() == reference
+    recovered.close()
+
+
+def test_pending_updates_are_not_durable_without_checkpoint(tmp_path):
+    """Ingested-but-unticked updates die with the crash, by contract."""
+    network = city_network(80, seed=3)
+    server = MonitoringServer(network, algorithm="IMA")
+    durable = DurableMonitoringServer(server, tmp_path / "d", checkpoint_every=None)
+    server.add_object_at(1, x=40.0, y=40.0)
+    server.add_query_at(100, x=45.0, y=45.0, k=1)
+    durable.tick()
+    server.add_object_at(2, x=60.0, y=60.0)  # ingested, never ticked or checkpointed
+    recovered = DurableMonitoringServer.recover(tmp_path / "d")
+    assert recovered.current_timestamp == 1
+    assert 2 not in recovered.server.object_ids()
+    assert recovered.server.result_of(100).neighbors  # ticked state survived
+    recovered.close()
+
+
+def test_checkpoint_captured_pending_survives_when_log_has_no_tail(tmp_path):
+    """A checkpoint after ingestion preserves the pending buffer on recovery."""
+    network = city_network(80, seed=3)
+    server = MonitoringServer(network, algorithm="IMA")
+    durable = DurableMonitoringServer(server, tmp_path / "d", checkpoint_every=None)
+    server.add_object_at(1, x=40.0, y=40.0)
+    server.add_query_at(100, x=45.0, y=45.0, k=1)
+    durable.checkpoint()
+    recovered = DurableMonitoringServer.recover(tmp_path / "d")
+    # the pending installs were captured; the first tick processes them
+    recovered.tick()
+    assert 1 in recovered.server.object_ids()
+    neighbors = recovered.server.result_of(100).neighbors
+    assert [object_id for object_id, _ in neighbors] == [1]
+    recovered.close()
+
+
+def test_fresh_init_refuses_used_data_dir(tmp_path):
+    network = city_network(80, seed=3)
+    durable = DurableMonitoringServer(
+        MonitoringServer(network, algorithm="IMA"), tmp_path / "d"
+    )
+    durable.close()
+    with pytest.raises(ServiceError, match="recover"):
+        DurableMonitoringServer(
+            MonitoringServer(network.copy(), algorithm="IMA"), tmp_path / "d"
+        )
+
+
+def test_recover_refuses_empty_dir_and_skips_torn_checkpoint(tmp_path):
+    with pytest.raises(RecoveryError, match="no checkpoints"):
+        DurableMonitoringServer.recover(tmp_path / "missing")
+    durable, _ = _drive(tmp_path / "d", ticks=4, checkpoint_every=2)
+    durable.close()
+    checkpoints = sorted((tmp_path / "d" / "checkpoints").glob("ckpt-*.bin"))
+    assert len(checkpoints) >= 2
+    # tear the newest checkpoint mid-write; recovery must fall back
+    newest = checkpoints[-1]
+    newest.write_bytes(newest.read_bytes()[:20])
+    recovered = DurableMonitoringServer.recover(tmp_path / "d")
+    assert recovered.current_timestamp == 4  # replayed the tail instead
+    recovered.close()
+
+
+def test_checkpoint_pruning_keeps_genesis_and_newest(tmp_path):
+    durable, _ = _drive(
+        tmp_path / "d", ticks=6, checkpoint_every=1, seed=2
+    )
+    names = sorted(
+        p.name for p in (tmp_path / "d" / "checkpoints").glob("ckpt-*.bin")
+    )
+    durable.close()
+    # genesis (t=0) always kept; newest 4 of the rest (default keep_checkpoints)
+    assert names[0] == "ckpt-0000000000.bin"
+    assert len(names) <= 1 + 4
+    assert names[-1] == "ckpt-0000000006.bin"
+
+
+# ----------------------------------------------------------------------
+# snapshot / restore primitives
+# ----------------------------------------------------------------------
+def test_restore_server_rejects_garbage():
+    with pytest.raises(RecoveryError):
+        restore_server(b"junk")
+    import pickle
+
+    with pytest.raises(RecoveryError, match="kind"):
+        restore_server(pickle.dumps({"kind": "martian"}))
+
+
+@pytest.mark.parametrize("workers", [None, 2])
+def test_snapshot_restore_continues_byte_identically(workers):
+    """Both server flavors resume exactly from a snapshot blob."""
+    scenario, seed = "uniform-drift", 11
+    spec = resolve_scenario(scenario)
+    network = city_network(100, seed=seed + 1)
+    engine = ScenarioEngine(network, spec, seed=seed)
+    original = build_scenario_server(scenario, seed, 100, "IMA", "csr", workers)
+    twin_engine = ScenarioEngine(
+        city_network(100, seed=seed + 1), spec, seed=seed
+    )
+    try:
+        for timestamp in range(3):
+            batch = engine.batch(timestamp)
+            original.apply_updates(batch)
+            original.tick()
+        blob = original.snapshot_state()
+        clone = restore_server(blob)
+        try:
+            assert clone.current_timestamp == original.current_timestamp
+            assert clone.results() == original.results()
+            for timestamp in range(3):
+                twin_engine.batch(timestamp)  # advance the twin RNG in lock-step
+            for timestamp in range(3, 5):
+                batch = engine.batch(timestamp)
+                twin = twin_engine.batch(timestamp)
+                original.apply_updates(batch)
+                original.tick()
+                clone.apply_updates(twin)
+                clone.tick()
+            assert clone.results() == original.results()
+        finally:
+            clone.close()
+    finally:
+        original.close()
+
+
+def test_load_initial_state_reads_genesis_without_respawn(tmp_path):
+    durable, _ = _drive(tmp_path / "d", seed=4)
+    durable.close()
+    initial = load_initial_state(tmp_path / "d")
+    assert initial.timestamp == 0
+    # genesis has initial objects in the edge table, queries still pending
+    assert initial.queries == {}
+    assert initial.network.edge_ids()
+    with pytest.raises(RecoveryError):
+        load_initial_state(tmp_path / "nothing-here")

@@ -1,0 +1,200 @@
+"""Unit tests for the service event log and checkpoint framing.
+
+Covers the length-prefixed CRC record format, torn-tail repair (the crash
+shape), mid-file corruption detection, offset bookkeeping, and the batch
+codec the log stores.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro import UpdateBatch, decode_batch, encode_batch
+from repro.exceptions import EventLogError, RecoveryError
+from repro.network.graph import NetworkLocation
+from repro.service.eventlog import MAGIC, EventLog, read_event_log, scan_event_log
+
+
+@pytest.fixture
+def log_path(tmp_path):
+    return tmp_path / "events.log"
+
+
+# ----------------------------------------------------------------------
+# append / read round trips
+# ----------------------------------------------------------------------
+def test_new_log_is_created_with_magic(log_path):
+    with EventLog(log_path) as log:
+        assert log.offset == len(MAGIC)
+    assert log_path.read_bytes() == MAGIC
+    assert read_event_log(log_path) == []
+
+
+def test_append_read_roundtrip_and_offsets(log_path):
+    with EventLog(log_path) as log:
+        first = log.append(b"alpha")
+        second = log.append(b"")  # empty payloads are legal records
+        third = log.append(b"gamma" * 100)
+        assert len(MAGIC) < first < second < third == log.offset
+    assert read_event_log(log_path) == [b"alpha", b"", b"gamma" * 100]
+    # start_offset selects exactly the records appended after it
+    assert read_event_log(log_path, start_offset=first) == [b"", b"gamma" * 100]
+    assert read_event_log(log_path, start_offset=second) == [b"gamma" * 100]
+    assert read_event_log(log_path, start_offset=third) == []
+
+
+def test_reopen_appends_after_existing_records(log_path):
+    with EventLog(log_path) as log:
+        log.append(b"one")
+    with EventLog(log_path) as log:
+        log.append(b"two")
+    assert read_event_log(log_path) == [b"one", b"two"]
+
+
+def test_start_offset_must_be_a_record_boundary(log_path):
+    with EventLog(log_path) as log:
+        log.append(b"payload")
+    with pytest.raises(EventLogError, match="record boundary"):
+        read_event_log(log_path, start_offset=len(MAGIC) + 3)
+
+
+def test_closed_log_refuses_appends(log_path):
+    log = EventLog(log_path)
+    log.close()
+    assert log.closed
+    log.close()  # idempotent
+    with pytest.raises(EventLogError, match="closed"):
+        log.append(b"late")
+
+
+def test_bad_magic_raises(log_path):
+    log_path.write_bytes(b"NOTALOG!" + b"\x00" * 16)
+    with pytest.raises(EventLogError, match="magic"):
+        read_event_log(log_path)
+
+
+# ----------------------------------------------------------------------
+# torn tails (crash shapes) vs mid-file corruption (real damage)
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("tail", [b"\x07", b"\x07\x00\x00\x00", b"\x07\x00\x00\x00\xaa\xbb\xcc\xdd\x01\x02"])
+def test_torn_tail_is_truncated_on_open(log_path, tail):
+    with EventLog(log_path) as log:
+        log.append(b"kept")
+        valid_end = log.offset
+    with log_path.open("ab") as stream:
+        stream.write(tail)  # torn header or torn payload
+    scan = scan_event_log(log_path)
+    assert scan.torn and scan.valid_end == valid_end
+    with EventLog(log_path) as log:  # open repairs the tail
+        assert log.offset == valid_end
+        log.append(b"after-repair")
+    assert read_event_log(log_path) == [b"kept", b"after-repair"]
+
+
+def test_crc_bad_final_record_counts_as_torn(log_path):
+    with EventLog(log_path) as log:
+        log.append(b"kept")
+        valid_end = log.offset
+        log.append(b"damaged-final")
+    data = bytearray(log_path.read_bytes())
+    data[-1] ^= 0xFF  # flip a payload byte of the final record
+    log_path.write_bytes(bytes(data))
+    scan = scan_event_log(log_path)
+    assert scan.torn and scan.valid_end == valid_end
+    assert read_event_log(log_path) == [b"kept"]
+
+
+def test_crc_bad_mid_file_record_raises(log_path):
+    with EventLog(log_path) as log:
+        first_end = log.append(b"kept")
+        log.append(b"will-be-damaged")
+        log.append(b"after")
+    data = bytearray(log_path.read_bytes())
+    data[first_end + 8 + 1] ^= 0xFF  # inside the middle record's payload
+    log_path.write_bytes(bytes(data))
+    with pytest.raises(EventLogError, match="corrupt"):
+        read_event_log(log_path)
+
+
+def test_sync_flag_controls_buffering_not_correctness(log_path):
+    with EventLog(log_path, sync=False) as log:
+        log.append(b"buffered")
+        log.sync()  # explicit fsync path
+    assert read_event_log(log_path) == [b"buffered"]
+
+
+# ----------------------------------------------------------------------
+# batch codec (what the log stores)
+# ----------------------------------------------------------------------
+def test_encode_decode_batch_roundtrip():
+    batch = UpdateBatch(timestamp=7)
+    batch.add_object_move(1, NetworkLocation(0, 0.25), NetworkLocation(1, 0.75))
+    batch.add_query_move(100, NetworkLocation(2, 0.5), NetworkLocation(2, 0.6))
+    batch.add_edge_change(3, 10.0, 12.5)
+    clone = decode_batch(encode_batch(batch))
+    assert clone.timestamp == 7
+    assert clone.object_updates == batch.object_updates
+    assert clone.query_updates == batch.query_updates
+    assert clone.edge_updates == batch.edge_updates
+    # determinism: identical batches encode to identical bytes
+    assert encode_batch(batch) == encode_batch(clone)
+
+
+def test_decode_batch_rejects_garbage_and_bad_versions():
+    with pytest.raises(EventLogError):
+        decode_batch(b"not a pickle")
+    import pickle
+
+    bad_version = pickle.dumps((999, 0, [], [], []))
+    with pytest.raises(EventLogError, match="version"):
+        decode_batch(bad_version)
+
+
+# ----------------------------------------------------------------------
+# checkpoint framing
+# ----------------------------------------------------------------------
+def test_checkpoint_write_read_roundtrip(tmp_path):
+    from repro.service.durable import _read_checkpoint, _write_checkpoint
+
+    path = _write_checkpoint(tmp_path, 12, 345, b"state-blob")
+    assert path.name == "ckpt-0000000012.bin"
+    record = _read_checkpoint(path)
+    assert record == {"timestamp": 12, "log_offset": 345, "state": b"state-blob"}
+
+
+def test_torn_checkpoint_is_detected(tmp_path):
+    from repro.service.durable import _read_checkpoint, _write_checkpoint
+
+    path = _write_checkpoint(tmp_path, 3, 99, b"x" * 64)
+    data = path.read_bytes()
+    path.write_bytes(data[: len(data) // 2])  # crash mid-write
+    with pytest.raises(RecoveryError, match="truncated"):
+        _read_checkpoint(path)
+    path.write_bytes(b"WRONGMAG" + data[8:])
+    with pytest.raises(RecoveryError, match="magic"):
+        _read_checkpoint(path)
+    flipped = bytearray(data)
+    flipped[-1] ^= 0xFF
+    path.write_bytes(bytes(flipped))
+    with pytest.raises(RecoveryError, match="CRC"):
+        _read_checkpoint(path)
+
+
+def test_checkpoint_replace_is_atomic_no_tmp_left_behind(tmp_path):
+    from repro.service.durable import _write_checkpoint
+
+    _write_checkpoint(tmp_path, 1, 10, b"blob")
+    assert [p.name for p in sorted(tmp_path.iterdir())] == ["ckpt-0000000001.bin"]
+    assert not list(tmp_path.glob("*.tmp"))
+
+
+def test_fsync_is_called_on_append(log_path, monkeypatch):
+    calls = []
+    real_fsync = os.fsync
+    monkeypatch.setattr(os, "fsync", lambda fd: (calls.append(fd), real_fsync(fd)))
+    with EventLog(log_path, sync=True) as log:
+        calls.clear()
+        log.append(b"durable")
+        assert calls, "sync=True append must fsync before returning"
