@@ -3,9 +3,11 @@
 Registers the ``--quick`` flag used by the benchmark suite (see
 ``benchmarks/``): it shrinks the workloads so the whole core-operations
 benchmark finishes in well under a minute, which is what the CI
-benchmark-smoke job runs.  The flag is registered here — the root conftest
-is always an *initial* conftest — so it is available no matter which test
-path is passed on the command line.
+benchmark-smoke job runs.  Also registers ``--regen-goldens``, which makes
+the golden-file suites (``tests/test_realism_goldens.py``) rewrite their
+expected outputs instead of asserting against them.  Both flags are
+registered here — the root conftest is always an *initial* conftest — so
+they are available no matter which test path is passed on the command line.
 """
 
 
@@ -15,4 +17,10 @@ def pytest_addoption(parser):
         action="store_true",
         default=False,
         help="run benchmarks on the smoke-sized workload (CI benchmark smoke)",
+    )
+    parser.addoption(
+        "--regen-goldens",
+        action="store_true",
+        default=False,
+        help="rewrite golden files instead of asserting against them",
     )

@@ -150,13 +150,13 @@ def _cell(value, fmt: str) -> str:
     return format(value, fmt) if value is not None else "—"
 
 
-def render_markdown(factor, rows, failures: int, tolerance: float) -> str:
+def render_markdown(factor, rows, failures: int, tolerance: float, baseline_name: str) -> str:
     """The per-benchmark diff as a GitHub-flavored markdown table."""
     status = "PASS" if failures == 0 else f"FAIL ({failures} benchmark(s))"
     lines = [
         f"### Benchmark gate: {status}",
         "",
-        f"Self-calibrated against `BENCH_baseline.json` "
+        f"Self-calibrated against `{baseline_name}` "
         f"(machine factor {_cell(factor, '.3f')}, tolerance ±{tolerance:.0%} "
         f"per benchmark, doubled below {SMALL_BENCH_SECONDS * 1e3:g} ms).",
         "",
@@ -214,7 +214,7 @@ def main(argv=None) -> int:
         return 1
     baseline = json.loads(args.baseline.read_text(encoding="utf-8"))
     failures, factor, rows = compare(medians, baseline, args.tolerance)
-    emit_report(render_markdown(factor, rows, failures, args.tolerance))
+    emit_report(render_markdown(factor, rows, failures, args.tolerance, args.baseline.name))
     if failures:
         print(
             f"{failures} benchmark(s) regressed beyond tolerance; if the change "

@@ -138,6 +138,26 @@ SECTIONS = (
             "brute_force_aggregate_knn",
             "load_network",
             "save_network",
+            "CLOSED_EDGE_WEIGHT",
+        ),
+    ),
+    (
+        "City-scale realism",
+        "The OSM-style nodes/ways importer (largest-component extraction, "
+        "parallel-edge dedup, speed-class weights), the deterministic "
+        "synthetic-city generator that feeds it, and the rush-hour traffic "
+        "model behind the `rush-hour` / `gridlock-closures` presets.",
+        (
+            "import_road_network",
+            "import_ways_text",
+            "ImportResult",
+            "ImportStats",
+            "CitySpec",
+            "synthetic_city_text",
+            "synthetic_city_network",
+            "RushHourSpec",
+            "RushHourModel",
+            "classify_edges",
         ),
     ),
     (

@@ -47,6 +47,17 @@ tolerance, nearby — location) onto one reference-counted physical query
 with per-subscriber result fanout, so thousands of tenants watching the
 same venue cost one expansion tree instead of thousands.
 
+City-scale realism.  :mod:`repro.realism` feeds the system workloads
+shaped like real cities: an OSM-style nodes/ways importer
+(:func:`import_road_network`) with largest-component extraction and
+speed-class weights, a deterministic synthetic-city generator
+(:func:`synthetic_city_network`) whose output flows through that same
+importer, and a rush-hour traffic model (:class:`RushHourModel`) emitting
+time-of-day congestion waves, Poisson incident storms and road closures
+(pinned to the finite :data:`CLOSED_EDGE_WEIGHT` sentinel) — available as
+the ``rush-hour`` / ``gridlock-closures`` scenario presets and driving the
+100K-edge ``bench_city_scale`` benchmarks.
+
 Always-on service.  :mod:`repro.service` runs any server as a durable
 streaming service: clients stream updates over a socket API
 (:class:`StreamingService` / :class:`ServiceClient`), result deltas push
@@ -94,6 +105,7 @@ from repro.core import (
 )
 from repro.exceptions import ReproError
 from repro.network import (
+    CLOSED_EDGE_WEIGHT,
     CSRGraph,
     EdgeTable,
     NetworkLocation,
@@ -121,6 +133,18 @@ from repro.service import (
     load_initial_state,
     read_event_log,
     run_fault_injection,
+)
+from repro.realism import (
+    CitySpec,
+    ImportResult,
+    ImportStats,
+    RushHourModel,
+    RushHourSpec,
+    classify_edges,
+    import_road_network,
+    import_ways_text,
+    synthetic_city_network,
+    synthetic_city_text,
 )
 from repro.spatial import PMRQuadtree, Point, Rect, Segment
 from repro.testing import (
@@ -188,6 +212,18 @@ __all__ = [
     "brute_force_aggregate_knn",
     "load_network",
     "save_network",
+    "CLOSED_EDGE_WEIGHT",
+    # realism: importer, synthetic cities, rush-hour traffic
+    "ImportResult",
+    "ImportStats",
+    "import_road_network",
+    "import_ways_text",
+    "CitySpec",
+    "synthetic_city_text",
+    "synthetic_city_network",
+    "RushHourSpec",
+    "RushHourModel",
+    "classify_edges",
     # spatial
     "Point",
     "Rect",

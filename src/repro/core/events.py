@@ -128,6 +128,12 @@ class QueryUpdate:
 class EdgeWeightUpdate:
     """An edge-weight change (e.g. reported by a traffic sensor).
 
+    Weights must be positive and *finite*: a road closure is expressed as
+    the huge finite sentinel
+    :data:`~repro.network.graph.CLOSED_EDGE_WEIGHT`, never ``float("inf")``
+    (an infinity would poison distance arithmetic downstream and is
+    rejected by the network layer anyway — see ``docs/queries.md``).
+
     Example::
 
         update = EdgeWeightUpdate(12, old_weight=5.0, new_weight=6.5)
@@ -139,9 +145,11 @@ class EdgeWeightUpdate:
     new_weight: float
 
     def __post_init__(self) -> None:
-        if self.new_weight <= 0:
+        # `not (x > 0)` also catches NaN, which fails every comparison.
+        if not self.new_weight > 0 or self.new_weight == float("inf"):
             raise SimulationError(
-                f"edge {self.edge_id}: new weight must be positive, got {self.new_weight}"
+                f"edge {self.edge_id}: new weight must be a positive finite "
+                f"number, got {self.new_weight}"
             )
 
     @property

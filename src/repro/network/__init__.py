@@ -31,7 +31,13 @@ from repro.network.distance import (
     shortest_path_nodes,
 )
 from repro.network.edge_table import EdgeTable
-from repro.network.graph import Edge, NetworkLocation, Node, RoadNetwork
+from repro.network.graph import (
+    CLOSED_EDGE_WEIGHT,
+    Edge,
+    NetworkLocation,
+    Node,
+    RoadNetwork,
+)
 from repro.network.io import (
     load_network,
     load_node_edge_files,
@@ -45,6 +51,7 @@ __all__ = [
     "Node",
     "Edge",
     "NetworkLocation",
+    "CLOSED_EDGE_WEIGHT",
     "EdgeTable",
     "CSRGraph",
     "csr_snapshot",

@@ -92,6 +92,15 @@ _SPAN_EPS = 1e-9
 _CORE = None
 
 
+def _pure_median(values) -> float:
+    """Median of a non-empty sequence without numpy (even-length: midpoint)."""
+    ordered = sorted(values)
+    mid = len(ordered) // 2
+    if len(ordered) % 2:
+        return float(ordered[mid])
+    return (float(ordered[mid - 1]) + float(ordered[mid])) / 2.0
+
+
 class DialAbort(Exception):
     """Raised when a bucket-queue run cannot preserve heap settle order.
 
@@ -196,11 +205,16 @@ class DialSupport:
             if len(adj_weight):
                 support.min_weight = float(support.np_adj_weight.min())
                 support.max_weight = float(support.np_adj_weight.max())
-                support.bucket_width = float(support.np_adj_weight.mean())
+                # Median, not mean: results are identical for any positive
+                # fixed width (settle order is quantization-independent), but
+                # a handful of closed-road sentinel weights (CLOSED_EDGE_WEIGHT,
+                # ~1e12) would drag a mean so high that every real distance
+                # lands in bucket 0 and the kernel degrades to one big heap.
+                support.bucket_width = float(_np.median(support.np_adj_weight))
         elif len(adj_weight):  # pragma: no cover - exercised without numpy
             support.min_weight = float(min(adj_weight))
             support.max_weight = float(max(adj_weight))
-            support.bucket_width = float(sum(adj_weight)) / len(adj_weight)
+            support.bucket_width = float(_pure_median(adj_weight))
         support.usable = support.bucket_width > 0.0
         return support
 

@@ -1,0 +1,359 @@
+"""Rush-hour traffic model: congestion waves, incidents, road closures.
+
+Where :class:`repro.mobility.traffic.TrafficModel` produces memoryless ±x %
+noise, this model produces *structured* weight streams shaped like a city
+day:
+
+* **time-of-day congestion waves** — every edge tracks a target multiplier
+  ``1 + (amplitude - 1) * wave(t)`` where ``wave`` is a pair of Gaussian
+  bumps (morning and evening peak) over a ``ticks_per_day`` cycle and the
+  amplitude depends on the edge's speed class (motorways swing hardest,
+  side streets barely notice);
+* **incident storms** — a Poisson number of incidents per tick, each
+  spiking one edge by ``incident_factor`` and then decaying geometrically
+  back to free flow;
+* **road closures** — a Poisson number of closures per tick, pinning the
+  edge weight to :data:`~repro.network.graph.CLOSED_EDGE_WEIGHT` (the huge
+  *finite* closed-road sentinel; true infinities are rejected library-wide)
+  for a bounded number of ticks before reopening.
+
+Everything is deterministic from ``(spec, seed)``: two models built with the
+same pair emit byte-identical update streams.  The model plugs into
+:class:`~repro.testing.scenarios.ScenarioEngine` via
+``ScenarioSpec.traffic_spec`` (the ``rush-hour`` / ``gridlock-closures``
+presets) and into the city-scale benchmarks directly.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass, replace
+from typing import Dict, List, Mapping, Optional, Tuple
+
+from repro.core.events import EdgeWeightUpdate
+from repro.exceptions import SimulationError
+from repro.network.graph import CLOSED_EDGE_WEIGHT, RoadNetwork
+
+#: Incident multipliers below this are considered fully decayed.
+_INCIDENT_FLOOR = 1.05
+
+#: Relative weight change below which no update is emitted (keeps steady
+#: state quiet instead of streaming 1e-12-sized deltas every tick).
+_MIN_RELATIVE_CHANGE = 1e-9
+
+
+@dataclass(frozen=True)
+class RushHourSpec:
+    """Parameters of the rush-hour model (all rates are per tick).
+
+    Attributes:
+        ticks_per_day: length of one day cycle in ticks.
+        morning_peak: morning-peak position as a fraction of the day.
+        evening_peak: evening-peak position as a fraction of the day.
+        peak_width: Gaussian peak width as a fraction of the day.
+        class_amplitudes: ``(speed_class, peak_multiplier)`` pairs — the
+            congestion multiplier each class reaches at the top of a peak.
+        congestion_update_fraction: fraction of edges whose weight is
+            refreshed toward its wave target each tick (incident and
+            closure edges always refresh on top of this).
+        smoothing: per-refresh exponential step toward the target in
+            ``(0, 1]`` (1 jumps straight to the target).
+        incident_rate: Poisson mean of new incidents per tick.
+        incident_factor: multiplier a fresh incident applies to its edge.
+        incident_decay: per-tick geometric decay of an incident's excess
+            multiplier (``m -> 1 + (m - 1) * decay``).
+        closure_rate: Poisson mean of new road closures per tick.
+        closure_duration: inclusive ``(min, max)`` closure length in ticks.
+        max_multiplier: cap on the combined wave x incident multiplier.
+
+    Example::
+
+        spec = RushHourSpec(closure_rate=0.5)
+        model = RushHourModel(network, spec=spec, seed=3)
+        updates = model.tick(0)
+    """
+
+    ticks_per_day: int = 48
+    morning_peak: float = 0.35
+    evening_peak: float = 0.78
+    peak_width: float = 0.07
+    class_amplitudes: Tuple[Tuple[str, float], ...] = (
+        ("motorway", 2.6),
+        ("arterial", 2.0),
+        ("street", 1.5),
+        ("side", 1.15),
+    )
+    congestion_update_fraction: float = 0.10
+    smoothing: float = 0.55
+    incident_rate: float = 0.8
+    incident_factor: float = 3.0
+    incident_decay: float = 0.65
+    closure_rate: float = 0.0
+    closure_duration: Tuple[int, int] = (2, 6)
+    max_multiplier: float = 8.0
+
+    def with_overrides(self, **overrides) -> "RushHourSpec":
+        """Return a copy with the given fields replaced.
+
+        Example::
+
+            gridlock = RushHourSpec().with_overrides(closure_rate=1.0)
+        """
+        return replace(self, **overrides)
+
+    def wave(self, timestamp: int) -> float:
+        """Congestion-wave intensity in ``[0, 1]`` at *timestamp*.
+
+        Two Gaussian bumps per day cycle; 0 is free flow, 1 is the top of
+        the worst peak.
+
+        Example::
+
+            spec = RushHourSpec(ticks_per_day=48)
+            assert spec.wave(0) < spec.wave(int(48 * spec.morning_peak))
+        """
+        frac = (timestamp % self.ticks_per_day) / self.ticks_per_day
+        total = 0.0
+        for peak in (self.morning_peak, self.evening_peak):
+            # Nearest image of the peak on the circular day (so the wave is
+            # continuous across midnight).
+            delta = min(abs(frac - peak), 1.0 - abs(frac - peak))
+            total += math.exp(-((delta / self.peak_width) ** 2))
+        return min(1.0, total)
+
+
+def classify_edges(network: RoadNetwork) -> Dict[int, str]:
+    """Heuristic speed classes for a network without import provenance.
+
+    Networks built by :func:`repro.realism.importer.import_ways_text` carry
+    real classes in ``ImportResult.speed_classes``; for everything else
+    (synthetic grids, ``city_network``) this assigns classes by base-weight
+    rank — the longest 5 % of edges become motorways, the next 15 %
+    arterials, the next 50 % streets and the rest side streets.  Purely
+    deterministic (ties broken by edge id).
+
+    Example::
+
+        classes = classify_edges(network)
+        assert set(classes) == set(network.edge_ids())
+    """
+    ranked = sorted(
+        network.edge_ids(),
+        key=lambda edge_id: (-network.edge(edge_id).base_weight, edge_id),
+    )
+    classes: Dict[int, str] = {}
+    count = len(ranked)
+    for rank, edge_id in enumerate(ranked):
+        fraction = rank / count if count else 0.0
+        if fraction < 0.05:
+            classes[edge_id] = "motorway"
+        elif fraction < 0.20:
+            classes[edge_id] = "arterial"
+        elif fraction < 0.70:
+            classes[edge_id] = "street"
+        else:
+            classes[edge_id] = "side"
+    return classes
+
+
+def _poisson(rng: random.Random, lam: float) -> int:
+    """Knuth Poisson sampler (fine for the small per-tick rates used here)."""
+    if lam <= 0.0:
+        return 0
+    threshold = math.exp(-lam)
+    count = 0
+    product = rng.random()
+    while product > threshold:
+        count += 1
+        product *= rng.random()
+    return count
+
+
+class RushHourModel:
+    """Deterministic per-tick edge-weight update generator.
+
+    The model never touches the network: it keeps (or shares) a weight view
+    and emits :class:`~repro.core.events.EdgeWeightUpdate` lists whose
+    ``old_weight`` values come from that view, so a stream can be
+    materialised up front and applied later — the same contract as
+    :class:`~repro.testing.scenarios.ScenarioEngine`.
+
+    Args:
+        network: the road network (read-only; base weights are the
+            free-flow costs the waves multiply).
+        spec: model parameters.
+        seed: stream seed — ``(spec, seed)`` fully determines the stream.
+        speed_classes: edge id → class name (e.g. from
+            ``ImportResult.speed_classes``); missing edges, or the whole
+            argument, fall back to :func:`classify_edges`.
+        weights: optional externally-owned ``{edge_id: current_weight}``
+            view to share (the scenario engine passes its own so both
+            stressors agree on ``old_weight``); the model builds its own
+            from the network when omitted.
+        rng_label: namespace mixed into the RNG seed string, letting an
+            embedding engine keep this model's stream independent of its
+            own RNG consumption.
+
+    Example::
+
+        model = RushHourModel(network, spec=RushHourSpec(), seed=7)
+        for timestamp in range(10):
+            for update in model.tick(timestamp):
+                network.set_edge_weight(update.edge_id, update.new_weight)
+    """
+
+    def __init__(
+        self,
+        network: RoadNetwork,
+        spec: Optional[RushHourSpec] = None,
+        seed: int = 0,
+        speed_classes: Optional[Mapping[int, str]] = None,
+        weights: Optional[Dict[int, float]] = None,
+        rng_label: str = "rush-hour",
+    ) -> None:
+        self._spec = spec if spec is not None else RushHourSpec()
+        if not 0.0 < self._spec.smoothing <= 1.0:
+            raise SimulationError(
+                f"smoothing must be in (0, 1], got {self._spec.smoothing}"
+            )
+        lo, hi = self._spec.closure_duration
+        if lo < 1 or hi < lo:
+            raise SimulationError(
+                f"closure_duration must satisfy 1 <= min <= max, got ({lo}, {hi})"
+            )
+        self._edges: List[int] = sorted(network.edge_ids())
+        if not self._edges:
+            raise SimulationError("rush-hour model needs a network with edges")
+        self._base: Dict[int, float] = {
+            edge_id: network.edge(edge_id).base_weight for edge_id in self._edges
+        }
+        if weights is None:
+            weights = {
+                edge_id: network.edge(edge_id).weight for edge_id in self._edges
+            }
+        self._weights = weights
+        fallback: Optional[Dict[int, str]] = None
+        resolved: Dict[int, str] = {}
+        amplitude_by_class = dict(self._spec.class_amplitudes)
+        for edge_id in self._edges:
+            speed_class = (speed_classes or {}).get(edge_id)
+            if speed_class is None:
+                if fallback is None:
+                    fallback = classify_edges(network)
+                speed_class = fallback[edge_id]
+            if speed_class not in amplitude_by_class:
+                raise SimulationError(
+                    f"edge {edge_id}: class {speed_class!r} has no amplitude in "
+                    f"spec.class_amplitudes"
+                )
+            resolved[edge_id] = speed_class
+        self._classes = resolved
+        self._amplitudes = amplitude_by_class
+        self._rng = random.Random(f"{rng_label}/{seed}")
+        #: edge id -> current incident multiplier (> 1 while active)
+        self._incidents: Dict[int, float] = {}
+        #: edge id -> tick at which the closure lifts
+        self._closed_until: Dict[int, int] = {}
+        #: round-robin cursor over self._edges for congestion refreshes
+        self._refresh_cursor = 0
+
+    @property
+    def spec(self) -> RushHourSpec:
+        """The model parameters driving this stream."""
+        return self._spec
+
+    def closed_edges(self) -> List[int]:
+        """Edge ids currently closed (weight pinned to the sentinel).
+
+        Example::
+
+            model.tick(0)
+            assert all(isinstance(e, int) for e in model.closed_edges())
+        """
+        return sorted(self._closed_until)
+
+    def tick(self, timestamp: int) -> List[EdgeWeightUpdate]:
+        """Generate (but do not apply) the weight updates of one tick.
+
+        Call with consecutive timestamps; the stream is deterministic from
+        the construction arguments.  The model's weight view advances as if
+        the updates were applied.
+
+        Example::
+
+            updates = model.tick(timestamp=5)
+            assert all(u.new_weight > 0 for u in updates)
+        """
+        spec = self._spec
+        rng = self._rng
+        touched: Dict[int, bool] = {}
+
+        # Reopenings first: a closure that expires this tick releases the
+        # edge back to wave control (the refresh below emits its update).
+        for edge_id in [
+            e for e, until in self._closed_until.items() if until <= timestamp
+        ]:
+            del self._closed_until[edge_id]
+            touched[edge_id] = True
+
+        # Decay active incidents; fully-decayed ones are dropped but still
+        # refreshed once so their edge settles back toward free flow.
+        for edge_id in list(self._incidents):
+            decayed = 1.0 + (self._incidents[edge_id] - 1.0) * spec.incident_decay
+            if decayed < _INCIDENT_FLOOR:
+                del self._incidents[edge_id]
+            else:
+                self._incidents[edge_id] = decayed
+            touched[edge_id] = True
+
+        # Fresh incidents (Poisson); closed edges cannot also have incidents.
+        for _ in range(_poisson(rng, spec.incident_rate)):
+            edge_id = self._edges[rng.randrange(len(self._edges))]
+            if edge_id in self._closed_until:
+                continue
+            self._incidents[edge_id] = spec.incident_factor
+            touched[edge_id] = True
+
+        # Fresh closures (Poisson).
+        for _ in range(_poisson(rng, spec.closure_rate)):
+            edge_id = self._edges[rng.randrange(len(self._edges))]
+            if edge_id in self._closed_until:
+                continue
+            lo, hi = spec.closure_duration
+            self._closed_until[edge_id] = timestamp + rng.randint(lo, hi)
+            self._incidents.pop(edge_id, None)
+            touched[edge_id] = True
+
+        # Congestion refresh: a deterministic round-robin slice of all edges
+        # steps toward its wave target (round-robin rather than sampling so
+        # every edge is refreshed regularly regardless of fraction).
+        refresh = max(1, int(len(self._edges) * spec.congestion_update_fraction))
+        for _ in range(refresh):
+            edge_id = self._edges[self._refresh_cursor]
+            self._refresh_cursor = (self._refresh_cursor + 1) % len(self._edges)
+            touched.setdefault(edge_id, True)
+
+        wave = spec.wave(timestamp)
+        updates: List[EdgeWeightUpdate] = []
+        for edge_id in sorted(touched):
+            old_weight = self._weights[edge_id]
+            if edge_id in self._closed_until:
+                new_weight = CLOSED_EDGE_WEIGHT
+            else:
+                amplitude = self._amplitudes[self._classes[edge_id]]
+                multiplier = 1.0 + (amplitude - 1.0) * wave
+                multiplier *= self._incidents.get(edge_id, 1.0)
+                multiplier = min(multiplier, spec.max_multiplier)
+                target = self._base[edge_id] * multiplier
+                if old_weight == CLOSED_EDGE_WEIGHT:
+                    # Reopening: jump straight to the target — smoothing from
+                    # the sentinel would take ~40 ticks to become finite-ish.
+                    new_weight = target
+                else:
+                    new_weight = old_weight + spec.smoothing * (target - old_weight)
+            if abs(new_weight - old_weight) <= _MIN_RELATIVE_CHANGE * old_weight:
+                continue
+            self._weights[edge_id] = new_weight
+            updates.append(EdgeWeightUpdate(edge_id, old_weight, new_weight))
+        return updates

@@ -32,6 +32,7 @@ from repro.core.events import (
 from repro.core.queries import QuerySpec, as_query_spec
 from repro.exceptions import SimulationError
 from repro.network.graph import NetworkLocation, RoadNetwork
+from repro.realism.traffic import RushHourModel, RushHourSpec
 
 #: Default base for generated query ids (kept clear of object ids; matches
 #: the simulator's convention).
@@ -111,6 +112,11 @@ class ScenarioSpec:
     #: probability that a query placement (install, teleport, initial
     #: position, aggregate point) snaps exactly onto a venue anchor
     venue_query_fraction: float = 0.0
+    #: optional rush-hour traffic model (congestion waves, incidents, road
+    #: closures) layered under the other stressors; ``None`` disables it and
+    #: consumes no RNG — the model keeps its own namespaced RNG either way,
+    #: so legacy preset streams are byte-identical
+    traffic_spec: Optional[RushHourSpec] = None
 
     def with_overrides(self, **overrides) -> "ScenarioSpec":
         """Return a copy with the given fields replaced."""
@@ -214,6 +220,40 @@ SCENARIO_PRESETS: Dict[str, ScenarioSpec] = {
             query_mix=(("knn", 0.7), ("range", 0.2), ("aggregate_knn", 0.1)),
         ),
         ScenarioSpec(
+            name="rush-hour",
+            description="time-of-day congestion waves with decaying incidents",
+            object_move_fraction=0.20,
+            object_arrival_rate=0.6,
+            object_departure_rate=0.5,
+            edge_storm_fraction=0.0,
+            query_move_fraction=0.25,
+            query_churn_prob=0.2,
+            # ticks_per_day=16 squeezes a full morning peak into the default
+            # 8-tick streams; a high refresh fraction makes every tick carry
+            # wave traffic on the small fuzz networks.
+            traffic_spec=RushHourSpec(
+                ticks_per_day=16,
+                incident_rate=1.2,
+                congestion_update_fraction=0.25,
+            ),
+        ),
+        ScenarioSpec(
+            name="gridlock-closures",
+            description="rush-hour traffic plus road closures that reopen",
+            object_move_fraction=0.15,
+            edge_storm_fraction=0.0,
+            query_move_fraction=0.20,
+            query_churn_prob=0.25,
+            query_mix=(("knn", 0.6), ("range", 0.25), ("aggregate_knn", 0.15)),
+            traffic_spec=RushHourSpec(
+                ticks_per_day=16,
+                incident_rate=0.8,
+                closure_rate=0.8,
+                closure_duration=(1, 3),
+                congestion_update_fraction=0.25,
+            ),
+        ),
+        ScenarioSpec(
             name="geofence-churn",
             description="range geofences under heavy object churn and weight noise",
             object_move_fraction=0.25,
@@ -297,6 +337,19 @@ class ScenarioEngine:
         self._mean_weight = sum(self._weights.values()) / len(self._weights)
         self._hotspot_pool = self._build_hotspot_pool()
         self._venue_pool = self._build_venue_pool()
+        #: Optional rush-hour traffic layer.  It shares the engine's weight
+        #: view (so storm/traffic old_weights stay consistent) but owns a
+        #: namespaced RNG: presets without a traffic_spec consume exactly
+        #: the RNG stream they always did.
+        self._traffic: Optional[RushHourModel] = None
+        if self._spec.traffic_spec is not None:
+            self._traffic = RushHourModel(
+                network,
+                spec=self._spec.traffic_spec,
+                seed=seed,
+                weights=self._weights,
+                rng_label=f"{self._spec.name}/rush-hour",
+            )
 
         if initial_objects is None:
             self._objects = {
@@ -413,6 +466,10 @@ class ScenarioEngine:
         spec = self._spec
         rng = self._rng
         batch = UpdateBatch(timestamp=timestamp)
+
+        # Rush-hour traffic layer (congestion waves, incidents, closures).
+        if self._traffic is not None:
+            batch.edge_updates.extend(self._traffic.tick(timestamp))
 
         # Edge-weight storm.
         storm_size = int(len(self._edges) * spec.edge_storm_fraction)

@@ -331,3 +331,113 @@ def test_same_tick_sole_tenant_swap_reinstalls_physical(algorithm):
     assert frontend.query_ids() == {101}
     assert frontend.result_of(101).query_id == 101
     _check_against_oracle(server, next(iter(new_physical)))
+
+
+# ----------------------------------------------------------------------
+# road-closure semantics (the CLOSED_EDGE_WEIGHT contract)
+# ----------------------------------------------------------------------
+#
+# The pinned contract (docs/queries.md): closures are *huge finite*
+# weights, never float('inf').  An object sitting on a closed edge keeps a
+# defined (astronomically large) distance — it drops out of any k-NN
+# result with enough open competition but still fills result slots when
+# fewer than k objects are otherwise available, identically across every
+# kernel and the oracle.  True infinities are rejected at every layer.
+
+import math
+
+from repro.core.events import EdgeWeightUpdate
+from repro.exceptions import InvalidWeightError, SimulationError
+from repro.network.graph import CLOSED_EDGE_WEIGHT
+
+
+def _close_edge(server, edge_id):
+    batch = UpdateBatch()
+    batch.add_edge_change(
+        edge_id, server.network.edge(edge_id).weight, CLOSED_EDGE_WEIGHT
+    )
+    server.apply_updates(batch)
+    server.tick()
+
+
+@pytest.mark.parametrize("algorithm", ALGORITHMS)
+@pytest.mark.parametrize("kernel", ["csr", "dial", "legacy"])
+def test_object_on_closed_edge_keeps_defined_distance(algorithm, kernel):
+    """Closing the edge under an object leaves its distance finite."""
+    server, edges = _server(algorithm, kernel)
+    for object_id in range(3):
+        server.add_object(object_id, NetworkLocation(edges[object_id], 0.5))
+    server.add_query(100, NetworkLocation(edges[5], 0.25), k=3)
+    server.tick()
+
+    _close_edge(server, edges[0])  # the edge object 0 sits on
+
+    result = server.result_of(100)
+    # k exceeds the open-road population, so the stranded object must still
+    # fill the third slot — with a huge but *finite* distance.
+    assert result.object_ids[-1] == 0
+    for _, distance in result.neighbors:
+        assert math.isfinite(distance)
+    closed_distance = dict(result.neighbors)[0]
+    assert closed_distance > CLOSED_EDGE_WEIGHT / 4
+    _check_against_oracle(server, 100)
+
+
+@pytest.mark.parametrize("algorithm", ALGORITHMS)
+@pytest.mark.parametrize("kernel", ["csr", "dial"])
+def test_closed_object_drops_behind_open_competition(algorithm, kernel):
+    """With enough open objects, the stranded one leaves the result set."""
+    server, edges = _server(algorithm, kernel)
+    for object_id in range(6):
+        server.add_object(object_id, NetworkLocation(edges[object_id], 0.5))
+    server.add_query(100, NetworkLocation(edges[1], 0.25), k=3)
+    server.tick()
+    assert 0 in server.result_of(100).object_ids or True  # layout-dependent
+
+    _close_edge(server, edges[0])
+
+    result = server.result_of(100)
+    assert 0 not in result.object_ids
+    assert all(math.isfinite(d) for _, d in result.neighbors)
+    _check_against_oracle(server, 100)
+
+
+@pytest.mark.parametrize("algorithm", ALGORITHMS)
+@pytest.mark.parametrize("kernel", ["csr", "dial"])
+def test_closed_edge_reopening_restores_results(algorithm, kernel):
+    """Close then reopen at the original weight: results return exactly."""
+    server, edges = _server(algorithm, kernel)
+    for object_id in range(5):
+        server.add_object(object_id, NetworkLocation(edges[object_id], 0.5))
+    server.add_query(100, NetworkLocation(edges[2], 0.75), k=2)
+    server.tick()
+    before = server.result_of(100)
+    original_weight = server.network.edge(edges[0]).weight
+
+    _close_edge(server, edges[0])
+    assert server.network.edge(edges[0]).weight == CLOSED_EDGE_WEIGHT
+
+    batch = UpdateBatch()
+    batch.add_edge_change(edges[0], CLOSED_EDGE_WEIGHT, original_weight)
+    server.apply_updates(batch)
+    server.tick()
+
+    after = server.result_of(100)
+    assert after.neighbors == before.neighbors
+    _check_against_oracle(server, 100)
+
+
+def test_true_infinite_weights_are_rejected_everywhere():
+    """float('inf') is not a closure: every layer refuses it."""
+    server, edges = _server("ima")
+    with pytest.raises(InvalidWeightError):
+        server.network.set_edge_weight(edges[0], float("inf"))
+    with pytest.raises(InvalidWeightError):
+        server.network.set_edge_weight(edges[0], float("nan"))
+    with pytest.raises(SimulationError):
+        EdgeWeightUpdate(edges[0], 5.0, float("inf") - float("inf"))  # NaN
+    with pytest.raises(SimulationError):
+        EdgeWeightUpdate(edges[0], 5.0, 0.0)
+    # The sentinel itself is a perfectly ordinary weight.
+    server.network.set_edge_weight(edges[0], CLOSED_EDGE_WEIGHT)
+    assert server.network.edge(edges[0]).weight == CLOSED_EDGE_WEIGHT

@@ -89,8 +89,11 @@ def test_markdown_table_lists_every_benchmark():
     failures, factor, rows = check_bench.compare(
         {"a": 0.010, "b": 0.030}, baseline, tolerance=0.30
     )
-    table = check_bench.render_markdown(factor, rows, failures, tolerance=0.30)
+    table = check_bench.render_markdown(
+        factor, rows, failures, tolerance=0.30, baseline_name="BENCH_baseline.json"
+    )
     assert "### Benchmark gate: FAIL (1 benchmark(s))" in table
+    assert "`BENCH_baseline.json`" in table
     assert "| benchmark | current (ms) | calibrated baseline (ms) | delta | verdict |" in table
     assert "| `a` |" in table and "| `b` |" in table
     assert "FAIL" in table

@@ -40,6 +40,9 @@ ENFORCED_MODULES = (
     "src/repro/network/csr.py",
     "src/repro/network/dial.py",
     "src/repro/network/edge_table.py",
+    "src/repro/realism/__init__.py",
+    "src/repro/realism/importer.py",
+    "src/repro/realism/traffic.py",
     "src/repro/service/eventlog.py",
     "src/repro/service/durable.py",
     "src/repro/testing/harness.py",

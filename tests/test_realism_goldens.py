@@ -1,0 +1,96 @@
+"""Golden-file tests for the ways importer.
+
+Each ``tests/data/realism/<name>.ways`` fixture has a committed
+``<name>.golden.json`` capturing the imported network's CSR columns,
+speed-class map and pipeline stats.  The import pipeline is fully
+deterministic, so the comparison is exact — any refactor that changes
+dedup order, component selection or weight mapping shows up as a readable
+JSON diff.  Regenerate after an intentional change with::
+
+    PYTHONPATH=src python -m pytest tests/test_realism_goldens.py --regen-goldens
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.network.csr import csr_snapshot
+from repro.realism import import_road_network
+
+DATA_DIR = Path(__file__).parent / "data" / "realism"
+FIXTURES = ("triangle_city", "motorway_loop")
+
+
+def _golden_payload(name: str) -> dict:
+    """The canonical JSON-able description of one imported fixture."""
+    result = import_road_network(DATA_DIR / f"{name}.ways")
+    csr = csr_snapshot(result.network)
+    return {
+        "stats": dataclasses.asdict(result.stats),
+        "speed_classes": {str(k): v for k, v in sorted(result.speed_classes.items())},
+        "node_ids": list(csr.node_ids),
+        "edge_ids": list(csr.edge_ids),
+        "indptr": list(csr.indptr),
+        "adj_node": list(csr.adj_node),
+        "adj_weight": list(csr.adj_weight),
+        "edge_start": list(csr.edge_start),
+        "edge_end": list(csr.edge_end),
+        "edge_weight": list(csr.edge_weight),
+    }
+
+
+@pytest.mark.parametrize("name", FIXTURES)
+def test_importer_matches_golden(name, request):
+    """The imported CSR of each fixture matches its committed golden."""
+    golden_path = DATA_DIR / f"{name}.golden.json"
+    payload = _golden_payload(name)
+    if request.config.getoption("--regen-goldens"):
+        golden_path.write_text(
+            json.dumps(payload, indent=1, sort_keys=True) + "\n", encoding="utf-8"
+        )
+        pytest.skip(f"regenerated {golden_path.name}")
+    assert golden_path.exists(), (
+        f"{golden_path} missing; run with --regen-goldens to create it"
+    )
+    golden = json.loads(golden_path.read_text(encoding="utf-8"))
+    assert payload == golden, (
+        f"importer output for {name}.ways diverged from {golden_path.name}; "
+        "if the change is intentional, rerun with --regen-goldens"
+    )
+
+
+def test_triangle_city_pipeline_effects():
+    """The triangle fixture exercises every drop path with known counts."""
+    result = import_road_network(DATA_DIR / "triangle_city.ways")
+    stats = result.stats
+    assert stats.self_loops_dropped == 1          # way 13: 3 -> 3
+    assert stats.parallel_dropped == 1            # way 12 loses to way 10's 1-2
+    assert stats.components == 2                  # core + island
+    assert stats.component_nodes_dropped == 2     # nodes 5, 6
+    assert result.network.node_count == 4
+    assert result.network.edge_count == 4
+    # The surviving 1-2 edge is the cheaper street, not the side road.
+    street_edges = [e for e, c in result.speed_classes.items() if c == "street"]
+    assert len(street_edges) == 3
+    assert result.network.is_connected()
+
+
+def test_motorway_loop_pipeline_effects():
+    """The loop fixture covers zero-length segments and isolated nodes."""
+    result = import_road_network(DATA_DIR / "motorway_loop.ways")
+    stats = result.stats
+    assert stats.zero_length_segments == 1        # coincident nodes 3 / 4
+    assert stats.isolated_nodes_dropped == 1      # node 7
+    assert stats.components == 1
+    assert result.network.node_count == 6
+    assert result.network.is_connected()
+    # Motorway weights beat street weights for the same geometry: the two
+    # 100-unit motorway segments are cheaper than the 100-unit streets.
+    weights = {
+        result.speed_classes[e.edge_id]: e.weight for e in result.network.edges()
+    }
+    assert weights["motorway"] < weights["street"]

@@ -1,0 +1,219 @@
+"""Unit tests for the rush-hour traffic model and its engine integration.
+
+The model's contract: deterministic from ``(spec, seed)``, every emitted
+update is a valid :class:`EdgeWeightUpdate` whose ``old_weight`` matches
+the stream so far, closures pin edges to the finite
+:data:`CLOSED_EDGE_WEIGHT` sentinel and reopen on schedule, and embedding
+it in a :class:`ScenarioEngine` leaves every legacy preset's RNG stream
+untouched.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.events import UpdateBatch, apply_batch
+from repro.exceptions import SimulationError
+from repro.network.builders import city_network
+from repro.network.edge_table import EdgeTable
+from repro.network.graph import CLOSED_EDGE_WEIGHT
+from repro.realism import RushHourModel, RushHourSpec, classify_edges
+from repro.realism.importer import synthetic_city_network
+from repro.testing.scenarios import SCENARIO_PRESETS, ScenarioEngine
+
+
+def _city(edges=150, seed=4):
+    return city_network(edges, seed=seed)
+
+
+def _stream(network, spec, seed, ticks=40):
+    model = RushHourModel(network.copy(), spec=spec, seed=seed)
+    return [model.tick(t) for t in range(ticks)]
+
+
+def test_stream_is_deterministic_from_spec_and_seed():
+    network = _city()
+    spec = RushHourSpec(closure_rate=0.5)
+    assert _stream(network, spec, seed=7) == _stream(network, spec, seed=7)
+    assert _stream(network, spec, seed=7) != _stream(network, spec, seed=8)
+
+
+def test_updates_chain_and_apply_cleanly():
+    """old_weight values chain tick to tick and apply to a real network."""
+    network = _city()
+    model = RushHourModel(network, spec=RushHourSpec(closure_rate=0.4), seed=2)
+    current = {e.edge_id: e.weight for e in network.edges()}
+    for timestamp in range(30):
+        updates = model.tick(timestamp)
+        batch = UpdateBatch(timestamp=timestamp)
+        for update in updates:
+            assert update.old_weight == current[update.edge_id]
+            assert update.new_weight > 0.0
+            assert update.new_weight != float("inf")
+            current[update.edge_id] = update.new_weight
+        batch.edge_updates.extend(updates)
+        apply_batch(network, EdgeTable(network, build_spatial_index=False), batch)
+    for edge in network.edges():
+        assert edge.weight == current[edge.edge_id]
+
+
+def test_congestion_wave_peaks_and_relaxes():
+    """Weights climb into the morning peak and fall back toward free flow."""
+    spec = RushHourSpec(
+        ticks_per_day=24,
+        incident_rate=0.0,
+        congestion_update_fraction=1.0,
+        smoothing=1.0,
+    )
+    assert spec.wave(int(24 * spec.morning_peak)) > 0.9
+    network = _city()
+    model = RushHourModel(network, spec=spec, seed=0)
+    base_total = sum(e.base_weight for e in network.edges())
+    totals = {}
+    weights = {e.edge_id: e.weight for e in network.edges()}
+    for timestamp in range(24):
+        for update in model.tick(timestamp):
+            weights[update.edge_id] = update.new_weight
+        totals[timestamp] = sum(weights.values())
+    peak_tick = int(24 * spec.morning_peak)
+    trough_tick = 0
+    assert totals[peak_tick] > 1.2 * base_total
+    assert totals[trough_tick] < totals[peak_tick]
+    # Never below free flow, never above the amplitude cap.
+    for edge in network.edges():
+        amplitude = max(a for _, a in spec.class_amplitudes)
+        assert weights[edge.edge_id] <= edge.base_weight * amplitude * 1.001
+
+
+def test_incidents_spike_then_decay():
+    spec = RushHourSpec(
+        ticks_per_day=1_000_000,  # hold the wave at ~0: isolate incidents
+        incident_rate=1.5,
+        congestion_update_fraction=0.0,
+        smoothing=1.0,
+    )
+    network = _city()
+    model = RushHourModel(network, spec=spec, seed=5)
+    base = {e.edge_id: e.base_weight for e in network.edges()}
+    series = {}
+    for timestamp in range(20):
+        for update in model.tick(timestamp):
+            series.setdefault(update.edge_id, []).append(update.new_weight)
+    spiked = [
+        e for e, ws in series.items() if any(w > 2.0 * base[e] for w in ws)
+    ]
+    assert spiked  # fresh incidents jump to incident_factor x free flow
+    # After its last (re-)spike, every incident edge decays strictly
+    # monotonically back toward free flow.
+    for edge_id in spiked:
+        weights = series[edge_id]
+        last_spike = max(
+            i for i, w in enumerate(weights) if w > 2.0 * base[edge_id]
+        )
+        tail = weights[last_spike:]
+        assert all(a > b for a, b in zip(tail, tail[1:]))
+
+
+def test_closures_pin_to_sentinel_and_reopen():
+    spec = RushHourSpec(
+        incident_rate=0.0,
+        closure_rate=2.0,
+        closure_duration=(2, 3),
+        congestion_update_fraction=0.05,
+    )
+    network = _city()
+    model = RushHourModel(network, spec=spec, seed=1)
+    closed_seen = set()
+    reopened = set()
+    weights = {e.edge_id: e.weight for e in network.edges()}
+    for timestamp in range(30):
+        updates = model.tick(timestamp)
+        for update in updates:
+            if update.new_weight == CLOSED_EDGE_WEIGHT:
+                closed_seen.add(update.edge_id)
+            elif update.old_weight == CLOSED_EDGE_WEIGHT:
+                reopened.add(update.edge_id)
+                assert update.new_weight < CLOSED_EDGE_WEIGHT / 1e6
+            weights[update.edge_id] = update.new_weight
+        assert set(model.closed_edges()) == {
+            e for e, w in weights.items() if w == CLOSED_EDGE_WEIGHT
+        }
+    assert closed_seen
+    assert reopened  # durations are 2-3 ticks, so reopenings must occur
+    assert reopened <= closed_seen
+
+
+def test_speed_classes_respected_and_classifier_covers_all_edges():
+    result = synthetic_city_network(400, seed=3)
+    model = RushHourModel(
+        result.network, spec=RushHourSpec(), seed=0, speed_classes=result.speed_classes
+    )
+    assert model.spec.ticks_per_day == 48
+    inferred = classify_edges(result.network)
+    assert set(inferred) == set(result.network.edge_ids())
+    assert set(inferred.values()) == {"motorway", "arterial", "street", "side"}
+    # Deterministic: same network, same classes.
+    assert inferred == classify_edges(result.network)
+
+
+def test_spec_validation():
+    network = _city(60)
+    with pytest.raises(SimulationError):
+        RushHourModel(network, spec=RushHourSpec(smoothing=0.0))
+    with pytest.raises(SimulationError):
+        RushHourModel(network, spec=RushHourSpec(closure_duration=(3, 1)))
+    with pytest.raises(SimulationError):
+        RushHourModel(
+            network,
+            spec=RushHourSpec(class_amplitudes=(("street", 1.5),)),
+            speed_classes={e: "motorway" for e in network.edge_ids()},
+        )
+
+
+# ----------------------------------------------------------------------
+# scenario-engine integration
+# ----------------------------------------------------------------------
+
+def test_rush_hour_presets_are_registered_with_traffic_specs():
+    assert SCENARIO_PRESETS["rush-hour"].traffic_spec is not None
+    assert SCENARIO_PRESETS["rush-hour"].traffic_spec.closure_rate == 0.0
+    assert SCENARIO_PRESETS["gridlock-closures"].traffic_spec.closure_rate > 0.0
+
+
+def test_engine_stream_carries_traffic_and_stays_deterministic():
+    network = _city(120, seed=8)
+
+    def materialize(seed):
+        engine = ScenarioEngine(network, "gridlock-closures", seed=seed)
+        return [engine.batch(t) for t in range(12)]
+
+    stream_a = materialize(3)
+    stream_b = materialize(3)
+    assert stream_a == stream_b
+    edge_updates = [u for batch in stream_a for u in batch.edge_updates]
+    assert edge_updates
+    assert any(u.new_weight == CLOSED_EDGE_WEIGHT for u in edge_updates)
+    # Closures reopen within the stream (durations are 1-3 ticks).
+    assert any(
+        u.old_weight == CLOSED_EDGE_WEIGHT and u.new_weight != CLOSED_EDGE_WEIGHT
+        for u in edge_updates
+    )
+
+
+def test_legacy_presets_keep_their_rng_streams():
+    """Presets without a traffic_spec generate exactly as before the model.
+
+    The rush-hour layer owns a namespaced RNG, so the engine's own stream
+    for a legacy preset must be byte-identical whether or not the realism
+    module is loaded — guarded here by comparing against a twin engine of a
+    spec that sets ``traffic_spec=None`` explicitly.
+    """
+    network = _city(100, seed=6)
+    spec = SCENARIO_PRESETS["weight-storm"]
+    assert spec.traffic_spec is None
+    explicit = spec.with_overrides(traffic_spec=None)
+    engine_a = ScenarioEngine(network, spec, seed=4)
+    engine_b = ScenarioEngine(network, explicit, seed=4)
+    stream_a = [engine_a.batch(t) for t in range(6)]
+    stream_b = [engine_b.batch(t) for t in range(6)]
+    assert stream_a == stream_b
