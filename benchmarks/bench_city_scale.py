@@ -187,13 +187,16 @@ def _build_workload(config, kernel="dial", workers=None):
     return server, batches
 
 
-@pytest.mark.parametrize("kernel", ["dial", "csr"])
+@pytest.mark.parametrize("kernel", ["dial", "csr", "native"])
 def test_city_scale_tick_latency(benchmark, bench_config, kernel):
     """One rush-hour tick on the full-size city, percentiles recorded.
 
-    Both kernels run so the CI baseline holds several independently-shaped
-    benchmarks — ``check_bench.py`` self-calibrates on the median ratio
-    across the module, which needs more than one data point to have teeth.
+    Several kernels run so the CI baseline holds several independently-
+    shaped benchmarks — ``check_bench.py`` self-calibrates on the median
+    ratio across the module, which needs more than one data point to have
+    teeth.  The ``native`` leg exercises the compiled settle loop at city
+    scale (it transparently falls back to pure python where the compiler
+    is absent, so the leg always runs).
     """
     server, batches = _build_workload(bench_config, kernel=kernel)
     server.tick()  # initial result computation excluded, as in the paper
@@ -290,6 +293,10 @@ def test_city_scale_summary(bench_config):
     if csr is not None:
         csr_mean = sum(csr["tick_seconds"]) / len(csr["tick_seconds"])
         record["csr_mean_tick_ms"] = round(csr_mean * 1000.0, 2)
+    native = _RESULTS.get("native")
+    if native is not None:
+        native_mean = sum(native["tick_seconds"]) / len(native["tick_seconds"])
+        record["native_mean_tick_ms"] = round(native_mean * 1000.0, 2)
     sharded = _RESULTS.get("sharded")
     if sharded is not None:
         wall_speedup = mean_tick / sharded["mean_tick_seconds"]

@@ -105,14 +105,22 @@ SECTIONS = (
     (
         "Search kernels",
         "The Figure-2 network expansion over the flat-array CSR snapshot, "
-        "the batched bucket-queue (dial) entry points, the legacy "
-        "dict-based twin, and the work counters all of them report.",
+        "the batched bucket-queue (dial) and compiled (native) entry "
+        "points, the legacy dict-based twin, the kernel registry that "
+        "names and validates all of them, and the work counters they "
+        "report.",
         (
             "expand_knn",
             "expand_knn_batch",
             "ExpansionRequest",
             "expand_knn_legacy",
             "SearchCounters",
+            "KernelSpec",
+            "registered_kernels",
+            "available_kernels",
+            "resolve_kernel",
+            "native_available",
+            "UnknownKernelError",
         ),
     ),
     (

@@ -103,11 +103,16 @@ from repro.core import (
     restore_server,
     shard_of,
 )
-from repro.exceptions import ReproError
+from repro.exceptions import ReproError, UnknownKernelError
 from repro.network import (
     CLOSED_EDGE_WEIGHT,
     CSRGraph,
     EdgeTable,
+    KernelSpec,
+    available_kernels,
+    native_available,
+    registered_kernels,
+    resolve_kernel,
     NetworkLocation,
     RoadNetwork,
     SequenceTable,
@@ -161,6 +166,7 @@ __version__ = "1.0.0"
 __all__ = [
     "__version__",
     "ReproError",
+    "UnknownKernelError",
     # core
     "MonitoringServer",
     "ShardedMonitoringServer",
@@ -203,6 +209,11 @@ __all__ = [
     "SharedCSRHandle",
     "attach_shared_csr",
     "SequenceTable",
+    "KernelSpec",
+    "registered_kernels",
+    "available_kernels",
+    "resolve_kernel",
+    "native_available",
     "city_network",
     "grid_network",
     "linear_network",

@@ -31,6 +31,7 @@ from repro.exceptions import (
     UnknownQueryError,
 )
 from repro.network.edge_table import EdgeTable
+from repro.network.kernels import DEFAULT_KERNEL
 from repro.network.graph import NetworkLocation, RoadNetwork
 
 
@@ -317,7 +318,7 @@ class MonitorBase(abc.ABC):
                 (self._query_location[query_id], self._query_spec[query_id])
                 for query_id in stale_ids
             ],
-            kernel=getattr(self, "_kernel", "csr"),
+            kernel=getattr(self, "_kernel", DEFAULT_KERNEL),
             csr=getattr(self, "_batch_csr", None),
             counters=self._counters,
         )
@@ -338,7 +339,7 @@ class MonitorBase(abc.ABC):
             self._edge_table,
             location,
             spec,
-            kernel=getattr(self, "_kernel", "csr"),
+            kernel=getattr(self, "_kernel", DEFAULT_KERNEL),
             csr=getattr(self, "_batch_csr", None),
             counters=self._counters,
         )

@@ -44,13 +44,14 @@ from repro.core.expansion import (
     compute_influence_maps,
     edge_offset,
 )
-from repro.core.ima import KERNELS, ImaMonitor
+from repro.core.ima import ImaMonitor
 from repro.core.influence import InfluenceIndex
 from repro.core.queries import QuerySpec
 from repro.core.results import KnnResult, Neighbor
 from repro.core.search import ExpansionRequest, SearchCounters, expand_knn, expand_knn_batch
 from repro.core.search_legacy import expand_knn_legacy
-from repro.exceptions import MonitoringError, UnknownQueryError
+from repro.exceptions import UnknownQueryError
+from repro.network.kernels import DEFAULT_KERNEL, KERNEL_LEGACY, resolve_kernel
 from repro.network.csr import CSRGraph, csr_snapshot
 from repro.network.edge_table import EdgeTable
 from repro.network.graph import NetworkLocation, RoadNetwork
@@ -80,7 +81,7 @@ class GmaMonitor(MonitorBase):
         network: RoadNetwork,
         edge_table: EdgeTable,
         counters: Optional[SearchCounters] = None,
-        kernel: str = "csr",
+        kernel: str = DEFAULT_KERNEL,
     ) -> None:
         """Create the monitor.
 
@@ -90,20 +91,20 @@ class GmaMonitor(MonitorBase):
             counters: optional work counters shared with a caller.
             kernel: ``"csr"`` (default) evaluates queries and refreshes
                 influence regions over the flat-array snapshot (refreshed
-                once per batch); ``"dial"`` gathers all affected queries of
-                a tick into one batched bucket-queue kernel call followed by
-                a bulk influence flush (identical results); ``"legacy"``
+                once per batch); the batch kernels (``"dial"`` and the
+                compiled ``"native"``) gather all affected queries of a tick
+                into one batched kernel call on the selected engine followed
+                by a bulk influence flush (identical results); ``"legacy"``
                 keeps the dict-walking paths for differential testing.  The
-                inner active-node monitor runs on the same kernel.
+                inner active-node monitor runs on the same kernel.  An
+                unknown name raises
+                :class:`~repro.exceptions.UnknownKernelError`.
         """
         super().__init__(network, edge_table, counters)
-        if kernel not in KERNELS:
-            raise MonitoringError(
-                f"unknown kernel {kernel!r}; choose one of {KERNELS}"
-            )
-        self._kernel = kernel
-        self._use_csr = kernel != "legacy"
-        self._use_dial = kernel == "dial"
+        spec = resolve_kernel(kernel)
+        self._kernel = spec.name
+        self._use_csr = spec.name != KERNEL_LEGACY
+        self._use_batch = spec.batch
         self._batch_csr: Optional[CSRGraph] = None
         self._batch_support = None
         self._sequences = SequenceTable(network)
@@ -126,7 +127,7 @@ class GmaMonitor(MonitorBase):
     # ------------------------------------------------------------------
     @property
     def kernel(self) -> str:
-        """The search kernel this monitor runs on ("csr" or "legacy")."""
+        """This monitor's registry kernel name (see :mod:`repro.network.kernels`)."""
         return self._kernel
 
     @property
@@ -189,7 +190,7 @@ class GmaMonitor(MonitorBase):
             # barrier-bounded evaluation and influence refresh below (the
             # inner active-node monitor acquires the same cached snapshot).
             self._batch_csr = csr_snapshot(self._network)
-            if self._use_dial:
+            if self._use_batch:
                 self._batch_support = self._batch_csr.dial_support()
         try:
             changed = self._process_updates(batch)
@@ -276,7 +277,7 @@ class GmaMonitor(MonitorBase):
         # the active-node results of its sequence.  The dial kernel flushes
         # all of them through one batched kernel call plus one bulk
         # influence refresh; per-query kernels evaluate in place.
-        if self._use_dial:
+        if self._use_batch:
             query_ids: List[int] = []
             requests: List[ExpansionRequest] = []
             for query_id in affected:
@@ -309,6 +310,7 @@ class GmaMonitor(MonitorBase):
                 requests,
                 counters=self._counters,
                 csr=self._batch_csr,
+                kernel=self._kernel,
             )
             maps = compute_influence_maps(
                 self._network,
@@ -424,7 +426,7 @@ class GmaMonitor(MonitorBase):
         is_range = spec.kind == "range"
         barriers = None if is_range else self._barrier_candidates_for(location, spec.k)
         fixed_radius = spec.radius if is_range else None
-        if self._use_dial:
+        if self._use_batch:
             [outcome] = expand_knn_batch(
                 self._network,
                 self._edge_table,
@@ -438,6 +440,7 @@ class GmaMonitor(MonitorBase):
                 ],
                 counters=self._counters,
                 csr=self._batch_csr,
+                kernel=self._kernel,
             )
         else:
             outcome = expand_knn(

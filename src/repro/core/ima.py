@@ -54,8 +54,14 @@ from repro.core.queries import QuerySpec
 from repro.core.results import KnnResult, Neighbor, NeighborList
 from repro.core.search import ExpansionRequest, expand_knn, expand_knn_batch
 from repro.core.search_legacy import expand_knn_legacy
-from repro.exceptions import EdgeNotFoundError, MonitoringError
+from repro.exceptions import EdgeNotFoundError
 from repro.network.csr import CSRGraph, csr_snapshot
+from repro.network.kernels import (
+    DEFAULT_KERNEL,
+    KERNEL_LEGACY,
+    registered_kernels,
+    resolve_kernel,
+)
 from repro.network.edge_table import EdgeTable
 from repro.network.graph import NetworkLocation, RoadNetwork
 
@@ -65,10 +71,11 @@ _EPS = 1e-9
 #: (None is taken: it marks descent through a removed increase subtree).
 _UNRESOLVED = object()
 
-#: Valid values of the monitors' ``kernel`` constructor argument: the
-#: per-query CSR heap path, the batched bucket-queue engine, and the
-#: dict-walking reference implementation.
-KERNELS = ("csr", "dial", "legacy")
+#: Valid values of the monitors' ``kernel`` constructor argument, straight
+#: from the kernel registry (see :mod:`repro.network.kernels`): the
+#: per-query CSR heap path, the batched bucket-queue engine, the compiled
+#: native engine and the dict-walking reference implementation.
+KERNELS = registered_kernels()
 
 
 @dataclass
@@ -143,7 +150,7 @@ class ImaMonitor(MonitorBase):
         network: RoadNetwork,
         edge_table: EdgeTable,
         counters=None,
-        kernel: str = "csr",
+        kernel: str = DEFAULT_KERNEL,
     ) -> None:
         """Create the monitor.
 
@@ -154,24 +161,24 @@ class ImaMonitor(MonitorBase):
             kernel: ``"csr"`` (default) runs every search, influence refresh
                 and object-distance computation over the flat-array snapshot
                 of :mod:`repro.network.csr`, refreshed once per processed
-                batch; ``"dial"`` additionally restructures each tick into
+                batch; the batch kernels (``"dial"`` and the compiled
+                ``"native"``) additionally restructure each tick into
                 collect-then-flush form — edge prunes, resumed searches and
-                influence refreshes are gathered per tick and served by the
-                batched bucket-queue engine of :mod:`repro.network.dial`
-                (results identical to ``"csr"``); ``"legacy"`` keeps the
-                original dict-walking paths
+                influence refreshes are gathered per tick and served by one
+                :func:`~repro.core.search.expand_knn_batch` call on the
+                selected engine (results identical to ``"csr"``);
+                ``"legacy"`` keeps the original dict-walking paths
                 (:func:`~repro.core.search_legacy.expand_knn_legacy` and the
                 ``*_legacy`` helpers), which the differential tests compare
-                against.
+                against.  Validated against the registry of
+                :mod:`repro.network.kernels`; an unknown name raises
+                :class:`~repro.exceptions.UnknownKernelError`.
         """
         super().__init__(network, edge_table, counters)
-        if kernel not in KERNELS:
-            raise MonitoringError(
-                f"unknown kernel {kernel!r}; choose one of {KERNELS}"
-            )
-        self._kernel = kernel
-        self._use_csr = kernel != "legacy"
-        self._use_dial = kernel == "dial"
+        spec = resolve_kernel(kernel)
+        self._kernel = spec.name
+        self._use_csr = spec.name != KERNEL_LEGACY
+        self._use_batch = spec.batch
         #: CSR snapshot acquired once per processed batch (None outside).
         self._batch_csr: Optional[CSRGraph] = None
         #: Dial quantization/numpy support of the batch snapshot (dial only).
@@ -187,7 +194,7 @@ class ImaMonitor(MonitorBase):
     # ------------------------------------------------------------------
     @property
     def kernel(self) -> str:
-        """The search kernel this monitor runs on ("csr" or "legacy")."""
+        """This monitor's registry kernel name (see :mod:`repro.network.kernels`)."""
         return self._kernel
 
     @property
@@ -248,7 +255,7 @@ class ImaMonitor(MonitorBase):
             # influence refresh and object-distance computation below reuses
             # it instead of re-checking staleness per query.
             self._batch_csr = csr_snapshot(self._network)
-            if self._use_dial:
+            if self._use_batch:
                 self._batch_support = self._batch_csr.dial_support()
         try:
             changed = self._process_updates(batch)
@@ -300,7 +307,7 @@ class ImaMonitor(MonitorBase):
             self._handle_edge_update(update, pending_of, decrease=True)
         for update in increases:
             self._handle_edge_update(update, pending_of, decrease=False)
-        if self._use_dial:
+        if self._use_batch:
             self._flush_edge_prunes(pending)
 
         # Step 4 — query movements inside the (already pruned) tree.
@@ -320,7 +327,7 @@ class ImaMonitor(MonitorBase):
         # Steps 6 and 7 — finalise.  The dial kernel gathers every resumed
         # search and full recomputation into one batched kernel call plus one
         # bulk influence flush; the per-query kernels finalise in place.
-        if self._use_dial:
+        if self._use_batch:
             return self._finalize_batch(pending)
 
         # Step 6 — finalise incrementally maintained queries.  The fast path
@@ -366,7 +373,7 @@ class ImaMonitor(MonitorBase):
     # update handling
     # ------------------------------------------------------------------
     def _handle_edge_update(self, update, pending_of, decrease: bool) -> None:
-        use_dial = self._use_dial
+        use_dial = self._use_batch
         # The zero-copy view is safe here: steps 2-5 only read the index
         # (influence entries change in the step-6/7 finalisation).
         for query_id in self._influence.subscribers_on_edge_view(update.edge_id):
@@ -754,6 +761,7 @@ class ImaMonitor(MonitorBase):
                 requests,
                 counters=self._counters,
                 csr=csr,
+                kernel=self._kernel,
             )
             for query_state, outcome in zip(resume_states + fresh_states, outcomes):
                 self._adopt_outcome(query_state, outcome, refresh=False)
@@ -863,7 +871,7 @@ class ImaMonitor(MonitorBase):
         """Compute the query's result from scratch (Figure 2)."""
         query_state.state = ExpansionState()
         fixed_radius = query_state.fixed_radius
-        if self._use_dial:
+        if self._use_batch:
             [outcome] = expand_knn_batch(
                 self._network,
                 self._edge_table,
@@ -876,6 +884,7 @@ class ImaMonitor(MonitorBase):
                 ],
                 counters=self._counters,
                 csr=self._batch_csr,
+                kernel=self._kernel,
             )
         elif self._use_csr:
             outcome = expand_knn(

@@ -15,7 +15,6 @@ from typing import List, Optional, Set, Tuple
 
 from repro.core.base import MonitorBase
 from repro.core.events import UpdateBatch
-from repro.core.ima import KERNELS
 from repro.core.queries import QuerySpec, evaluate_aggregate
 from repro.core.results import KnnResult, Neighbor
 from repro.core.search import (
@@ -25,7 +24,7 @@ from repro.core.search import (
     expand_knn_batch,
 )
 from repro.core.search_legacy import expand_knn_legacy
-from repro.exceptions import MonitoringError
+from repro.network.kernels import DEFAULT_KERNEL, KERNEL_LEGACY, resolve_kernel
 from repro.network.csr import CSRGraph, csr_snapshot
 from repro.network.edge_table import EdgeTable
 from repro.network.graph import NetworkLocation, RoadNetwork
@@ -48,20 +47,17 @@ class OvhMonitor(MonitorBase):
         network: RoadNetwork,
         edge_table: EdgeTable,
         counters: Optional[SearchCounters] = None,
-        kernel: str = "csr",
+        kernel: str = DEFAULT_KERNEL,
     ) -> None:
         super().__init__(network, edge_table, counters)
-        if kernel not in KERNELS:
-            raise MonitoringError(
-                f"unknown kernel {kernel!r}; choose one of {KERNELS}"
-            )
-        self._kernel = kernel
-        self._use_csr = kernel != "legacy"
-        self._use_dial = kernel == "dial"
+        spec = resolve_kernel(kernel)
+        self._kernel = spec.name
+        self._use_csr = spec.name != KERNEL_LEGACY
+        self._use_batch = spec.batch
 
     @property
     def kernel(self) -> str:
-        """The search kernel this monitor runs on ("csr", "dial" or "legacy")."""
+        """This monitor's registry kernel name (see :mod:`repro.network.kernels`)."""
         return self._kernel
 
     # ------------------------------------------------------------------
@@ -85,7 +81,7 @@ class OvhMonitor(MonitorBase):
     def _process(self, batch: UpdateBatch) -> Set[int]:
         changed: Set[int] = set()
         csr = csr_snapshot(self._network) if self._use_csr else None
-        if self._use_dial:
+        if self._use_batch:
             # The whole timestamp's expansions as one batched kernel call
             # (aggregate queries batch their per-point expansions inside
             # _evaluate, over the same snapshot).
@@ -100,6 +96,7 @@ class OvhMonitor(MonitorBase):
                 [self._request_for(query_id) for query_id in expansion_ids],
                 counters=self._counters,
                 csr=csr,
+                kernel=self._kernel,
             )
             for query_id, outcome in zip(expansion_ids, outcomes):
                 if self._store_result(query_id, outcome.neighbors, outcome.radius):
@@ -148,7 +145,7 @@ class OvhMonitor(MonitorBase):
                 counters=self._counters,
             )
         fixed_radius = spec.radius if spec.kind == "range" else None
-        if self._use_dial:
+        if self._use_batch:
             [outcome] = expand_knn_batch(
                 self._network,
                 self._edge_table,
@@ -159,6 +156,7 @@ class OvhMonitor(MonitorBase):
                 ],
                 counters=self._counters,
                 csr=csr,
+                kernel=self._kernel,
             )
         elif self._use_csr:
             outcome = expand_knn(

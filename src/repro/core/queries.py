@@ -33,6 +33,7 @@ from typing import Iterable, List, Optional, Tuple, Union
 from repro.core.results import Neighbor
 from repro.core.search import ExpansionRequest, expand_knn, expand_knn_batch
 from repro.exceptions import InvalidQueryError
+from repro.network.kernels import DEFAULT_KERNEL, KERNEL_CSR, resolve_kernel
 from repro.network.graph import NetworkLocation
 
 #: Recognised query kinds, in the order they were introduced.
@@ -258,7 +259,7 @@ def evaluate_aggregate(
     edge_table,
     location: NetworkLocation,
     spec: QuerySpec,
-    kernel: str = "csr",
+    kernel: str = DEFAULT_KERNEL,
     csr=None,
     counters=None,
 ) -> Tuple[List[Neighbor], float]:
@@ -268,21 +269,23 @@ def evaluate_aggregate(
     live object (``k =`` object count, so the expansion terminates at the
     farthest reachable object and returns exact distances for all of
     them), merged under the spec's aggregate function by
-    :func:`merge_aggregate`.  ``kernel`` selects the expansion engine:
-    ``"dial"`` batches all points through one
+    :func:`merge_aggregate`.  ``kernel`` names any registered kernel from
+    :mod:`repro.network.kernels`: batch kernels (``"dial"``, ``"native"``)
+    funnel all points through one
     :func:`~repro.core.search.expand_knn_batch` call, ``"csr"`` runs the
     flat-array heap kernel per point, ``"legacy"`` the dict-walking
-    reference — all three produce identical results.
+    reference — all produce identical results.
 
     Example::
 
         neighbors, radius = evaluate_aggregate(network, edge_table, loc, spec)
     """
+    engine = resolve_kernel(kernel)
     object_count = edge_table.object_count
     if object_count == 0:
         return [], float("inf")
     points = spec.aggregation_points(location)
-    if kernel == "dial":
+    if engine.batch:
         outcomes = expand_knn_batch(
             network,
             edge_table,
@@ -292,8 +295,9 @@ def evaluate_aggregate(
             ],
             counters=counters,
             csr=csr,
+            kernel=engine.name,
         )
-    elif kernel == "csr":
+    elif engine.name == KERNEL_CSR:
         outcomes = [
             expand_knn(
                 network,
@@ -325,7 +329,7 @@ def evaluate_aggregates(
     network,
     edge_table,
     items: List[Tuple[NetworkLocation, QuerySpec]],
-    kernel: str = "csr",
+    kernel: str = DEFAULT_KERNEL,
     csr=None,
     counters=None,
 ) -> List[Tuple[List[Neighbor], float]]:
@@ -344,27 +348,29 @@ def evaluate_aggregates(
     scratch) across the csr path too, and skips redundant expansions
     entirely on both.
 
-    Kernels other than ``"csr"`` / ``"dial"`` (the legacy dict engine) fall
-    back to per-item :func:`evaluate_aggregate` calls.
+    Kernels that neither batch nor run the flat-array heap (i.e. the
+    legacy dict engine) fall back to per-item :func:`evaluate_aggregate`
+    calls.
 
     Example::
 
         evaluations = evaluate_aggregates(network, edge_table, [(loc, spec)])
         neighbors, radius = evaluations[0]
     """
+    engine = resolve_kernel(kernel)
     if not items:
         return []
     object_count = edge_table.object_count
     if object_count == 0:
         return [([], float("inf")) for _ in items]
-    if kernel not in ("csr", "dial"):
+    if not engine.batch and engine.name != KERNEL_CSR:
         return [
             evaluate_aggregate(
                 network,
                 edge_table,
                 location,
                 spec,
-                kernel=kernel,
+                kernel=engine.name,
                 csr=csr,
                 counters=counters,
             )
@@ -384,7 +390,7 @@ def evaluate_aggregates(
         requests,
         counters=counters,
         csr=csr,
-        kernel=kernel,
+        kernel=engine.name,
         share=True,
     )
     return [

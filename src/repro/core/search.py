@@ -46,6 +46,7 @@ from repro.exceptions import InvalidQueryError, NodeNotFoundError
 from repro.network.csr import CSRGraph, csr_snapshot
 from repro.network.edge_table import EdgeTable
 from repro.network.graph import NetworkLocation, RoadNetwork
+from repro.network.kernels import DEFAULT_BATCH_KERNEL, KERNEL_DIAL, KERNEL_NATIVE
 
 _INF = float("inf")
 
@@ -223,7 +224,7 @@ def expand_knn_batch(
     requests: List[ExpansionRequest],
     counters: Optional[SearchCounters] = None,
     csr: Optional[CSRGraph] = None,
-    kernel: str = "dial",
+    kernel: str = DEFAULT_BATCH_KERNEL,
     share: bool = False,
 ) -> List[SearchOutcome]:
     """Run a batch of expansions through one shared-scratch kernel call.
@@ -232,11 +233,14 @@ def expand_knn_batch(
     engine of :mod:`repro.network.dial` — one snapshot refresh and one
     scratch acquisition for the whole batch, Dial bucket frontiers instead
     of binary heaps, and an exact per-search fallback to the heap path
-    whenever quantization cannot reproduce its settle order.  With
-    ``kernel="csr"`` each request is served by a plain :func:`expand_knn`
-    call over the shared snapshot (the reference used by the differential
-    tests).  Outcomes are byte-identical between the two kernels and are
-    returned in request order.
+    whenever quantization cannot reproduce its settle order.
+    ``kernel="native"`` serves the batch through the compiled settle loop
+    of :mod:`repro.network.native` (transparently falling back to the dial
+    engine when no compiled backend is available).  With ``kernel="csr"``
+    each request is served by a plain :func:`expand_knn` call over the
+    shared snapshot (the reference used by the differential tests).
+    Outcomes are byte-identical across the kernels and are returned in
+    request order; see :mod:`repro.network.kernels` for the registry.
 
     With ``share=True`` the batch first groups *fresh* location-rooted
     requests (no resume state, candidates, barriers or coverage radius) by
@@ -294,7 +298,13 @@ def expand_knn_batch(
                 else by_index[index]
                 for index, request in enumerate(requests)
             ]
-    if kernel == "dial":
+    if kernel == KERNEL_NATIVE:
+        from repro.network.native import native_expand_batch
+
+        return native_expand_batch(
+            network, edge_table, requests, csr=csr, counters=counters
+        )
+    if kernel == KERNEL_DIAL:
         from repro.network.dial import dial_expand_batch
 
         return dial_expand_batch(network, edge_table, requests, csr=csr, counters=counters)

@@ -47,6 +47,7 @@ from repro.exceptions import (
     UnknownQueryError,
 )
 from repro.network.edge_table import EdgeTable
+from repro.network.kernels import DEFAULT_KERNEL, resolve_kernel
 from repro.network.graph import NetworkLocation, RoadNetwork
 from repro.spatial.geometry import Point
 
@@ -92,7 +93,7 @@ class MonitoringServer:
         network: RoadNetwork,
         algorithm: Union[str, MonitorBase] = "ima",
         edge_table: Optional[EdgeTable] = None,
-        kernel: str = "csr",
+        kernel: str = DEFAULT_KERNEL,
         *,
         workers: int = 1,
     ) -> None:
@@ -104,13 +105,18 @@ class MonitoringServer:
                 an already constructed monitor instance bound to the same
                 network and edge table.
             edge_table: optionally a pre-populated edge table to share.
-            kernel: search kernel for by-name algorithms — ``"csr"``
+            kernel: search kernel for by-name algorithms — any name in
+                the :mod:`repro.network.kernels` registry: ``"csr"``
                 (default), ``"dial"`` (the batched bucket-queue engine of
-                :mod:`repro.network.dial`; identical results, faster on
-                update-heavy deep-tree workloads) or ``"legacy"`` (the
-                dict-walking reference paths, used for differential
-                testing).  Ignored when *algorithm* is an already
-                constructed monitor.
+                :mod:`repro.network.dial`), ``"native"`` (the compiled C
+                settle loop of :mod:`repro.network.native`; identical
+                results, fastest on update-heavy deep-tree workloads) or
+                ``"legacy"`` (the dict-walking reference paths, used for
+                differential testing).  Validated here at construction —
+                an unknown name raises
+                :class:`~repro.exceptions.UnknownKernelError` — then
+                ignored when *algorithm* is an already constructed
+                monitor.
             workers: number of query-execution processes (keyword-only).
                 ``1`` (default) runs everything in-process; larger values
                 hand construction over to
@@ -123,6 +129,11 @@ class MonitoringServer:
             # that computed workers=0 fails loudly instead of silently
             # building a single-process server.
             raise MonitoringError(f"workers must be >= 1, got {workers}")
+        # Fail construction on a bad kernel name even when the monitors are
+        # built elsewhere (sharded subclass) or the name will be ignored
+        # (pre-built monitor instance): a typo should never survive to the
+        # first tick.
+        kernel = resolve_kernel(kernel).name
         self._network = network
         self._edge_table = edge_table if edge_table is not None else EdgeTable(network)
         self._monitor = self._make_monitor(algorithm, kernel)

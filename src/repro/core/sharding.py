@@ -63,6 +63,7 @@ from repro.exceptions import (
 from repro.network.csr import SharedCSR, csr_snapshot
 from repro.network.edge_table import EdgeTable
 from repro.network.graph import RoadNetwork
+from repro.network.kernels import DEFAULT_KERNEL
 
 
 def default_start_method() -> str:
@@ -143,7 +144,7 @@ class ShardedMonitoringServer(MonitoringServer):
         network: RoadNetwork,
         algorithm: Union[str, MonitorBase] = "ima",
         edge_table: Optional[EdgeTable] = None,
-        kernel: str = "csr",
+        kernel: str = DEFAULT_KERNEL,
         *,
         workers: int = 2,
         start_method: Optional[str] = None,
@@ -158,8 +159,9 @@ class ShardedMonitoringServer(MonitoringServer):
                 are rejected because monitors live in the workers.
             edge_table: optionally a pre-populated edge table; its objects
                 are shipped to every worker as the initial placements.
-            kernel: ``"csr"`` (default), ``"dial"`` or ``"legacy"`` for the workers'
-                monitors.
+            kernel: any registered kernel name (see
+                :mod:`repro.network.kernels`) for the workers' monitors;
+                ``"csr"`` by default.
             workers: number of worker processes (>= 1).
             start_method: multiprocessing start method; defaults to
                 :func:`default_start_method`.

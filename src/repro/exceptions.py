@@ -112,6 +112,31 @@ class InvalidQueryError(MonitoringError):
     """Raised when a query is malformed (e.g. k < 1)."""
 
 
+class UnknownKernelError(MonitoringError):
+    """Raised when a search-kernel name is not in the kernel registry.
+
+    The message names every registered kernel (and whether the compiled
+    ``native`` backend is importable on this machine), so a typo'd
+    ``kernel=`` argument fails at construction with the valid choices in
+    hand instead of deep inside the first tick.
+
+    Example::
+
+        try:
+            MonitoringServer(network, kernel="diall")
+        except UnknownKernelError as exc:
+            print(exc.kernel, exc.choices)
+    """
+
+    def __init__(self, kernel: object, choices: tuple, detail: str = "") -> None:
+        suffix = f" ({detail})" if detail else ""
+        super().__init__(
+            f"unknown kernel {kernel!r}; choose one of {tuple(choices)}{suffix}"
+        )
+        self.kernel = kernel
+        self.choices = tuple(choices)
+
+
 class ServerFailedError(MonitoringError):
     """Raised when a sharded server is used after a fatal tick failure.
 

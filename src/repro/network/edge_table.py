@@ -58,6 +58,10 @@ class EdgeTable:
         # invalidated on mutation; the search kernel scans these on its hot
         # path instead of re-deriving fractions through per-object lookups.
         self._fraction_cache: Dict[int, Tuple[Tuple[int, float], ...]] = {}
+        # Monotone mutation counter; bumped by every insert/remove/move so
+        # derived object columns (the native kernel's flattened CSR of
+        # objects per edge) can be cached and invalidated cheaply.
+        self._version = 0
         self._spatial_index: Optional[PMRQuadtree] = None
         if build_spatial_index and network.edge_count > 0:
             self.rebuild_spatial_index()
@@ -79,6 +83,22 @@ class EdgeTable:
     def spatial_index(self) -> Optional[PMRQuadtree]:
         """The PMR quadtree over the edges, or None if not built."""
         return self._spatial_index
+
+    @property
+    def version(self) -> int:
+        """Monotone counter of object mutations (insert/remove/move).
+
+        Derived per-batch structures (e.g. the native kernel's flattened
+        object columns) key their caches on this value: equal versions
+        guarantee an identical object population.
+
+        Example::
+
+            before = edge_table.version
+            edge_table.insert_object(7, location)
+            assert edge_table.version > before
+        """
+        return self._version
 
     # ------------------------------------------------------------------
     # spatial index
@@ -147,6 +167,7 @@ class EdgeTable:
         self._objects[object_id] = location
         self._objects_on_edge.setdefault(location.edge_id, set()).add(object_id)
         self._fraction_cache.pop(location.edge_id, None)
+        self._version += 1
 
     def remove_object(self, object_id: int) -> NetworkLocation:
         """Unregister a data object, returning its last location.
@@ -163,6 +184,7 @@ class EdgeTable:
             if not on_edge:
                 del self._objects_on_edge[location.edge_id]
         self._fraction_cache.pop(location.edge_id, None)
+        self._version += 1
         return location
 
     def move_object(self, object_id: int, new_location: NetworkLocation) -> NetworkLocation:

@@ -26,6 +26,7 @@ import asyncio
 import pathlib
 
 from repro.network.builders import city_network
+from repro.network.kernels import DEFAULT_KERNEL, registered_kernels
 from repro.service.durable import DurableMonitoringServer, _CHECKPOINT_DIRNAME
 from repro.service.faults import build_scenario_server
 from repro.service.server import StreamingService
@@ -49,7 +50,9 @@ def main(argv=None) -> int:
     parser.add_argument("--seed", type=int, default=0)
     parser.add_argument("--network-edges", type=int, default=120)
     parser.add_argument("--algorithm", default="IMA")
-    parser.add_argument("--kernel", default="csr", choices=("csr", "dial", "legacy"))
+    parser.add_argument(
+        "--kernel", default=DEFAULT_KERNEL, choices=registered_kernels()
+    )
     parser.add_argument(
         "--workers", type=int, default=None, help="shard across N worker processes"
     )

@@ -41,6 +41,7 @@ from repro.core.events import apply_batch
 from repro.exceptions import RecoveryError, ServiceError
 from repro.network.builders import city_network
 from repro.network.edge_table import EdgeTable
+from repro.network.kernels import DEFAULT_KERNEL
 from repro.service.client import ServiceClient
 from repro.service.durable import KILL_AT_ENV
 from repro.testing.scenarios import ScenarioEngine, resolve_scenario
@@ -167,7 +168,7 @@ def run_fault_injection(
     ticks: int = 8,
     network_edges: int = 120,
     algorithm: str = "IMA",
-    kernel: str = "csr",
+    kernel: str = DEFAULT_KERNEL,
     workers: Optional[int] = None,
     kill_mode: str = "after-log",
     kill_at: Optional[int] = None,

@@ -40,6 +40,7 @@ from repro.mobility.random_walk import RandomWalkModel
 from repro.mobility.traffic import TrafficModel
 from repro.network.edge_table import EdgeTable
 from repro.network.graph import NetworkLocation, RoadNetwork
+from repro.network.kernels import DEFAULT_KERNEL
 from repro.sim.datasets import san_francisco_like
 from repro.sim.metrics import AlgorithmMetrics, SimulationResult
 from repro.sim.workload import WorkloadConfig
@@ -172,7 +173,12 @@ class Simulator:
     # ------------------------------------------------------------------
     # server-driven runs (the batched ingestion path)
     # ------------------------------------------------------------------
-    def make_server(self, algorithm: str = "ima", workers: int = 1) -> MonitoringServer:
+    def make_server(
+        self,
+        algorithm: str = "ima",
+        workers: int = 1,
+        kernel: str = DEFAULT_KERNEL,
+    ) -> MonitoringServer:
         """Build a :class:`MonitoringServer` sharing this scenario's state.
 
         The server reuses the simulator's network and edge table, so the
@@ -180,10 +186,17 @@ class Simulator:
         queries are installed through the server's pending buffer and take
         effect at its first tick.  Pass ``workers > 1`` for a sharded
         multi-process server (close it when done — e.g. drive it inside a
-        ``with`` block).
+        ``with`` block).  ``kernel`` names any registered search kernel
+        (see :mod:`repro.network.kernels`); an unknown name fails here, at
+        construction, with
+        :class:`~repro.exceptions.UnknownKernelError`.
         """
         server = MonitoringServer(
-            self._network, algorithm, edge_table=self._edge_table, workers=workers
+            self._network,
+            algorithm,
+            edge_table=self._edge_table,
+            workers=workers,
+            kernel=kernel,
         )
         for query_id, location in self._query_locations.items():
             server.add_query(query_id, location, self._config.k)

@@ -25,6 +25,12 @@ from repro.exceptions import SimulationError
 from repro.network.builders import city_network
 from repro.network.edge_table import EdgeTable
 from repro.network.graph import RoadNetwork
+from repro.network.kernels import (
+    DEFAULT_KERNEL,
+    KERNEL_DIAL,
+    KERNEL_NATIVE,
+    registered_kernels,
+)
 from repro.testing.oracle import OracleMonitor
 from repro.testing.scenarios import MIXED_QUERY_MIX, ScenarioEngine, resolve_scenario
 
@@ -41,15 +47,26 @@ DEFAULT_ALGORITHMS = ("IMA", "GMA", "IMA-legacy", "GMA-legacy")
 #: references, all diffed against the oracle.
 DIAL_ALGORITHMS = ("IMA-dial", "GMA-dial", "IMA", "GMA")
 
+#: The compiled-settle-loop panel (the ``FUZZ_KERNEL=native`` leg): the
+#: native monitors next to their CSR references, all diffed against the
+#: oracle.  When the compiler is unavailable the native kernel serves the
+#: same requests through its pure-python dial fallback, so the leg still
+#: runs — it just stops exercising the C path.
+NATIVE_ALGORITHMS = ("IMA-native", "GMA-native", "IMA", "GMA")
+
+#: ``algorithm-variant`` suffixes accepted by :func:`_make_monitor`: every
+#: registered kernel, with the bare name meaning the default kernel.
+_VARIANTS = ("",) + registered_kernels()
+
 
 def _make_monitor(name: str, network, edge_table) -> MonitorBase:
     base, _, variant = name.partition("-")
     cls = _MONITOR_CLASSES.get(base.upper())
-    if cls is None or variant not in ("", "legacy", "dial"):
+    if cls is None or variant not in _VARIANTS:
         raise SimulationError(
             f"unknown differential algorithm {name!r}; use e.g. 'IMA' or 'GMA-legacy'"
         )
-    kernel = variant if variant else "csr"
+    kernel = variant if variant else DEFAULT_KERNEL
     return cls(network, edge_table, kernel=kernel)
 
 
@@ -58,8 +75,8 @@ def replay_command(
     seed: int,
     workers: Optional[int] = None,
     server_algorithm: str = "ima",
-    server_kernel: str = "csr",
-    kernel: str = "csr",
+    server_kernel: str = DEFAULT_KERNEL,
+    kernel: str = DEFAULT_KERNEL,
     query_types: str = "default",
     dedup: bool = False,
 ) -> str:
@@ -75,7 +92,7 @@ def replay_command(
     plain servers it carries ``FUZZ_DEDUP=1``.
     """
     env = f"FUZZ_SCENARIO={scenario} FUZZ_SEED={seed} "
-    if kernel != "csr":
+    if kernel != DEFAULT_KERNEL:
         env += f"FUZZ_KERNEL={kernel} "
     if query_types != "default":
         env += f"FUZZ_QUERY_TYPES={query_types} "
@@ -85,7 +102,7 @@ def replay_command(
         env += f"FUZZ_WORKERS={workers} "
         if server_algorithm.lower() != "ima":
             env += f"FUZZ_SERVER_ALGORITHM={server_algorithm} "
-        if server_kernel != "csr":
+        if server_kernel != DEFAULT_KERNEL:
             env += f"FUZZ_SERVER_KERNEL={server_kernel} "
     return (
         env + "PYTHONPATH=src "
@@ -106,7 +123,7 @@ class DifferentialReport:
     #: emit a replay command that reconstructs the same servers
     workers: Optional[int] = None
     server_algorithm: str = "ima"
-    server_kernel: str = "csr"
+    server_kernel: str = DEFAULT_KERNEL
     #: the monitor panel of the run, carried so failure_message can emit
     #: FUZZ_KERNEL for dial-panel failures
     algorithms: Tuple[str, ...] = ()
@@ -137,10 +154,11 @@ class DifferentialReport:
 
     @property
     def panel_kernel(self) -> str:
-        """``"dial"`` when the fuzzed monitor panel included a dial variant."""
-        if any(name.endswith("-dial") for name in self.algorithms):
-            return "dial"
-        return "csr"
+        """The non-default kernel the fuzzed monitor panel included, if any."""
+        for kernel in (KERNEL_NATIVE, KERNEL_DIAL):
+            if any(name.endswith(f"-{kernel}") for name in self.algorithms):
+                return kernel
+        return DEFAULT_KERNEL
 
 
 def _make_scenario_server(
@@ -148,7 +166,7 @@ def _make_scenario_server(
     engine: ScenarioEngine,
     algorithm: str,
     workers: Optional[int],
-    kernel: str = "csr",
+    kernel: str = DEFAULT_KERNEL,
     dedup: bool = False,
 ) -> MonitoringServer:
     """A server over a private network replica, primed with the engine's state.
@@ -200,7 +218,7 @@ def run_differential_scenario(
     timestamps: Optional[int] = None,
     workers: Optional[int] = None,
     server_algorithm: str = "ima",
-    server_kernel: str = "csr",
+    server_kernel: str = DEFAULT_KERNEL,
     query_types: str = "default",
     dedup: bool = False,
 ) -> DifferentialReport:

@@ -1,0 +1,204 @@
+"""The kernel registry: names, capability flags, validation, enforcement.
+
+:mod:`repro.network.kernels` is the single home of the kernel-name string
+literals; everything else resolves names through it.  These tests pin the
+registry's contents, the typed :class:`UnknownKernelError` every entry
+point raises at construction, and — via an AST sweep over the package —
+the invariant that no bare kernel-name literal survives anywhere else in
+``src/repro``.
+"""
+
+from __future__ import annotations
+
+import ast
+import pathlib
+
+import pytest
+
+import repro
+from repro.exceptions import MonitoringError, UnknownKernelError
+from repro.network.builders import city_network
+from repro.network.edge_table import EdgeTable
+from repro.network.kernels import (
+    DEFAULT_BATCH_KERNEL,
+    DEFAULT_KERNEL,
+    KERNEL_CSR,
+    KERNEL_DIAL,
+    KERNEL_LEGACY,
+    KERNEL_NATIVE,
+    available_kernels,
+    registered_kernels,
+    resolve_kernel,
+    validate_kernel,
+)
+from repro.network.native import native_available
+
+
+@pytest.fixture(scope="module")
+def small_world():
+    network = city_network(80, seed=11)
+    return network, EdgeTable(network, build_spatial_index=False)
+
+
+# ---------------------------------------------------------------------------
+# registry contents
+# ---------------------------------------------------------------------------
+def test_registered_kernels_names_every_engine():
+    assert registered_kernels() == (
+        KERNEL_CSR,
+        KERNEL_DIAL,
+        KERNEL_NATIVE,
+        KERNEL_LEGACY,
+    )
+
+
+def test_available_kernels_subset_tracks_native_probe():
+    available = available_kernels()
+    assert set(available) <= set(registered_kernels())
+    assert KERNEL_CSR in available and KERNEL_DIAL in available
+    assert (KERNEL_NATIVE in available) == native_available()
+
+
+def test_defaults_resolve():
+    assert resolve_kernel(DEFAULT_KERNEL).name == KERNEL_CSR
+    assert resolve_kernel(DEFAULT_BATCH_KERNEL).name == KERNEL_DIAL
+
+
+def test_capability_flags():
+    assert not resolve_kernel(KERNEL_CSR).batch
+    assert resolve_kernel(KERNEL_DIAL).batch
+    native = resolve_kernel(KERNEL_NATIVE)
+    assert native.batch and native.compiled
+    legacy = resolve_kernel(KERNEL_LEGACY)
+    assert not legacy.shared_memory and not legacy.compiled
+    for name in registered_kernels():
+        spec = resolve_kernel(name)
+        assert spec.name == name and spec.description
+        if name != KERNEL_NATIVE:
+            assert spec.available  # pure-python engines always run
+
+
+def test_validate_kernel_round_trips():
+    for name in registered_kernels():
+        assert validate_kernel(name) == name
+
+
+# ---------------------------------------------------------------------------
+# typed rejection
+# ---------------------------------------------------------------------------
+def test_unknown_kernel_error_carries_choices():
+    with pytest.raises(UnknownKernelError) as excinfo:
+        resolve_kernel("simd")
+    err = excinfo.value
+    assert err.kernel == "simd"
+    assert err.choices == registered_kernels()
+    for name in registered_kernels():
+        assert repr(name) in str(err)
+    assert isinstance(err, MonitoringError)  # old except-clauses keep working
+
+
+@pytest.mark.parametrize("algorithm", ["ovh", "ima", "gma"])
+def test_monitors_reject_unknown_kernel_at_construction(small_world, algorithm):
+    from repro.core.server import ALGORITHMS
+
+    network, table = small_world
+    with pytest.raises(UnknownKernelError):
+        ALGORITHMS[algorithm](network, table, kernel="diall")
+
+
+def test_server_and_simulator_reject_unknown_kernel_at_construction(small_world):
+    from repro.sim.simulator import Simulator
+    from repro.sim.workload import WorkloadConfig
+
+    network, table = small_world
+    with pytest.raises(UnknownKernelError):
+        repro.MonitoringServer(network, "ima", edge_table=table, kernel="nativ")
+    simulator = Simulator(
+        WorkloadConfig(num_objects=10, num_queries=2, network_edges=120)
+    )
+    with pytest.raises(UnknownKernelError):
+        simulator.make_server(kernel="nativ")
+
+
+def test_server_validates_even_with_prebuilt_monitor(small_world):
+    # kernel= is ignored for monitor instances, but a typo still fails fast.
+    network, table = small_world
+    monitor = repro.ImaMonitor(network, table)
+    with pytest.raises(UnknownKernelError):
+        repro.MonitoringServer(network, monitor, edge_table=table, kernel="oops")
+
+
+def test_evaluate_aggregate_rejects_unknown_kernel(small_world):
+    from repro.core.queries import QuerySpec, evaluate_aggregate
+    from repro.network.graph import NetworkLocation
+
+    network, table = small_world
+    edge_id = next(iter(network.edge_ids()))
+    with pytest.raises(UnknownKernelError):
+        evaluate_aggregate(
+            network,
+            table,
+            NetworkLocation(edge_id, 0.5),
+            QuerySpec.knn(1),
+            kernel="quantum",
+        )
+
+
+def test_top_level_exports():
+    assert repro.registered_kernels is registered_kernels
+    assert repro.available_kernels is available_kernels
+    assert repro.resolve_kernel is resolve_kernel
+    assert repro.native_available is native_available
+    assert repro.UnknownKernelError is UnknownKernelError
+    assert "KernelSpec" in repro.__all__
+
+
+# ---------------------------------------------------------------------------
+# single-home enforcement: no bare kernel literals outside the registry
+# ---------------------------------------------------------------------------
+def _docstring_ids(tree: ast.AST) -> set:
+    ids = set()
+    for node in ast.walk(tree):
+        if isinstance(
+            node, (ast.Module, ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+        ):
+            body = getattr(node, "body", [])
+            if (
+                body
+                and isinstance(body[0], ast.Expr)
+                and isinstance(body[0].value, ast.Constant)
+                and isinstance(body[0].value.value, str)
+            ):
+                ids.add(id(body[0].value))
+    return ids
+
+
+def test_no_bare_kernel_literals_outside_registry():
+    """Every ``src/repro`` module resolves kernel names through the registry.
+
+    Docstrings are exempt (prose and examples legitimately spell the
+    names); everything else — defaults, comparisons, dispatch tables —
+    must use the ``KERNEL_*`` constants so a grep for ``"dial"`` in code
+    hits exactly one module.
+    """
+    names = set(registered_kernels())
+    package_root = pathlib.Path(repro.__file__).resolve().parent
+    offenders = []
+    for path in sorted(package_root.rglob("*.py")):
+        relative = path.relative_to(package_root).as_posix()
+        if relative == "network/kernels.py":
+            continue
+        tree = ast.parse(path.read_text(encoding="utf-8"))
+        docstrings = _docstring_ids(tree)
+        for node in ast.walk(tree):
+            if (
+                isinstance(node, ast.Constant)
+                and isinstance(node.value, str)
+                and node.value in names
+                and id(node) not in docstrings
+            ):
+                offenders.append(f"{relative}:{node.lineno}: {node.value!r}")
+    assert not offenders, (
+        "bare kernel-name literals outside repro.network.kernels:\n  "
+        + "\n  ".join(offenders)
+    )

@@ -41,8 +41,12 @@ from repro.network.distance import (
 from repro.network.edge_table import EdgeTable
 from repro.network.graph import NetworkLocation
 
+from repro.network.kernels import available_kernels
+
 ALGORITHMS = ["ovh", "ima", "gma"]
-KERNELS = ["csr", "dial", "legacy"]
+# Sweep every kernel that can run here — new registered backends (e.g. the
+# compiled native engine) join the matrix automatically.
+KERNELS = list(available_kernels())
 
 
 def _network_and_table(edges=120, seed=23, objects=30):

@@ -15,7 +15,7 @@ every server must match the independent brute-force
 Unlike the scenario fuzz suite (which samples from preset stressor
 distributions), hypothesis *searches* the update-interleaving space and
 shrinks failures to minimal reproducible sequences.  The machine runs once
-per kernel (csr, dial, legacy).
+per kernel (every available registry kernel).
 """
 
 from __future__ import annotations
@@ -52,7 +52,9 @@ from repro.testing.oracle import OracleMonitor
 NETWORK_EDGES = 60
 NETWORK_SEED = 1709
 
-KERNELS = ("csr", "dial", "legacy")
+from repro.network.kernels import available_kernels
+
+KERNELS = available_kernels()
 
 
 def _spec_strategy(mean_weight: float) -> st.SearchStrategy:
