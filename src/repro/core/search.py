@@ -46,7 +46,12 @@ from repro.exceptions import InvalidQueryError, NodeNotFoundError
 from repro.network.csr import CSRGraph, csr_snapshot
 from repro.network.edge_table import EdgeTable
 from repro.network.graph import NetworkLocation, RoadNetwork
-from repro.network.kernels import DEFAULT_BATCH_KERNEL, KERNEL_DIAL, KERNEL_NATIVE
+from repro.network.kernels import (
+    DEFAULT_BATCH_KERNEL,
+    KERNEL_CSR,
+    KERNEL_DIAL,
+    KERNEL_NATIVE,
+)
 
 _INF = float("inf")
 
@@ -146,6 +151,7 @@ class ExpansionRequest:
     coverage_radius: Optional[float] = None
     excluded_objects: Optional[Set[int]] = None
     fixed_radius: Optional[float] = None
+    seed_nodes: Optional[Iterable[Tuple[int, float]]] = None
 
 
 def _share_key(request: ExpansionRequest) -> Optional[tuple]:
@@ -167,6 +173,7 @@ def _share_key(request: ExpansionRequest) -> Optional[tuple]:
         or request.preverified_parent
         or request.barrier_candidates
         or request.coverage_radius is not None
+        or request.seed_nodes
         or bool(request.candidates)
     ):
         return None
@@ -298,16 +305,48 @@ def expand_knn_batch(
                 else by_index[index]
                 for index, request in enumerate(requests)
             ]
-    if kernel == KERNEL_NATIVE:
-        from repro.network.native import native_expand_batch
+    if kernel in (KERNEL_NATIVE, KERNEL_DIAL):
+        # Frontier-continuation requests (seed_nodes) are a coordinator-side
+        # shape the bucket/compiled engines do not serve; route them through
+        # the reference heap path and the rest through the kernel, keeping
+        # request order.
+        seeded = [i for i, request in enumerate(requests) if request.seed_nodes]
+        plain = [i for i in range(len(requests)) if i not in set(seeded)]
+        if seeded and plain:
+            by_index: Dict[int, SearchOutcome] = {}
+            kernel_outcomes = expand_knn_batch(
+                network,
+                edge_table,
+                [requests[i] for i in plain],
+                counters=counters,
+                csr=csr,
+                kernel=kernel,
+            )
+            by_index.update(zip(plain, kernel_outcomes))
+            for i in seeded:
+                by_index[i] = expand_knn_batch(
+                    network,
+                    edge_table,
+                    [requests[i]],
+                    counters=counters,
+                    csr=csr,
+                    kernel=KERNEL_CSR,
+                )[0]
+            return [by_index[i] for i in range(len(requests))]
+        if seeded:
+            pass  # all seeded: fall through to the reference path below
+        elif kernel == KERNEL_NATIVE:
+            from repro.network.native import native_expand_batch
 
-        return native_expand_batch(
-            network, edge_table, requests, csr=csr, counters=counters
-        )
-    if kernel == KERNEL_DIAL:
-        from repro.network.dial import dial_expand_batch
+            return native_expand_batch(
+                network, edge_table, requests, csr=csr, counters=counters
+            )
+        else:
+            from repro.network.dial import dial_expand_batch
 
-        return dial_expand_batch(network, edge_table, requests, csr=csr, counters=counters)
+            return dial_expand_batch(
+                network, edge_table, requests, csr=csr, counters=counters
+            )
     return [
         expand_knn(
             network,
@@ -324,6 +363,7 @@ def expand_knn_batch(
             counters=counters,
             fixed_radius=request.fixed_radius,
             csr=csr,
+            seed_nodes=request.seed_nodes,
         )
         for request in requests
     ]
@@ -344,6 +384,7 @@ def expand_knn(
     counters: Optional[SearchCounters] = None,
     csr: Optional[CSRGraph] = None,
     fixed_radius: Optional[float] = None,
+    seed_nodes: Optional[Iterable[Tuple[int, float]]] = None,
 ) -> SearchOutcome:
     """Expand the network around a query until its k NNs are known.
 
@@ -399,6 +440,15 @@ def expand_knn(
             ``coverage_radius``) composes unchanged, which is what lets IMA
             maintain range queries with the same tree repair it uses for
             k-NN.
+        seed_nodes: ``(node_id, distance)`` pairs pushed as additional root
+            seeds — a *frontier continuation*.  Each pair asserts that the
+            node is reachable from the (possibly remote) query at the given
+            distance; the expansion relaxes them exactly like the query
+            edge's endpoints.  This is the cross-shard resume shape of the
+            graph-partitioned server: a search that spilled over a partition
+            boundary restarts in the neighboring shard from its halo
+            frontier.  May be the only source (no ``query_location`` /
+            ``source_node``), in which case no on-edge query offers happen.
 
     Returns:
         A :class:`SearchOutcome` with the exact top-k result.
@@ -413,8 +463,10 @@ def expand_knn(
     """
     if k < 1:
         raise InvalidQueryError(f"k must be >= 1, got {k}")
-    if query_location is None and source_node is None:
-        raise InvalidQueryError("expand_knn needs a query_location or a source_node")
+    if query_location is None and source_node is None and not seed_nodes:
+        raise InvalidQueryError(
+            "expand_knn needs a query_location, a source_node or seed_nodes"
+        )
     if counters is None:
         counters = SearchCounters()
     counters.searches += 1
@@ -531,6 +583,13 @@ def expand_knn(
 
         if source_node is not None:
             seeds.append((csr.index_of_node(source_node), 0.0))
+
+        if seed_nodes:
+            for node_id, distance in seed_nodes:
+                idx = node_index.get(node_id)
+                if idx is None:
+                    raise NodeNotFoundError(node_id)
+                seeds.append((idx, distance))
 
         for v, nd in seeds:
             if not settled[v]:

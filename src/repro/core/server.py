@@ -73,16 +73,22 @@ class MonitoringServer:
     """
 
     def __new__(cls, *args, **kwargs):
-        """Dispatch ``workers > 1`` to the sharded multi-process server.
+        """Dispatch multi-process configurations to the sharded server.
 
-        ``MonitoringServer(network, workers=4)`` returns a
+        ``MonitoringServer(network, workers=4)`` — or any
+        ``partitioning=`` other than the replica default, e.g.
+        ``MonitoringServer(network, partitioning="graph")`` — returns a
         :class:`~repro.core.sharding.ShardedMonitoringServer`, which keeps
-        the exact same public API but fans every tick out to four worker
+        the exact same public API but fans every tick out to worker
         processes.  Explicitly constructed subclasses are left alone.
-        ``workers`` is keyword-only, so reading it from *kwargs* is safe.
+        Both arguments are keyword-only, so reading them from *kwargs* is
+        safe.
         """
         workers = kwargs.get("workers", 1)
-        if cls is MonitoringServer and workers is not None and workers > 1:
+        partitioning = kwargs.get("partitioning", "replica")
+        if cls is MonitoringServer and (
+            (workers is not None and workers > 1) or partitioning != "replica"
+        ):
             from repro.core.sharding import ShardedMonitoringServer
 
             return super().__new__(ShardedMonitoringServer)
@@ -96,6 +102,7 @@ class MonitoringServer:
         kernel: str = DEFAULT_KERNEL,
         *,
         workers: int = 1,
+        partitioning: str = "replica",
     ) -> None:
         """Create a server over *network* running *algorithm*.
 
@@ -123,12 +130,24 @@ class MonitoringServer:
                 :class:`~repro.core.sharding.ShardedMonitoringServer`
                 (see :meth:`__new__`), which partitions the queries across
                 that many workers.
+            partitioning: ``"replica"`` (default) or ``"graph"``
+                (keyword-only).  Any non-default value hands construction
+                over to the sharded server (see :meth:`__new__`), which
+                documents the modes; a single-process server is always
+                effectively a full replica.
         """
         if workers is not None and workers < 1:
             # Surfaced here (not just in the sharded subclass) so a config
             # that computed workers=0 fails loudly instead of silently
             # building a single-process server.
             raise MonitoringError(f"workers must be >= 1, got {workers}")
+        if partitioning != "replica":
+            # Only reachable through a subclass that bypassed __new__'s
+            # dispatch; the sharded subclass overrides __init__ entirely.
+            raise MonitoringError(
+                f"a single-process server supports only partitioning="
+                f"'replica', got {partitioning!r}"
+            )
         # Fail construction on a bad kernel name even when the monitors are
         # built elsewhere (sharded subclass) or the name will be ignored
         # (pre-built monitor instance): a typo should never survive to the

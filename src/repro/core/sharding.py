@@ -2,9 +2,21 @@
 
 :class:`ShardedMonitoringServer` keeps the exact public API of
 :class:`~repro.core.server.MonitoringServer` — ingestion, ``tick()``,
-``result_of()`` — but hash-partitions the continuous queries across worker
+``result_of()`` — but partitions the monitoring work across worker
 processes (:mod:`repro.core.worker`), so the per-tick monitoring work runs
-on every core instead of one.  The pieces:
+on every core instead of one.  Two partitioning modes exist:
+
+* ``partitioning="replica"`` (the default): every worker holds a full
+  network replica and the continuous *queries* are hash-partitioned.
+* ``partitioning="graph"``: the *network* is partitioned into contiguous
+  region blocks (a BFS grower over the CSR adjacency,
+  :func:`~repro.network.csr.grow_partitions`); each worker holds only its
+  block plus a one-hop boundary halo, queries are owned by the shard
+  containing their edge, and searches that spill over a partition cut run
+  through the coordinator's cross-shard expansion protocol (see the
+  *Graph partitioning* section below).
+
+The replica-mode pieces:
 
 * **State shipping.**  Each worker gets a pickled replica of the road
   network (weight listeners are dropped in transit) and the current object
@@ -28,6 +40,22 @@ on every core instead of one.  The pieces:
   next tick re-ships everything: workers are respawned with the current
   state and a freshly exported snapshot.
 
+Graph partitioning (``partitioning="graph"``) changes what each worker
+holds, not the protocol skeleton: worker *i* receives only the subnetwork
+induced by its block plus halo (with its own per-shard
+:class:`~repro.network.csr.SharedCSR` export), the objects on its local
+edges, and the queries whose edge lies in its block.  A worker escalates
+any query whose expansion reaches a halo node — the local answer can no
+longer be trusted — and the coordinator takes those *boundary queries*
+over, evaluating them with exact distributed expansions: it asks the
+owning shard for a fresh expansion, collects the settled halo nodes as
+``(node, distance)`` *frontier continuations*, and forwards each improving
+continuation to the shard owning that node as a seeded resume request
+(:func:`~repro.core.search.expand_knn` with ``seed_nodes``), iterating
+until the global bound closes.  Every partial expansion performs the same
+float operations a fresh single-process expansion would, so merged results
+are byte-identical to a from-scratch evaluation.
+
 Example::
 
     from repro import MonitoringServer, city_network
@@ -47,10 +75,11 @@ import pickle
 import time
 import weakref
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Union
+from typing import Dict, FrozenSet, List, Optional, Set, Tuple, Union
 
 from repro.core.base import MonitorBase, TimestepReport
-from repro.core.events import UpdateBatch, apply_batch
+from repro.core.events import ObjectUpdate, QueryUpdate, UpdateBatch, apply_batch
+from repro.core.queries import QuerySpec, merge_aggregate
 from repro.core.results import KnnResult
 from repro.core.server import ALGORITHMS, MonitoringServer
 from repro.core.worker import ShardInit, run_shard_worker, shard_of
@@ -60,10 +89,13 @@ from repro.exceptions import (
     ServerFailedError,
     UnknownQueryError,
 )
-from repro.network.csr import SharedCSR, csr_snapshot
+from repro.network.csr import SharedCSR, csr_snapshot, grow_partitions, partition_block
 from repro.network.edge_table import EdgeTable
-from repro.network.graph import RoadNetwork
+from repro.network.graph import NetworkLocation, RoadNetwork
 from repro.network.kernels import DEFAULT_KERNEL
+
+#: The two supported partitioning modes of :class:`ShardedMonitoringServer`.
+PARTITIONING_MODES = ("replica", "graph")
 
 
 def default_start_method() -> str:
@@ -89,8 +121,12 @@ class _Shard:
     conn: object  # multiprocessing.connection.Connection
 
 
-def _cleanup(shards: List[_Shard], shared: Optional[SharedCSR]) -> None:
-    """Best-effort teardown used by close() and the GC finalizer."""
+def _cleanup(shards: List[_Shard], shared_list: List[SharedCSR]) -> None:
+    """Best-effort teardown used by close() and the GC finalizer.
+
+    *shared_list* holds every live shared-memory export: one entry in
+    replica mode, one per shard in graph-partitioned mode.
+    """
     for shard in shards:
         try:
             shard.conn.send(("stop",))
@@ -105,7 +141,7 @@ def _cleanup(shards: List[_Shard], shared: Optional[SharedCSR]) -> None:
             shard.conn.close()
         except OSError:  # pragma: no cover - already closed
             pass
-    if shared is not None:
+    for shared in shared_list:
         # Close-then-unlink, matching the documented SharedCSR lifecycle:
         # close() first restores the parent's adopted snapshot columns to
         # private lists and unmaps the block, so the subsequent unlink never
@@ -113,6 +149,35 @@ def _cleanup(shards: List[_Shard], shared: Optional[SharedCSR]) -> None:
         # platforms that defers the removal and leaks the mapping).
         shared.close()
         shared.unlink()
+
+
+def _extract_subnetwork(
+    network: RoadNetwork,
+    members: Set[int],
+    edge_ids: Set[int],
+) -> RoadNetwork:
+    """Build the subnetwork induced by *members* nodes and *edge_ids* edges.
+
+    Nodes and edges are inserted in the **full network's iteration order**,
+    so the subnetwork's dense CSR renumbering is a filtered subsequence of
+    the full network's.  Relative node order decides heap tie-breaks in the
+    settle loop (ties pop by dense index), so preserving it makes a
+    contained search settle in exactly the same order — and produce exactly
+    the same floats — as the single-process server.
+    """
+    sub = RoadNetwork()
+    for node_id in network.node_ids():
+        if node_id in members:
+            node = network.node(node_id)
+            sub.add_node(node_id, node.x, node.y)
+    for edge_id in network.edge_ids():
+        if edge_id in edge_ids:
+            edge = network.edge(edge_id)
+            new_edge = sub.add_edge(
+                edge.edge_id, edge.start, edge.end, edge.weight, edge.oneway
+            )
+            new_edge.base_weight = edge.base_weight
+    return sub
 
 
 class ShardedMonitoringServer(MonitoringServer):
@@ -147,6 +212,7 @@ class ShardedMonitoringServer(MonitoringServer):
         kernel: str = DEFAULT_KERNEL,
         *,
         workers: int = 2,
+        partitioning: str = "replica",
         start_method: Optional[str] = None,
         zero_copy: bool = False,
         recv_timeout: Optional[float] = 120.0,
@@ -163,6 +229,13 @@ class ShardedMonitoringServer(MonitoringServer):
                 :mod:`repro.network.kernels`) for the workers' monitors;
                 ``"csr"`` by default.
             workers: number of worker processes (>= 1).
+            partitioning: ``"replica"`` (default) hash-partitions queries
+                over full network replicas; ``"graph"`` partitions the
+                *network* into region blocks with a one-hop halo, owns each
+                query by the shard containing its edge, and evaluates
+                boundary-crossing queries through the coordinator's
+                cross-shard expansion protocol.  Graph mode may spawn fewer
+                shards than *workers* when the network has fewer nodes.
             start_method: multiprocessing start method; defaults to
                 :func:`default_start_method`.
             zero_copy: when True, workers keep the shared CSR snapshot as
@@ -181,9 +254,16 @@ class ShardedMonitoringServer(MonitoringServer):
         """
         if workers < 1:
             raise MonitoringError(f"workers must be >= 1, got {workers}")
+        if partitioning not in PARTITIONING_MODES:
+            raise MonitoringError(
+                f"partitioning must be one of {PARTITIONING_MODES}, "
+                f"got {partitioning!r}"
+            )
         if recv_timeout is not None and recv_timeout <= 0:
             raise MonitoringError(f"recv_timeout must be positive, got {recv_timeout}")
         self._num_workers = workers
+        self._num_shards = workers
+        self._partitioning = partitioning
         self._zero_copy = zero_copy
         self._start_method = start_method or default_start_method()
         self._recv_timeout = recv_timeout
@@ -191,8 +271,18 @@ class ShardedMonitoringServer(MonitoringServer):
         self._failed: Optional[str] = None
         self._shards: List[_Shard] = []
         self._shared: Optional[SharedCSR] = None
+        self._shared_list: List[SharedCSR] = []
         self._merged_results: Dict[int, KnnResult] = {}
         self._finalizer: Optional[weakref.finalize] = None
+        # Graph-partitioning state (empty/no-op in replica mode).
+        self._assignment: Dict[int, int] = {}
+        self._subnetworks: List[RoadNetwork] = []
+        self._shard_edge_ids: List[Set[int]] = []
+        self._shard_halos: List[FrozenSet[int]] = []
+        self._query_owner: Dict[int, Optional[int]] = {}
+        self._boundary_queries: Set[int] = set()
+        self._divergent_queries: Set[int] = set()
+        self._boundary_refresh_needed = False
         super().__init__(network, algorithm, edge_table, kernel)
         self._spawn_workers(initial_queries={})
 
@@ -216,6 +306,57 @@ class ShardedMonitoringServer(MonitoringServer):
     def workers(self) -> int:
         """Number of worker processes serving this server's queries."""
         return self._num_workers
+
+    @property
+    def partitioning(self) -> str:
+        """The partitioning mode: ``"replica"`` or ``"graph"``."""
+        return self._partitioning
+
+    @property
+    def shards(self) -> int:
+        """Actual shard count: ``workers`` in replica mode; in graph mode
+        possibly fewer (never more region blocks than network nodes)."""
+        return self._num_shards
+
+    def partition_assignment(self) -> Dict[int, int]:
+        """node id -> owning shard index (empty in replica mode).
+
+        Exposed for tests that pin queries near partition cuts and for
+        operational introspection of the block layout.
+
+        Example::
+
+            cuts = {n for n in server.partition_assignment()
+                    if any(server.partition_assignment().get(m) !=
+                           server.partition_assignment()[n]
+                           for m in neighbors(n))}
+        """
+        return dict(self._assignment)
+
+    def boundary_query_ids(self) -> FrozenSet[int]:
+        """Ids of queries currently evaluated by the coordinator's
+        cross-shard protocol (always empty in replica mode).
+
+        A query becomes *boundary* when its owning shard escalates it (its
+        expansion reached a halo node), when it moves across a partition
+        cut, or — always — when it is an aggregate query (its aggregation
+        points may live on other shards).  It stays boundary until it
+        terminates or the fleet resyncs after a topology bump.
+        """
+        return frozenset(self._boundary_queries)
+
+    def divergent_query_ids(self) -> FrozenSet[int]:
+        """Ids of queries that were *ever* boundary-evaluated (sticky).
+
+        Boundary evaluation recomputes a query's answer with fresh
+        expansions; for IMA the incrementally maintained single-process
+        answer can differ from a fresh one in the last float ULP, so strict
+        byte-identity comparisons against a single-process run must carve
+        these out (the differential harness still holds them to the oracle
+        tolerance).  Unlike :meth:`boundary_query_ids` this set survives
+        resyncs — once fresh-evaluated, always potentially divergent.
+        """
+        return frozenset(self._divergent_queries)
 
     @property
     def algorithm_name(self) -> str:
@@ -246,9 +387,9 @@ class ShardedMonitoringServer(MonitoringServer):
         try:
             self._spawn_workers_inner(initial_queries, monitor_blobs)
         except BaseException:
-            shards, shared = self._shards, self._shared
-            self._shards, self._shared = [], None
-            _cleanup(shards, shared)
+            shards, shared_list = self._shards, self._shared_list
+            self._shards, self._shared, self._shared_list = [], None, []
+            _cleanup(shards, shared_list)
             raise
 
     def _spawn_workers_inner(
@@ -262,58 +403,181 @@ class ShardedMonitoringServer(MonitoringServer):
         :meth:`snapshot_state`), each worker resumes from its blob instead
         of building a fresh replica — preserving the monitors' exact float
         history, which is what makes restored results byte-identical.
+
+        In graph mode each shard ships its own block+halo subnetwork and a
+        per-shard :class:`SharedCSR` export; *initial_queries* are routed by
+        the shard owning their edge (aggregate queries go straight to the
+        coordinator's boundary set), and any registration-time escalations
+        reported in the ready payloads are queued for re-evaluation on the
+        next tick.
         """
         context = multiprocessing.get_context(self._start_method)
-        self._shared = SharedCSR(csr_snapshot(self._network))
-        self._exported_topology_version = self._network.topology_version
-        # One serialization of the network for the whole fleet; each worker
-        # unpickles its own replica (listeners drop out in transit).  A
-        # restore ships per-shard monitor blobs instead, which embed each
-        # worker's own replica.
-        network_payload = (
-            None
-            if monitor_blobs is not None
-            else pickle.dumps(self._network, protocol=pickle.HIGHEST_PROTOCOL)
-        )
-        objects = {} if monitor_blobs is not None else dict(self._edge_table.all_objects())
-        per_shard_queries: List[Dict[int, tuple]] = [{} for _ in range(self._num_workers)]
-        for query_id, assignment in initial_queries.items():
-            per_shard_queries[shard_of(query_id, self._num_workers)][query_id] = assignment
-        self._shards = []
-        for shard_id in range(self._num_workers):
-            parent_conn, child_conn = context.Pipe()
-            init = ShardInit(
-                shard_id=shard_id,
-                algorithm=self._algorithm_key,
-                kernel=self._kernel,
-                network_blob=network_payload,
-                objects=objects,
-                queries=per_shard_queries[shard_id],
-                csr_handle=self._shared.handle,
-                zero_copy=self._zero_copy,
-                monitor_blob=(
-                    monitor_blobs[shard_id] if monitor_blobs is not None else None
-                ),
+        graph_mode = self._partitioning == "graph"
+        per_shard_inits: List[ShardInit]
+        if graph_mode:
+            per_shard_inits = self._build_graph_shard_inits(
+                initial_queries, monitor_blobs
             )
+        else:
+            self._num_shards = self._num_workers
+            self._shared = SharedCSR(csr_snapshot(self._network))
+            self._shared_list = [self._shared]
+            self._exported_topology_version = self._network.topology_version
+            # One serialization of the network for the whole fleet; each
+            # worker unpickles its own replica (listeners drop out in
+            # transit).  A restore ships per-shard monitor blobs instead,
+            # which embed each worker's own replica.
+            network_payload = (
+                None
+                if monitor_blobs is not None
+                else pickle.dumps(self._network, protocol=pickle.HIGHEST_PROTOCOL)
+            )
+            objects = (
+                {} if monitor_blobs is not None else dict(self._edge_table.all_objects())
+            )
+            per_shard_queries: List[Dict[int, tuple]] = [
+                {} for _ in range(self._num_workers)
+            ]
+            for query_id, assignment in initial_queries.items():
+                per_shard_queries[shard_of(query_id, self._num_workers)][
+                    query_id
+                ] = assignment
+            per_shard_inits = [
+                ShardInit(
+                    shard_id=shard_id,
+                    algorithm=self._algorithm_key,
+                    kernel=self._kernel,
+                    network_blob=network_payload,
+                    objects=objects,
+                    queries=per_shard_queries[shard_id],
+                    csr_handle=self._shared.handle,
+                    zero_copy=self._zero_copy,
+                    monitor_blob=(
+                        monitor_blobs[shard_id] if monitor_blobs is not None else None
+                    ),
+                )
+                for shard_id in range(self._num_workers)
+            ]
+        self._shards = []
+        for init in per_shard_inits:
+            parent_conn, child_conn = context.Pipe()
             process = context.Process(
                 target=run_shard_worker,
                 args=(child_conn, init),
-                name=f"repro-shard-{shard_id}",
+                name=f"repro-shard-{init.shard_id}",
                 daemon=True,
             )
             process.start()
             child_conn.close()
-            self._shards.append(_Shard(shard_id, process, parent_conn))
+            self._shards.append(_Shard(init.shard_id, process, parent_conn))
         for shard in self._shards:
             kind, payload = self._recv(shard)
             if kind != "ready":  # pragma: no cover - protocol violation
                 raise MonitoringError(
                     f"shard {shard.shard_id} sent {kind!r} instead of 'ready'"
                 )
-            self._merged_results.update(payload)
+            results, escalated = payload
+            self._merged_results.update(results)
+            for query_id in escalated:
+                self._query_owner[query_id] = None
+                self._boundary_queries.add(query_id)
+                self._divergent_queries.add(query_id)
+                self._boundary_refresh_needed = True
         if self._finalizer is not None:
             self._finalizer.detach()
-        self._finalizer = weakref.finalize(self, _cleanup, self._shards, self._shared)
+        self._finalizer = weakref.finalize(
+            self, _cleanup, self._shards, self._shared_list
+        )
+
+    def _build_graph_shard_inits(
+        self,
+        initial_queries: Dict[int, tuple],
+        monitor_blobs: Optional[List[bytes]],
+    ) -> List[ShardInit]:
+        """Partition the network and assemble one graph-mode init per shard.
+
+        Recomputes the BFS-grown block assignment from the current network
+        (deterministic, so a restored or resynced fleet lands on the same
+        layout), extracts each shard's block+halo subnetwork in
+        full-network iteration order, and exports one shared CSR snapshot
+        per shard.
+        """
+        full_csr = csr_snapshot(self._network)
+        self._assignment = grow_partitions(full_csr, self._num_workers)
+        parts = (max(self._assignment.values()) + 1) if self._assignment else 1
+        self._num_shards = parts
+        self._exported_topology_version = self._network.topology_version
+        if monitor_blobs is not None and len(monitor_blobs) != parts:
+            raise RecoveryError(
+                f"graph-partitioned snapshot holds {len(monitor_blobs)} shard "
+                f"blobs but the network partitions into {parts} shards"
+            )
+        self._subnetworks = []
+        self._shard_edge_ids = []
+        self._shard_halos = []
+        self._shared_list = []
+        self._shared = None
+        objects = (
+            {} if monitor_blobs is not None else dict(self._edge_table.all_objects())
+        )
+        per_shard_queries: List[Dict[int, tuple]] = [{} for _ in range(parts)]
+        for query_id, (location, spec) in initial_queries.items():
+            if isinstance(spec, QuerySpec) and spec.kind == "aggregate_knn":
+                # Aggregate points may lie on any shard's edges: owned by
+                # the coordinator from the start.
+                self._query_owner[query_id] = None
+                self._boundary_queries.add(query_id)
+                self._divergent_queries.add(query_id)
+                self._boundary_refresh_needed = True
+                continue
+            owner = self._owner_of_location(location)
+            self._query_owner[query_id] = owner
+            per_shard_queries[owner][query_id] = (location, spec)
+        inits: List[ShardInit] = []
+        for part in range(parts):
+            block, halo, local_edges = partition_block(full_csr, self._assignment, part)
+            members = set(block) | set(halo)
+            edge_ids = set(local_edges)
+            subnet = _extract_subnetwork(self._network, members, edge_ids)
+            shared = SharedCSR(csr_snapshot(subnet))
+            self._subnetworks.append(subnet)
+            self._shard_edge_ids.append(edge_ids)
+            self._shard_halos.append(frozenset(halo))
+            self._shared_list.append(shared)
+            inits.append(
+                ShardInit(
+                    shard_id=part,
+                    algorithm=self._algorithm_key,
+                    kernel=self._kernel,
+                    network_blob=(
+                        None
+                        if monitor_blobs is not None
+                        else pickle.dumps(subnet, protocol=pickle.HIGHEST_PROTOCOL)
+                    ),
+                    objects={
+                        object_id: location
+                        for object_id, location in objects.items()
+                        if location.edge_id in edge_ids
+                    },
+                    queries=per_shard_queries[part],
+                    csr_handle=shared.handle,
+                    zero_copy=self._zero_copy,
+                    monitor_blob=(
+                        monitor_blobs[part] if monitor_blobs is not None else None
+                    ),
+                    halo_nodes=frozenset(halo),
+                )
+            )
+        return inits
+
+    def _owner_of_location(self, location: NetworkLocation) -> int:
+        """Shard index owning *location*: the one holding its edge's start.
+
+        Both endpoints of a cut-straddling edge have the edge locally, so
+        picking the start node's block is an arbitrary-but-deterministic
+        choice among shards that can all answer exactly.
+        """
+        return self._assignment[self._network.edge(location.edge_id).start]
 
     def _recv(self, shard: _Shard):
         """Receive one message from *shard*, translating failures.
@@ -355,13 +619,23 @@ class ShardedMonitoringServer(MonitoringServer):
             for query_id in self._merged_results
             if query_id in self._query_locations and query_id in self._query_specs
         }
-        old_shards, old_shared = self._shards, self._shared
-        self._shards, self._shared = [], None
-        _cleanup(old_shards, old_shared)
+        old_shards, old_shared_list = self._shards, self._shared_list
+        self._shards, self._shared, self._shared_list = [], None, []
+        _cleanup(old_shards, old_shared_list)
+        if self._partitioning == "graph":
+            # The partition layout is about to be recomputed over the new
+            # topology: every live query — including currently-boundary
+            # ones — is re-routed as a fresh install by its new owner, and
+            # the boundary set is rebuilt from the ready-payload
+            # escalations.  ``_divergent_queries`` stays sticky: a query
+            # that was ever fresh-evaluated keeps its byte-identity
+            # carve-out even if it lands contained after the resync.
+            self._boundary_queries = set()
+            self._query_owner = {}
         # The cached results are deliberately left in place: the workers'
-        # "ready" payload overwrites every live query's entry, and if the
-        # respawn fails the last known results stay readable after the
-        # fail-closed shutdown.
+        # "ready" payload overwrites every live query's entry, and a
+        # re-registered query whose result did not change must not be
+        # flagged as changed.
         self._spawn_workers(initial_queries=live_queries)
 
     def _ensure_open(self) -> None:
@@ -448,26 +722,30 @@ class ShardedMonitoringServer(MonitoringServer):
         normalized = batch.normalized()
         apply_batch(self._network, self._edge_table, normalized)
 
-        per_shard_updates: List[list] = [[] for _ in range(self._num_workers)]
-        for update in normalized.query_updates:
-            per_shard_updates[shard_of(update.query_id, self._num_workers)].append(update)
-        # The object/edge updates go to every shard; serializing them once
-        # here (instead of once per conn.send) keeps the parent's fan-out
-        # cost independent of the worker count.
-        shared_blob = pickle.dumps(
-            (normalized.object_updates, normalized.edge_updates),
-            protocol=pickle.HIGHEST_PROTOCOL,
-        )
+        graph_mode = self._partitioning == "graph"
+        if graph_mode:
+            per_shard_messages = self._graph_shard_messages(normalized)
+        else:
+            per_shard_updates: List[list] = [[] for _ in range(self._num_shards)]
+            for update in normalized.query_updates:
+                per_shard_updates[
+                    shard_of(update.query_id, self._num_shards)
+                ].append(update)
+            # The object/edge updates go to every shard; serializing them
+            # once here (instead of once per conn.send) keeps the parent's
+            # fan-out cost independent of the worker count.
+            shared_blob = pickle.dumps(
+                (normalized.object_updates, normalized.edge_updates),
+                protocol=pickle.HIGHEST_PROTOCOL,
+            )
+            per_shard_messages = [
+                (shared_blob, per_shard_updates[shard_id])
+                for shard_id in range(self._num_shards)
+            ]
         for shard in self._shards:
+            blob, query_updates = per_shard_messages[shard.shard_id]
             try:
-                shard.conn.send(
-                    (
-                        "tick",
-                        normalized.timestamp,
-                        shared_blob,
-                        per_shard_updates[shard.shard_id],
-                    )
-                )
+                shard.conn.send(("tick", normalized.timestamp, blob, query_updates))
             except (OSError, ValueError) as exc:
                 raise MonitoringError(
                     f"shard {shard.shard_id} (pid {shard.process.pid}) is gone; "
@@ -478,9 +756,18 @@ class ShardedMonitoringServer(MonitoringServer):
         counters: Dict[str, int] = {}
         max_shard_seconds = 0.0
         max_shard_cpu_seconds = 0.0
+        escalated_now: List[int] = []
         for shard in self._shards:
             _, payload = self._recv(shard)
-            timestamp, elapsed, cpu_seconds, shard_changed, shard_counters, results = payload
+            (
+                timestamp,
+                elapsed,
+                cpu_seconds,
+                shard_changed,
+                shard_counters,
+                results,
+                escalated,
+            ) = payload
             if timestamp != normalized.timestamp:  # pragma: no cover - protocol bug
                 raise MonitoringError(
                     f"shard {shard.shard_id} reported timestamp {timestamp}, "
@@ -494,9 +781,21 @@ class ShardedMonitoringServer(MonitoringServer):
             for key, value in shard_counters.items():
                 counters[key] = counters.get(key, 0) + value
             self._merged_results.update(results)
+            escalated_now.extend(escalated)
+        for query_id in escalated_now:
+            if query_id in self._query_specs:
+                self._query_owner[query_id] = None
+                self._boundary_queries.add(query_id)
+                self._divergent_queries.add(query_id)
         for update in normalized.query_updates:
             if update.is_termination:
                 self._merged_results.pop(update.query_id, None)
+
+        if graph_mode and self._boundary_queries and (
+            not normalized.is_empty() or self._boundary_refresh_needed
+        ):
+            changed.update(self._evaluate_boundary_queries())
+        self._boundary_refresh_needed = False
 
         self._last_max_shard_seconds = max_shard_seconds
         self._last_max_shard_cpu_seconds = max_shard_cpu_seconds
@@ -506,6 +805,293 @@ class ShardedMonitoringServer(MonitoringServer):
             changed_queries=changed,
             counters=counters,
         )
+
+    # ------------------------------------------------------------------
+    # graph-partitioned routing and the cross-shard expansion protocol
+    # ------------------------------------------------------------------
+    def _graph_shard_messages(self, normalized: UpdateBatch) -> List[tuple]:
+        """Per-shard ``(blob, query_updates)`` payloads for a graph-mode tick.
+
+        Object and edge updates are translated into each shard's frame of
+        reference: an object moving off a shard's local edges becomes a
+        deletion there, one moving onto them an insertion, and updates that
+        never touch a shard are dropped.  Query updates route by ownership —
+        a query moving across a partition cut is terminated at its old
+        owner and taken over by the coordinator as a boundary query, and
+        aggregate installs go straight to the boundary set.  The parent
+        also applies edge-weight changes to its kept subnetworks so the
+        per-shard shared CSR columns stay fresh for zero-copy workers.
+        """
+        per_shard_updates: List[list] = [[] for _ in range(self._num_shards)]
+        for update in normalized.query_updates:
+            query_id = update.query_id
+            if update.is_termination:
+                self._boundary_queries.discard(query_id)
+                owner = self._query_owner.pop(query_id, None)
+                if owner is not None:
+                    per_shard_updates[owner].append(update)
+                continue
+            spec = self._query_specs.get(query_id) or update.spec
+            is_aggregate = spec is not None and spec.kind == "aggregate_knn"
+            if update.is_installation:
+                if is_aggregate:
+                    self._query_owner[query_id] = None
+                    self._boundary_queries.add(query_id)
+                    self._divergent_queries.add(query_id)
+                    continue
+                owner = self._owner_of_location(update.new_location)
+                self._query_owner[query_id] = owner
+                per_shard_updates[owner].append(update)
+                continue
+            # Movement.
+            old_owner = self._query_owner.get(query_id)
+            if query_id in self._boundary_queries or old_owner is None:
+                continue  # coordinator-owned: re-evaluated this tick
+            new_owner = self._owner_of_location(update.new_location)
+            if new_owner == old_owner and not is_aggregate:
+                per_shard_updates[old_owner].append(update)
+                continue
+            # Crossing a partition cut (or changing into an aggregate):
+            # terminate at the old owner and take the query over.
+            per_shard_updates[old_owner].append(
+                QueryUpdate(query_id, update.old_location, None)
+            )
+            self._query_owner[query_id] = None
+            self._boundary_queries.add(query_id)
+            self._divergent_queries.add(query_id)
+
+        messages: List[tuple] = []
+        for part in range(self._num_shards):
+            edge_ids = self._shard_edge_ids[part]
+            local_objects: List[ObjectUpdate] = []
+            for update in normalized.object_updates:
+                old_local = (
+                    update.old_location is not None
+                    and update.old_location.edge_id in edge_ids
+                )
+                new_local = (
+                    update.new_location is not None
+                    and update.new_location.edge_id in edge_ids
+                )
+                if old_local and new_local:
+                    local_objects.append(update)
+                elif old_local:
+                    local_objects.append(
+                        ObjectUpdate(update.object_id, update.old_location, None)
+                    )
+                elif new_local:
+                    local_objects.append(
+                        ObjectUpdate(update.object_id, None, update.new_location)
+                    )
+            local_edges = [
+                update
+                for update in normalized.edge_updates
+                if update.edge_id in edge_ids
+            ]
+            for update in local_edges:
+                # Keep the parent-held subnetwork (and through its snapshot
+                # listener the shared CSR weight columns) in lock-step
+                # before the fan-out, mirroring the replica-mode ordering.
+                self._subnetworks[part].set_edge_weight(
+                    update.edge_id, update.new_weight
+                )
+            messages.append(
+                (
+                    pickle.dumps(
+                        (local_objects, local_edges),
+                        protocol=pickle.HIGHEST_PROTOCOL,
+                    ),
+                    per_shard_updates[part],
+                )
+            )
+        return messages
+
+    def _evaluate_boundary_queries(self) -> Set[int]:
+        """Re-evaluate every live boundary query; return the changed ids.
+
+        Runs once per non-empty tick (and after a spawn that escalated
+        queries): boundary answers depend on state anywhere in the network,
+        so any applied update may move them.  The changed flag mirrors the
+        single-process semantics — a query counts as changed when its
+        neighbor list (ids *and* distances) differs from the cached one, or
+        when it has no cached result yet (fresh installation).
+        """
+        changed: Set[int] = set()
+        for query_id in sorted(self._boundary_queries):
+            location = self._query_locations.get(query_id)
+            spec = self._query_specs.get(query_id)
+            if location is None or spec is None:
+                continue
+            result = self._evaluate_boundary_query(query_id, location, spec)
+            old = self._merged_results.get(query_id)
+            self._merged_results[query_id] = result
+            if old is None or old.neighbors != result.neighbors:
+                changed.add(query_id)
+        return changed
+
+    def _evaluate_boundary_query(
+        self, query_id: int, location: NetworkLocation, spec: QuerySpec
+    ) -> KnnResult:
+        """Exact coordinator-side evaluation of one boundary query."""
+        if spec.kind == "aggregate_knn":
+            object_count = self._edge_table.object_count
+            if object_count == 0:
+                return KnnResult(
+                    query_id=query_id, k=spec.result_k, neighbors=(),
+                    radius=float("inf"),
+                )
+            per_point = [
+                self._distributed_expand(point, object_count)[0]
+                for point in spec.aggregation_points(location)
+            ]
+            neighbors, radius = merge_aggregate(per_point, spec)
+            return KnnResult(
+                query_id=query_id, k=spec.result_k,
+                neighbors=tuple(neighbors), radius=radius,
+            )
+        if spec.kind == "range":
+            neighbors, radius = self._distributed_expand(
+                location, 1, fixed_radius=spec.radius
+            )
+        else:
+            neighbors, radius = self._distributed_expand(location, spec.k)
+        return KnnResult(
+            query_id=query_id, k=spec.result_k,
+            neighbors=tuple(neighbors), radius=radius,
+        )
+
+    def _distributed_expand(
+        self,
+        location: NetworkLocation,
+        k: int,
+        fixed_radius: Optional[float] = None,
+    ) -> Tuple[List[tuple], float]:
+        """One exact network expansion through the cross-shard protocol.
+
+        Round 0 asks the shard owning *location* for a fresh expansion;
+        every settled halo node comes back as a ``(node, distance)``
+        frontier continuation.  Each round the continuations that are
+        within the current bound *and* improve on the best distance already
+        dispatched for that node are forwarded to the shard owning the
+        node as ``seed_nodes`` resume requests (carrying the current top-k
+        as upper-bound candidates to tighten the remote search).  The loop
+        terminates because a node is only re-dispatched at a strictly
+        smaller distance and path sums form a finite set.
+
+        Returns ``(neighbors, radius)`` with exactly the float values a
+        fresh single-process :func:`~repro.core.search.expand_knn` would
+        produce: each partial expansion relaxes the same edges in the same
+        order as the corresponding stretch of the full-graph search.
+        """
+        owner = self._owner_of_location(location)
+        cand: Dict[int, float] = {}
+        best_dispatched: Dict[int, float] = {}
+        pending: Dict[int, list] = {
+            owner: [(k, location, None, (), fixed_radius)]
+        }
+        while pending:
+            for part in sorted(pending):
+                shard = self._shards[part]
+                try:
+                    shard.conn.send(("expand", pending[part]))
+                except (OSError, ValueError) as exc:
+                    raise MonitoringError(
+                        f"shard {shard.shard_id} (pid {shard.process.pid}) is "
+                        f"gone; cannot forward a cross-shard expansion"
+                    ) from exc
+            round_hits: List[Tuple[int, float]] = []
+            for part in sorted(pending):
+                shard = self._shards[part]
+                kind, payload = self._recv(shard)
+                if kind != "expanded":  # pragma: no cover - protocol violation
+                    raise MonitoringError(
+                        f"shard {shard.shard_id} sent {kind!r} instead of "
+                        f"'expanded'"
+                    )
+                for neighbors, halo_hits in payload:
+                    for object_id, distance in neighbors:
+                        previous = cand.get(object_id)
+                        if previous is None or distance < previous:
+                            cand[object_id] = distance
+                    round_hits.extend(halo_hits)
+            if fixed_radius is not None:
+                bound = fixed_radius
+                candidates: tuple = ()
+            else:
+                top = sorted(
+                    (distance, object_id) for object_id, distance in cand.items()
+                )[:k]
+                bound = top[k - 1][0] if len(top) >= k else float("inf")
+                candidates = tuple(
+                    (object_id, distance) for distance, object_id in top
+                )
+            seeds_by_shard: Dict[int, List[Tuple[int, float]]] = {}
+            for node_id, distance in sorted(round_hits):
+                if distance > bound:
+                    # Strictly beyond the bound: nothing past this node can
+                    # enter the answer (ties at the bound are still
+                    # forwarded — an object at exactly the k-th distance
+                    # may win the id tie-break).
+                    continue
+                previous = best_dispatched.get(node_id)
+                if previous is not None and distance >= previous:
+                    continue
+                best_dispatched[node_id] = distance
+                seeds_by_shard.setdefault(self._assignment[node_id], []).append(
+                    (node_id, distance)
+                )
+            pending = {
+                part: [(k, None, seeds, candidates, fixed_radius)]
+                for part, seeds in seeds_by_shard.items()
+            }
+        if fixed_radius is not None:
+            pairs = sorted(
+                (distance, object_id)
+                for object_id, distance in cand.items()
+                if distance <= fixed_radius
+            )
+            return [
+                (object_id, distance) for distance, object_id in pairs
+            ], float(fixed_radius)
+        pairs = sorted((distance, object_id) for object_id, distance in cand.items())[:k]
+        radius = pairs[k - 1][0] if len(pairs) >= k else float("inf")
+        return [(object_id, distance) for distance, object_id in pairs], radius
+
+    def worker_peak_rss(self) -> List[int]:
+        """Peak resident set size, in bytes, of every worker process.
+
+        The memory-model evidence for graph partitioning: a block+halo
+        worker should peak well below a full-replica worker on large
+        networks.  Asks each live worker over its pipe (a shard failure
+        fails the server closed, like a tick).
+
+        Example::
+
+            rss = server.worker_peak_rss()
+            print(max(rss) / 2**20, "MiB")
+        """
+        self._ensure_open()
+        try:
+            for shard in self._shards:
+                try:
+                    shard.conn.send(("rss",))
+                except (OSError, ValueError) as exc:
+                    raise MonitoringError(
+                        f"shard {shard.shard_id} (pid {shard.process.pid}) is "
+                        f"gone; cannot request its peak RSS"
+                    ) from exc
+            sizes: List[int] = []
+            for shard in self._shards:
+                kind, payload = self._recv(shard)
+                if kind != "rss":  # pragma: no cover - protocol violation
+                    raise MonitoringError(
+                        f"shard {shard.shard_id} sent {kind!r} instead of 'rss'"
+                    )
+                sizes.append(int(payload))
+            return sizes
+        except BaseException as exc:
+            self._fail(exc)
+            raise
 
     @property
     def last_max_shard_seconds(self) -> float:
@@ -534,17 +1120,37 @@ class ShardedMonitoringServer(MonitoringServer):
     def result_of(self, query_id: int) -> KnnResult:
         """Current k-NN result of a query (after the last tick).
 
-        Like the single-process server, results stay readable after
-        :meth:`close` — only ingestion and ticking require live workers.
+        Raises :class:`~repro.exceptions.MonitoringError` on a closed
+        server and :class:`~repro.exceptions.ServerFailedError` on a failed
+        one: a closed fleet can no longer refresh the cache, so serving
+        from it would silently return stale answers.  Read (and keep)
+        :meth:`results` before closing if the final state is needed.
         """
+        self._ensure_open()
         try:
             return self._merged_results[query_id]
         except KeyError as exc:
             raise UnknownQueryError(query_id) from exc
 
     def results(self) -> Dict[int, KnnResult]:
-        """Current results of every query (readable even after close)."""
+        """Current results of every query.
+
+        Like :meth:`result_of`, refuses on a closed or failed server with
+        the matching typed error instead of serving a cache that can never
+        be refreshed again.
+        """
+        self._ensure_open()
         return dict(self._merged_results)
+
+    def discard_pending(self) -> UpdateBatch:
+        """Drop (and return) every buffered-but-unprocessed update.
+
+        Refuses on a closed or failed server — the buffer is rolled back
+        into entity maps nobody can observe anymore, so a silent success
+        would only mask a use-after-close bug in the caller.
+        """
+        self._ensure_open()
+        return super().discard_pending()
 
     # ------------------------------------------------------------------
     # snapshot / restore
@@ -591,6 +1197,8 @@ class ShardedMonitoringServer(MonitoringServer):
             "algorithm": self._algorithm_key,
             "kernel": self._kernel,
             "workers": self._num_workers,
+            "partitioning": self._partitioning,
+            "shards": self._num_shards,
             "zero_copy": self._zero_copy,
             "start_method": self._start_method,
             "recv_timeout": self._recv_timeout,
@@ -603,6 +1211,8 @@ class ShardedMonitoringServer(MonitoringServer):
             "query_specs": self._query_specs,
             "merged_results": self._merged_results,
             "shard_blobs": shard_blobs,
+            "boundary_queries": set(self._boundary_queries),
+            "divergent_queries": set(self._divergent_queries),
         }
         return pickle.dumps(state, protocol=pickle.HIGHEST_PROTOCOL)
 
@@ -617,6 +1227,8 @@ class ShardedMonitoringServer(MonitoringServer):
         try:
             server = object.__new__(cls)
             server._num_workers = state["workers"]
+            server._partitioning = state.get("partitioning", "replica")
+            server._num_shards = state.get("shards", state["workers"])
             server._zero_copy = state["zero_copy"]
             server._start_method = state["start_method"]
             server._recv_timeout = state["recv_timeout"]
@@ -624,6 +1236,7 @@ class ShardedMonitoringServer(MonitoringServer):
             server._failed = None
             server._shards = []
             server._shared = None
+            server._shared_list = []
             server._merged_results = dict(state["merged_results"])
             server._finalizer = None
             server._algorithm_key = state["algorithm"]
@@ -636,15 +1249,34 @@ class ShardedMonitoringServer(MonitoringServer):
             server._object_locations = dict(state["object_locations"])
             server._query_locations = dict(state["query_locations"])
             server._query_specs = dict(state["query_specs"])
+            server._assignment = {}
+            server._subnetworks = []
+            server._shard_edge_ids = []
+            server._shard_halos = []
+            server._query_owner = {}
+            server._boundary_queries = set(state.get("boundary_queries", ()))
+            server._divergent_queries = set(state.get("divergent_queries", ()))
+            server._boundary_refresh_needed = False
             shard_blobs = list(state["shard_blobs"])
         except KeyError as exc:
             raise RecoveryError(f"sharded snapshot is missing field {exc}") from exc
-        if len(shard_blobs) != server._num_workers:
+        if server._partitioning != "graph" and len(shard_blobs) != server._num_workers:
             raise RecoveryError(
                 f"sharded snapshot holds {len(shard_blobs)} shard blobs "
                 f"for {server._num_workers} workers"
             )
         server._spawn_workers(initial_queries={}, monitor_blobs=shard_blobs)
+        if server._partitioning == "graph":
+            # Ownership is derivable: a live query is owned by the shard of
+            # its edge unless the snapshot recorded it as boundary.
+            server._query_owner = {
+                query_id: (
+                    None
+                    if query_id in server._boundary_queries
+                    else server._owner_of_location(location)
+                )
+                for query_id, location in server._query_locations.items()
+            }
         return server
 
     # ------------------------------------------------------------------
@@ -658,6 +1290,6 @@ class ShardedMonitoringServer(MonitoringServer):
         if self._finalizer is not None:
             self._finalizer.detach()
             self._finalizer = None
-        shards, shared = self._shards, self._shared
-        self._shards, self._shared = [], None
-        _cleanup(shards, shared)
+        shards, shared_list = self._shards, self._shared_list
+        self._shards, self._shared, self._shared_list = [], None, []
+        _cleanup(shards, shared_list)

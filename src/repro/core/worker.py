@@ -17,7 +17,24 @@ The parent (:class:`~repro.core.sharding.ShardedMonitoringServer`) ships one
   serving: the parent packs the blobs into a durable fleet snapshot
   (:meth:`~repro.core.sharding.ShardedMonitoringServer.snapshot_state`)
   that a restored server respawns workers from.
+* ``("expand", requests)`` — graph-partitioned mode only: run one exact
+  network expansion per request (fresh or a *frontier continuation* seeded
+  at halo nodes) and reply ``("expanded", replies)`` where each reply is
+  ``(neighbors, halo_hits)`` — the settled halo nodes are what the
+  coordinator forwards to neighboring shards as resume requests.
+* ``("rss",)`` — reply ``("rss", peak_rss_bytes)`` of this worker process
+  (the memory-model evidence for graph partitioning: a block+halo worker
+  should peak well below a full-replica worker).
 * ``("stop",)`` — shut down.
+
+In graph-partitioned mode (``ShardInit.halo_nodes`` is not ``None``) the
+worker's replica is only its partition block plus a one-hop halo.  A local
+answer is exact iff its expansion never settled a halo node (any shortest
+path leaving the block crosses the halo at its first exit); after every
+tick the worker *probes* each potentially affected query with a
+fixed-radius re-expansion and **escalates** the ones whose probe touched
+the halo — it unregisters them and reports their ids so the coordinator
+takes over via the cross-shard expansion protocol.
 
 The flat-array CSR snapshot is *not* replicated: the parent exports it once
 per topology version through :class:`~repro.network.csr.SharedCSR` and the
@@ -31,10 +48,11 @@ import pickle
 import time
 import traceback
 from dataclasses import dataclass, field
-from typing import Dict, Optional, Tuple
+from typing import Dict, FrozenSet, Iterable, List, Optional, Tuple
 
 from repro.core.events import UpdateBatch, apply_batch
 from repro.core.results import KnnResult
+from repro.core.search import expand_knn
 from repro.network.csr import SharedCSRHandle, attach_shared_csr, install_snapshot
 from repro.network.edge_table import EdgeTable
 from repro.network.graph import NetworkLocation, RoadNetwork
@@ -90,6 +108,13 @@ class ShardInit:
     #: registered queries and the exact per-query float history included —
     #: instead of building fresh state from the fields above.
     monitor_blob: Optional[bytes] = None
+    #: graph-partitioned mode marker: the one-hop halo node ids bordering
+    #: this shard's block.  ``None`` selects replica mode (full network,
+    #: hash-partitioned queries); a set — possibly empty, e.g. a
+    #: single-shard partition — selects graph mode, where ``network_blob``
+    #: carries only the block+halo subnetwork and the worker escalates any
+    #: query whose expansion reaches a halo node.
+    halo_nodes: Optional[FrozenSet[int]] = None
 
 
 def _plain_result(result: KnnResult) -> KnnResult:
@@ -107,6 +132,121 @@ def _plain_result(result: KnnResult) -> KnnResult:
         ),
         radius=float(result.radius),
     )
+
+
+def _probe_escalations(
+    monitor,
+    network: RoadNetwork,
+    edge_table: EdgeTable,
+    halo_nodes: FrozenSet[int],
+    query_ids: Iterable[int],
+) -> List[int]:
+    """Return the sorted registered query ids whose local answer may be wrong.
+
+    A query's locally computed result is exact iff no shortest path to a
+    reported neighbor (nor any path that could have produced a closer one)
+    leaves the partition block: any full-graph path that exits the block
+    crosses a halo node at its first exit, and the path prefix up to that
+    crossing runs entirely over local edges.  So re-expanding with
+    ``fixed_radius=result.radius`` — which settles nodes at distance
+    *exactly* the radius too, unlike the exclusive k-NN stop rule — and
+    checking the settled set against the halo is a conservative, exact
+    containment test: no settled halo node means no shorter path can exist
+    outside the block.
+
+    Escalated unconditionally: aggregate queries (their aggregation points
+    may live on other shards' edges) and queries whose local radius is
+    ``inf`` (fewer than *k* objects visible locally — the real neighbors may
+    be anywhere).
+    """
+    escalated: List[int] = []
+    registered = monitor.query_ids()
+    for query_id in sorted(query_ids):
+        if query_id not in registered:
+            continue
+        spec = monitor.query_spec(query_id)
+        if spec.kind == "aggregate_knn":
+            escalated.append(query_id)
+            continue
+        radius = float(monitor.result_of(query_id).radius)
+        if radius == float("inf"):
+            escalated.append(query_id)
+            continue
+        probe = expand_knn(
+            network,
+            edge_table,
+            1,
+            query_location=monitor.query_location(query_id),
+            fixed_radius=radius,
+        )
+        if any(node_id in halo_nodes for node_id in probe.state.node_dist):
+            escalated.append(query_id)
+    return escalated
+
+
+def _serve_expansions(network, edge_table, halo_nodes, requests):
+    """Answer one ``("expand", requests)`` message of the cross-shard protocol.
+
+    Each request is ``(k, query_location, seed_nodes, candidates,
+    fixed_radius)``; exactly one of *query_location* (the owning shard's
+    fresh round) and *seed_nodes* (a frontier continuation forwarded by the
+    coordinator) is set.  The reply per request is ``(neighbors, halo_hits)``
+    where *halo_hits* lists every settled halo node as ``(node_id,
+    distance)`` — the continuations the coordinator may forward onward.
+    """
+    replies = []
+    for k, query_location, seed_nodes, candidates, fixed_radius in requests:
+        outcome = expand_knn(
+            network,
+            edge_table,
+            k,
+            query_location=query_location,
+            seed_nodes=seed_nodes,
+            candidates=candidates,
+            fixed_radius=fixed_radius,
+        )
+        neighbors = [
+            (int(object_id), float(distance))
+            for object_id, distance in outcome.neighbors
+        ]
+        halo_hits = [
+            (int(node_id), float(distance))
+            for node_id, distance in outcome.state.node_dist.items()
+            if node_id in halo_nodes and distance is not None
+        ]
+        replies.append((neighbors, halo_hits))
+    return replies
+
+
+def _peak_rss_bytes() -> int:
+    """This process's peak resident set size in bytes (0 when unavailable).
+
+    Prefers ``VmHWM`` from ``/proc/self/status`` over
+    ``getrusage().ru_maxrss``: on Linux ``ru_maxrss`` is per-task
+    accounting that survives ``exec``, so even a ``spawn``-ed worker
+    reports the *parent's* footprint at fork time, not its own state.
+    ``VmHWM`` is the high-water mark of the current address space, which
+    a spawned worker owns outright — the honest per-worker figure.
+    (A forked worker's ``VmHWM`` still starts at the parent's resident
+    size — copy-on-write pages are resident from birth — so memory
+    comparisons between partitioning modes must use ``spawn``.)
+    """
+    try:
+        with open("/proc/self/status") as status:
+            for line in status:
+                if line.startswith("VmHWM:"):
+                    return int(line.split()[1]) * 1024  # reported in kB
+    except Exception:
+        pass
+    try:
+        import resource
+        import sys
+
+        peak = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+        # ru_maxrss is kilobytes on Linux, bytes on macOS.
+        return int(peak) if sys.platform == "darwin" else int(peak) * 1024
+    except Exception:
+        return 0
 
 
 def _build_state(init: ShardInit):
@@ -131,7 +271,10 @@ def _build_state(init: ShardInit):
             query_id: _plain_result(monitor.result_of(query_id))
             for query_id in monitor.query_ids()
         }
-        return network, edge_table, monitor, results
+        # Restored monitors carry only queries that were contained at
+        # snapshot time (boundary queries live in the coordinator), so no
+        # registration-time probe is needed.
+        return network, edge_table, monitor, results, []
 
     network = pickle.loads(init.network_blob)
     edge_table = EdgeTable(network, build_spatial_index=False)
@@ -144,23 +287,34 @@ def _build_state(init: ShardInit):
     results: Dict[int, KnnResult] = {}
     for query_id, (location, k) in init.queries.items():
         results[query_id] = _plain_result(monitor.register_query(query_id, location, k))
-    return network, edge_table, monitor, results
+    escalated: List[int] = []
+    if init.halo_nodes is not None:
+        escalated = _probe_escalations(
+            monitor, network, edge_table, init.halo_nodes, list(results)
+        )
+        for query_id in escalated:
+            monitor.unregister_query(query_id)
+            results.pop(query_id, None)
+    return network, edge_table, monitor, results, escalated
 
 
 def run_shard_worker(conn, init: ShardInit) -> None:
     """Worker process entry point: build the replica, then serve ticks.
 
-    Sends ``("ready", initial_results)`` once construction succeeds, then
-    answers every tick message with ``("report", payload)`` where *payload*
-    is ``(timestamp, elapsed_seconds, cpu_seconds, changed_query_ids,
-    counters, changed_results)``; ``cpu_seconds`` is this process's CPU
+    Sends ``("ready", (initial_results, escalated_ids))`` once construction
+    succeeds (*escalated_ids* is always empty in replica mode), then answers
+    every tick message with ``("report", payload)`` where *payload* is
+    ``(timestamp, elapsed_seconds, cpu_seconds, changed_query_ids, counters,
+    changed_results, escalated_ids)``; ``cpu_seconds`` is this process's CPU
     time for the tick, the contention-free signal throughput studies use.
     Any exception is reported as ``("error", traceback_text)`` and ends the
     worker.
     """
     try:
-        network, edge_table, monitor, initial_results = _build_state(init)
-        conn.send(("ready", initial_results))
+        network, edge_table, monitor, initial_results, initial_escalated = (
+            _build_state(init)
+        )
+        conn.send(("ready", (initial_results, initial_escalated)))
     except Exception:
         try:
             conn.send(("error", traceback.format_exc()))
@@ -190,6 +344,19 @@ def run_shard_worker(conn, init: ShardInit) -> None:
                     conn.send(("error", traceback.format_exc()))
                     break
                 continue
+            if kind == "rss":
+                conn.send(("rss", _peak_rss_bytes()))
+                continue
+            if kind == "expand":
+                try:
+                    replies = _serve_expansions(
+                        network, edge_table, init.halo_nodes or frozenset(), message[1]
+                    )
+                    conn.send(("expanded", replies))
+                except Exception:
+                    conn.send(("error", traceback.format_exc()))
+                    break
+                continue
             if kind != "tick":
                 conn.send(("error", f"shard {init.shard_id}: unknown message {kind!r}"))
                 break
@@ -206,6 +373,25 @@ def run_shard_worker(conn, init: ShardInit) -> None:
                 apply_batch(network, edge_table, batch)
                 report = monitor.process_batch(batch)
                 changed = set(report.changed_queries)
+                escalated: List[int] = []
+                if init.halo_nodes is not None:
+                    # Edge-weight changes move halo distances silently, so
+                    # every registered query must be re-probed; otherwise
+                    # only queries whose answer or position changed can
+                    # newly spill over the boundary.
+                    if edge_updates:
+                        probe_ids = set(monitor.query_ids())
+                    else:
+                        probe_ids = set(changed)
+                        for update in query_updates:
+                            if not update.is_termination:
+                                probe_ids.add(update.query_id)
+                    escalated = _probe_escalations(
+                        monitor, network, edge_table, init.halo_nodes, probe_ids
+                    )
+                    for query_id in escalated:
+                        monitor.unregister_query(query_id)
+                        changed.discard(query_id)
                 results = {
                     query_id: _plain_result(monitor.result_of(query_id))
                     for query_id in changed
@@ -221,6 +407,7 @@ def run_shard_worker(conn, init: ShardInit) -> None:
                             changed,
                             dict(report.counters),
                             results,
+                            escalated,
                         ),
                     )
                 )

@@ -25,6 +25,7 @@ from __future__ import annotations
 
 import threading
 import weakref
+from collections import deque
 from dataclasses import dataclass
 from typing import Callable, Dict, Iterable, List, Optional, Tuple
 
@@ -437,6 +438,113 @@ def install_snapshot(network: RoadNetwork, snapshot: CSRGraph) -> None:
     instead of building a private copy.
     """
     _SNAPSHOTS[network] = snapshot
+
+
+# ---------------------------------------------------------------------------
+# graph partitioning (network-partitioned sharded execution)
+# ---------------------------------------------------------------------------
+
+
+def grow_partitions(csr: CSRGraph, parts: int) -> Dict[int, int]:
+    """Partition the snapshot's nodes into *parts* region blocks.
+
+    A deterministic metis-lite BFS grower: regions grow one at a time from
+    the lowest unassigned dense index, absorbing unassigned neighbors in
+    adjacency-slot order until the region reaches its size target
+    ``ceil(remaining_nodes / remaining_parts)``; disconnected leftovers
+    re-seed at the next unassigned index, so every node is assigned and no
+    region is empty (``parts`` is clamped to the node count).  The result
+    depends only on the snapshot's columns, so every process that rebuilds
+    the snapshot over an identical network derives the identical partition.
+
+    Returns:
+        node id -> part index (0-based) for every node of the snapshot.
+
+    Example::
+
+        assignment = grow_partitions(csr_snapshot(network), parts=4)
+        blocks = {part: [n for n, p in assignment.items() if p == part]
+                  for part in range(4)}
+    """
+    n = len(csr.node_ids)
+    parts = max(1, min(int(parts), n)) if n else 1
+    assignment = [parts - 1] * n  # the last region takes every leftover
+    indptr = csr.indptr
+    adj_node = csr.adj_node
+    cursor = 0
+    remaining = n
+    assigned = bytearray(n)
+    for part in range(parts - 1):
+        target = -(-remaining // (parts - part))
+        size = 0
+        queue: deque = deque()
+        enqueued = bytearray(n)
+        while size < target:
+            if not queue:
+                while cursor < n and assigned[cursor]:
+                    cursor += 1
+                if cursor >= n:
+                    break
+                queue.append(cursor)
+                enqueued[cursor] = 1
+            u = queue.popleft()
+            if assigned[u]:
+                continue
+            assigned[u] = 1
+            assignment[u] = part
+            size += 1
+            for slot in range(indptr[u], indptr[u + 1]):
+                v = adj_node[slot]
+                if not assigned[v] and not enqueued[v]:
+                    enqueued[v] = 1
+                    queue.append(v)
+        remaining -= size
+    node_ids = csr.node_ids
+    return {node_ids[index]: assignment[index] for index in range(n)}
+
+
+def partition_block(
+    csr: CSRGraph, assignment: Dict[int, int], part: int
+) -> Tuple[List[int], List[int], List[int]]:
+    """Block / halo / local-edge split of one partition.
+
+    Returns ``(block, halo, local_edge_ids)``:
+
+    * ``block`` — node ids assigned to *part*, in snapshot (dense) order;
+    * ``local_edge_ids`` — edges with at least one endpoint in the block
+      (edges straddling a cut are local to **both** sides), in snapshot
+      edge order, which is the network's insertion order;
+    * ``halo`` — the one-hop boundary: out-of-block endpoints of the local
+      edges, in first-appearance order.
+
+    A shard holding ``block + halo`` nodes and the local edges can settle
+    any search exactly up to the halo ring; reaching a halo node is the
+    signal that the search spilled into a neighboring shard.
+
+    Example::
+
+        block, halo, edges = partition_block(csr, assignment, part=0)
+    """
+    node_ids = csr.node_ids
+    block = [node_id for node_id in node_ids if assignment[node_id] == part]
+    local_edge_ids: List[int] = []
+    halo: List[int] = []
+    halo_seen: set = set()
+    edge_start = csr.edge_start
+    edge_end = csr.edge_end
+    for position, edge_id in enumerate(csr.edge_ids):
+        a = node_ids[edge_start[position]]
+        b = node_ids[edge_end[position]]
+        a_in = assignment[a] == part
+        b_in = assignment[b] == part
+        if not (a_in or b_in):
+            continue
+        local_edge_ids.append(edge_id)
+        outside = b if a_in and not b_in else a if b_in and not a_in else None
+        if outside is not None and outside not in halo_seen:
+            halo_seen.add(outside)
+            halo.append(outside)
+    return block, halo, local_edge_ids
 
 
 # ---------------------------------------------------------------------------

@@ -204,13 +204,21 @@ def load_initial_state(data_dir: Union[str, os.PathLike]) -> InitialState:
             timestamp=int(record["timestamp"]),
         )
     if kind == "sharded":
-        for blob in state["shard_blobs"]:
-            monitor = pickle.loads(blob)
-            for query_id in monitor.query_ids():
-                queries[query_id] = (
-                    monitor.query_location(query_id),
-                    monitor.query_spec(query_id),
-                )
+        if "query_locations" in state and "query_specs" in state:
+            # The coordinator-level maps cover every registered query.  The
+            # shard blobs alone would miss graph-partitioned boundary
+            # queries, which are evaluated by the coordinator and therefore
+            # registered in no shard's monitor.
+            for query_id, location in state["query_locations"].items():
+                queries[query_id] = (location, state["query_specs"][query_id])
+        else:  # pragma: no cover - snapshots predating coordinator maps
+            for blob in state["shard_blobs"]:
+                monitor = pickle.loads(blob)
+                for query_id in monitor.query_ids():
+                    queries[query_id] = (
+                        monitor.query_location(query_id),
+                        monitor.query_spec(query_id),
+                    )
         return InitialState(
             network=state["network"],
             edge_table=state["edge_table"],

@@ -178,6 +178,7 @@ class Simulator:
         algorithm: str = "ima",
         workers: int = 1,
         kernel: str = DEFAULT_KERNEL,
+        partitioning: str = "replica",
     ) -> MonitoringServer:
         """Build a :class:`MonitoringServer` sharing this scenario's state.
 
@@ -190,6 +191,9 @@ class Simulator:
         (see :mod:`repro.network.kernels`); an unknown name fails here, at
         construction, with
         :class:`~repro.exceptions.UnknownKernelError`.
+        ``partitioning="graph"`` builds the sharded server over network
+        region shards instead of full replicas (see
+        :class:`~repro.core.sharding.ShardedMonitoringServer`).
         """
         server = MonitoringServer(
             self._network,
@@ -197,6 +201,7 @@ class Simulator:
             edge_table=self._edge_table,
             workers=workers,
             kernel=kernel,
+            partitioning=partitioning,
         )
         for query_id, location in self._query_locations.items():
             server.add_query(query_id, location, self._config.k)

@@ -79,6 +79,7 @@ def replay_command(
     kernel: str = DEFAULT_KERNEL,
     query_types: str = "default",
     dedup: bool = False,
+    partitioning: str = "replica",
 ) -> str:
     """The one-command local reproduction of a fuzz failure.
 
@@ -89,7 +90,9 @@ def replay_command(
     the command carries ``FUZZ_WORKERS`` (and ``FUZZ_SERVER_ALGORITHM`` /
     ``FUZZ_SERVER_KERNEL`` when not the defaults) so a sharded-only
     divergence reproduces too.  When it ran the dedup frontend next to the
-    plain servers it carries ``FUZZ_DEDUP=1``.
+    plain servers it carries ``FUZZ_DEDUP=1``, and when it additionally
+    drove a graph-partitioned sharded leg it carries
+    ``FUZZ_PARTITIONING=graph``.
     """
     env = f"FUZZ_SCENARIO={scenario} FUZZ_SEED={seed} "
     if kernel != DEFAULT_KERNEL:
@@ -104,6 +107,8 @@ def replay_command(
             env += f"FUZZ_SERVER_ALGORITHM={server_algorithm} "
         if server_kernel != DEFAULT_KERNEL:
             env += f"FUZZ_SERVER_KERNEL={server_kernel} "
+        if partitioning != "replica":
+            env += f"FUZZ_PARTITIONING={partitioning} "
     return (
         env + "PYTHONPATH=src "
         "python -m pytest tests/test_fuzz_differential.py::test_replay_from_env -q -s"
@@ -133,6 +138,9 @@ class DifferentialReport:
     #: whether the run drove the dedup frontend next to the plain servers,
     #: carried so failure_message can emit FUZZ_DEDUP
     dedup: bool = False
+    #: the sharded-server partitioning of the run ("replica" or "graph"),
+    #: carried so failure_message can emit FUZZ_PARTITIONING
+    partitioning: str = "replica"
 
     @property
     def ok(self) -> bool:
@@ -149,7 +157,7 @@ class DifferentialReport:
             f"({len(self.mismatches)} mismatches over {self.timestamps} ticks):\n"
             f"  {shown}{suffix}\n"
             f"replay locally with:\n  "
-            f"{replay_command(self.scenario, self.seed, self.workers, self.server_algorithm, self.server_kernel, kernel=self.panel_kernel, query_types=self.query_types, dedup=self.dedup)}"
+            f"{replay_command(self.scenario, self.seed, self.workers, self.server_algorithm, self.server_kernel, kernel=self.panel_kernel, query_types=self.query_types, dedup=self.dedup, partitioning=self.partitioning)}"
         )
 
     @property
@@ -168,6 +176,7 @@ def _make_scenario_server(
     workers: Optional[int],
     kernel: str = DEFAULT_KERNEL,
     dedup: bool = False,
+    partitioning: str = "replica",
 ) -> MonitoringServer:
     """A server over a private network replica, primed with the engine's state.
 
@@ -180,7 +189,9 @@ def _make_scenario_server(
     single-worker matrix leg.  With ``dedup=True`` the server is wrapped in
     a :class:`~repro.core.dedup.DedupFrontend` *before* the initial queries
     are installed, so co-located tenants of the scenario share physical
-    queries from the very first tick.
+    queries from the very first tick.  ``partitioning="graph"`` builds the
+    sharded server over network-partitioned region shards instead of full
+    replicas (ignored for the in-process server, which has no shards).
     """
     from repro.core.sharding import ShardedMonitoringServer
 
@@ -199,6 +210,7 @@ def _make_scenario_server(
             edge_table=edge_table,
             kernel=kernel,
             workers=workers,
+            partitioning=partitioning,
         )
     if dedup:
         from repro.core.dedup import DedupFrontend
@@ -221,6 +233,7 @@ def run_differential_scenario(
     server_kernel: str = DEFAULT_KERNEL,
     query_types: str = "default",
     dedup: bool = False,
+    partitioning: str = "replica",
 ) -> DifferentialReport:
     """Run *algorithms* over a scenario stream and diff them against the oracle.
 
@@ -261,6 +274,18 @@ def run_differential_scenario(
     member; byte-identity stays enforced for every other scenario and for
     the history-free GMA/OVH servers on venue scenarios too.
 
+    With ``partitioning="graph"`` (requires *workers*) the stream drives a
+    **third** sharded leg built over network-partitioned region shards
+    instead of full replicas.  It must match the oracle at every timestamp
+    and be **byte-identical** to the single-process reference for every
+    query except those the partitioned server itself reports in
+    :meth:`~repro.core.sharding.ShardedMonitoringServer.divergent_query_ids`
+    — IMA queries that escalated to coordinator-side boundary evaluation,
+    whose fresh re-expansion differs in the last ULP from the incremental
+    expansion-tree history (the same float-history class as the dedup
+    carve-out above); those are still checked against the oracle with
+    :func:`~repro.core.results.results_equal`.
+
     Example::
 
         report = run_differential_scenario("churn-heavy", seed=7, workers=4)
@@ -294,6 +319,12 @@ def run_differential_scenario(
     servers: Dict[str, MonitoringServer] = {}
     if workers is not None and workers < 1:
         raise SimulationError(f"workers must be >= 1, got {workers}")
+    if partitioning not in ("replica", "graph"):
+        raise SimulationError(
+            f"unknown partitioning {partitioning!r}; use 'replica' or 'graph'"
+        )
+    if partitioning == "graph" and workers is None:
+        raise SimulationError("partitioning='graph' requires workers")
     prefix = server_algorithm.upper()
     if workers is not None or dedup:
         # Distinct keys even when workers == 1: the baseline is always the
@@ -306,6 +337,16 @@ def run_differential_scenario(
     if workers is not None:
         servers[f"{prefix}-server-x{workers}"] = _make_scenario_server(
             network, engine, server_algorithm, workers=workers, kernel=server_kernel
+        )
+    graph_name: Optional[str] = None
+    if partitioning == "graph" and workers is not None:
+        # A third sharded leg over network-partitioned region shards; the
+        # replica leg above stays as the like-for-like IPC baseline so
+        # replica/graph divergences are attributable to partitioning alone.
+        graph_name = f"{prefix}-server-graph-x{workers}"
+        servers[graph_name] = _make_scenario_server(
+            network, engine, server_algorithm, workers=workers,
+            kernel=server_kernel, partitioning=partitioning,
         )
     if dedup:
         servers[f"{prefix}-dedup-single"] = _make_scenario_server(
@@ -339,6 +380,7 @@ def run_differential_scenario(
         algorithms=tuple(algorithms),
         query_types=query_types,
         dedup=dedup,
+        partitioning=partitioning,
     )
     try:
         for batch in engine.batches(rounds):
@@ -395,6 +437,16 @@ def run_differential_scenario(
                             f"t={batch.timestamp} {name} q={query_id}: dedup "
                             f"result {answer} not byte-identical to plain "
                             f"{reference}"
+                        )
+                    elif (
+                        name == graph_name
+                        and answer != reference
+                        and query_id not in server.divergent_query_ids()
+                    ):
+                        report.mismatches.append(
+                            f"t={batch.timestamp} {name} q={query_id}: "
+                            f"graph-partitioned result {answer} not "
+                            f"byte-identical to single-process {reference}"
                         )
     finally:
         for server in servers.values():

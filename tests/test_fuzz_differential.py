@@ -52,6 +52,12 @@ FUZZ_QUERY_TYPES = os.environ.get("FUZZ_QUERY_TYPES", "default")
 #: ``dedup`` flag for the byte-identity contract).
 FUZZ_DEDUP = os.environ.get("FUZZ_DEDUP", "0") == "1"
 
+#: Partitioning matrix axis: ``FUZZ_PARTITIONING=graph`` adds a sharded
+#: leg over network-partitioned region shards next to the replica leg in
+#: server-driving runs (see ``run_differential_scenario``'s
+#: ``partitioning`` flag for the byte-identity contract).
+FUZZ_PARTITIONING = os.environ.get("FUZZ_PARTITIONING", "replica")
+
 #: Seeds per preset; 9 presets x 4 seeds = 36 differential runs (>= 25).
 SEEDS_PER_PRESET = 4
 
@@ -104,6 +110,7 @@ def test_replay_from_env():
         server_kernel=os.environ.get("FUZZ_SERVER_KERNEL", "csr"),
         query_types=FUZZ_QUERY_TYPES,
         dedup=FUZZ_DEDUP,
+        partitioning=FUZZ_PARTITIONING if workers else "replica",
     )
     assert report.ok, report.failure_message(limit=50)
 
@@ -133,6 +140,25 @@ def test_sharded_failure_report_carries_workers():
     message = report.failure_message()
     assert "FUZZ_WORKERS=2" in message
     assert "FUZZ_SERVER_ALGORITHM=gma" in message
+
+
+def test_graph_partitioned_failure_report_carries_axis():
+    """Graph-partitioned reports embed FUZZ_PARTITIONING so they reproduce."""
+    report = run_differential_scenario(
+        "uniform-drift",
+        seed=_seed(3),
+        algorithms=(),
+        workers=2,
+        partitioning="graph",
+        timestamps=1,
+    )
+    report.mismatches.append(
+        "t=0 IMA-server-graph-x2 q=1000000: synthetic mismatch"
+    )
+    message = report.failure_message()
+    assert "FUZZ_WORKERS=2" in message
+    assert "FUZZ_PARTITIONING=graph" in message
+    assert "test_replay_from_env" in message
 
 
 def test_dedup_failure_report_carries_flag():

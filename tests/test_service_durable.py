@@ -30,14 +30,16 @@ CHECKPOINT_EVERY = 3
 
 
 def _drive(data_dir, algorithm="IMA", kernel="csr", scenario="uniform-drift", seed=5,
-           ticks=TICKS, checkpoint_every=CHECKPOINT_EVERY, workers=None):
+           ticks=TICKS, checkpoint_every=CHECKPOINT_EVERY, workers=None,
+           keep_checkpoints=4):
     """Run a durable server over a scenario, recording results() per tick."""
     spec = resolve_scenario(scenario)
     network = city_network(120, seed=seed + 1)
     engine = ScenarioEngine(network, spec, seed=seed)
     server = build_scenario_server(scenario, seed, 120, algorithm, kernel, workers)
     durable = DurableMonitoringServer(
-        server, data_dir, checkpoint_every=checkpoint_every
+        server, data_dir, checkpoint_every=checkpoint_every,
+        keep_checkpoints=keep_checkpoints,
     )
     expected = {}
     for timestamp in range(ticks):
@@ -186,6 +188,60 @@ def test_checkpoint_pruning_keeps_genesis_and_newest(tmp_path):
     assert names[0] == "ckpt-0000000000.bin"
     assert len(names) <= 1 + 4
     assert names[-1] == "ckpt-0000000006.bin"
+
+
+def test_keep_one_pruning_never_deletes_genesis(tmp_path):
+    """With ``keep_checkpoints=1`` every prune leaves genesis + the newest.
+
+    The prune runs only after the replacement checkpoint landed (atomic
+    tmp+fsync+replace), and ``paths[0]`` — genesis — is exempt, so the
+    recovery chain "newest, else genesis + full replay" can never lose
+    both of its anchors to pruning.
+    """
+    durable, _ = _drive(
+        tmp_path / "d", ticks=8, checkpoint_every=1, keep_checkpoints=1, seed=4
+    )
+    durable.close()
+    names = sorted(
+        p.name for p in (tmp_path / "d" / "checkpoints").glob("ckpt-*.bin")
+    )
+    assert names[0] == "ckpt-0000000000.bin"  # genesis survived 8 prunes
+    assert names == ["ckpt-0000000000.bin", "ckpt-0000000008.bin"]
+
+
+def test_torn_newest_with_keep_one_recovers_via_genesis_replay(tmp_path):
+    """keep_checkpoints=1 + torn newest checkpoint must still land.
+
+    The worst fault shape for aggressive pruning: the only non-genesis
+    checkpoint is torn, so recovery has to fall back to genesis and replay
+    the **entire** event log — and end byte-identical to the uncrashed
+    run.
+    """
+    durable, _ = _drive(
+        tmp_path / "d", ticks=6, checkpoint_every=2, keep_checkpoints=1, seed=9
+    )
+    final = {
+        query_id: result.neighbors
+        for query_id, result in durable.results().items()
+    }
+    durable.close()
+    checkpoints = sorted((tmp_path / "d" / "checkpoints").glob("ckpt-*.bin"))
+    assert len(checkpoints) == 2  # genesis + the single retained newest
+    newest = checkpoints[-1]
+    newest.write_bytes(newest.read_bytes()[:16])  # torn mid-write
+    recovered = DurableMonitoringServer.recover(
+        tmp_path / "d", keep_checkpoints=1
+    )
+    try:
+        assert recovered.recovered_ticks == 6  # full replay from genesis
+        assert recovered.current_timestamp == 6
+        actual = {
+            query_id: result.neighbors
+            for query_id, result in recovered.results().items()
+        }
+        assert actual == final
+    finally:
+        recovered.close()
 
 
 # ----------------------------------------------------------------------

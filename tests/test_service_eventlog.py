@@ -118,6 +118,56 @@ def test_crc_bad_mid_file_record_raises(log_path):
         read_event_log(log_path)
 
 
+def test_truncation_at_every_offset_of_the_final_frame_is_torn(log_path):
+    """Byte-exhaustive torn-tail boundary sweep over the last frame.
+
+    The crash shape the repair path exists for: the file ends anywhere
+    inside the final record's ``<len, crc32>`` header (1–7 bytes present)
+    or its payload.  Every such cut must classify as a torn tail ending at
+    the previous record — never as mid-file corruption, never a hang —
+    and reopening must repair to exactly that boundary.
+    """
+    with EventLog(log_path) as log:
+        log.append(b"first")
+        log.append(b"second")
+        prev_end = log.offset
+        log.append(b"final-frame-pad")  # 8-byte header + 15-byte payload
+    full = log_path.read_bytes()
+    assert prev_end < len(full)
+    for cut in range(prev_end + 1, len(full)):
+        log_path.write_bytes(full[:cut])
+        scan = scan_event_log(log_path)
+        present = cut - prev_end
+        assert scan.torn, f"{present} tail bytes misread as clean"
+        assert scan.valid_end == prev_end, (
+            f"cut {present} bytes into the final frame: valid_end "
+            f"{scan.valid_end}, expected {prev_end}"
+        )
+        assert [r.payload for r in scan.records] == [b"first", b"second"]
+        with EventLog(log_path) as log:  # repair, then keep appending
+            assert log.offset == prev_end
+            log.append(b"resumed")
+        assert read_event_log(log_path) == [b"first", b"second", b"resumed"]
+    # Cutting exactly at the previous record's end is a clean file.
+    log_path.write_bytes(full[:prev_end])
+    scan = scan_event_log(log_path)
+    assert not scan.torn and scan.valid_end == prev_end
+
+
+def test_truncation_inside_the_only_record_repairs_to_genesis(log_path):
+    """A log whose single record is torn repairs back to the bare magic."""
+    with EventLog(log_path) as log:
+        log.append(b"solo")
+    full = log_path.read_bytes()
+    for cut in range(len(MAGIC) + 1, len(full)):
+        log_path.write_bytes(full[:cut])
+        scan = scan_event_log(log_path)
+        assert scan.torn and scan.valid_end == len(MAGIC)
+        assert scan.records == []
+        with EventLog(log_path) as log:
+            assert log.offset == len(MAGIC)
+
+
 def test_sync_flag_controls_buffering_not_correctness(log_path):
     with EventLog(log_path, sync=False) as log:
         log.append(b"buffered")

@@ -39,6 +39,12 @@ QUERY_TYPES = os.environ.get("FUZZ_QUERY_TYPES", "default")
 #: canonical-id fanout is exercised across worker partitioning too.
 DEDUP = os.environ.get("FUZZ_DEDUP", "0") == "1"
 
+#: Partitioning of the sharded leg (CI matrixes replica vs graph):
+#: ``graph`` adds a third server over network-partitioned region shards
+#: that must stay byte-identical to the single-process reference outside
+#: its own ``divergent_query_ids`` carve-out.
+PARTITIONING = os.environ.get("SHARDED_PARTITIONING", "replica")
+
 
 #: Spread per-scenario seeds apart, mirroring the main fuzz suite, so each
 #: CI run exercises a different (query-id population, shard assignment)
@@ -59,6 +65,7 @@ def test_sharded_server_matches_oracle(index, scenario):
         server_kernel=KERNEL,
         query_types=QUERY_TYPES,
         dedup=DEDUP,
+        partitioning=PARTITIONING,
     )
     assert report.checks > 0
     assert report.ok, report.failure_message()
@@ -75,6 +82,7 @@ def test_sharded_server_matches_oracle_gma():
         server_kernel=KERNEL,
         query_types=QUERY_TYPES,
         dedup=DEDUP,
+        partitioning=PARTITIONING,
     )
     assert report.checks > 0
     assert report.ok, report.failure_message()

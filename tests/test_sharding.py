@@ -20,10 +20,12 @@ from repro import (
     csr_snapshot,
     shard_of,
 )
+from repro.core.events import UpdateBatch
 from repro.core.sharding import default_start_method
 from repro.exceptions import (
     DuplicateObjectError,
     MonitoringError,
+    ServerFailedError,
     UnknownQueryError,
 )
 from repro.network.csr import SharedCSR, attach_shared_csr
@@ -362,23 +364,46 @@ def test_apply_updates_preserves_reinstall_k():
         assert sharded.result_of(100).neighbors == single.result_of(100).neighbors
 
 
-def test_results_readable_after_close():
-    """Like the base server, results survive close(); ticking does not."""
+def test_every_public_method_raises_typed_error_after_close():
+    """Use-after-close raises MonitoringError everywhere — never a hang or
+    AttributeError.  Results are no exception: a closed fleet can never
+    refresh the cache, so serving it would silently return stale answers;
+    callers keep the dict returned by results() *before* closing instead."""
     network = city_network(80, seed=24)
     with MonitoringServer(network, algorithm="ima", workers=2) as server:
         server.add_object_at(1, x=30.0, y=30.0)
         server.add_query_at(1_000_000, x=35.0, y=40.0, k=1)
         server.tick()
-        expected = server.result_of(1_000_000).neighbors
-    assert server.result_of(1_000_000).neighbors == expected
-    assert set(server.results()) == {1_000_000}
+        final = server.results()
+    assert set(final) == {1_000_000}
     with pytest.raises(MonitoringError, match="closed"):
         server.tick()
+    with pytest.raises(MonitoringError, match="closed"):
+        server.take_pending_batch()
+    with pytest.raises(MonitoringError, match="closed"):
+        server.apply_taken_batch(UpdateBatch(timestamp=99))
+    with pytest.raises(MonitoringError, match="closed"):
+        server.snapshot_state()
+    with pytest.raises(MonitoringError, match="closed"):
+        server.result_of(1_000_000)
+    with pytest.raises(MonitoringError, match="closed"):
+        server.results()
+    with pytest.raises(MonitoringError, match="closed"):
+        server.discard_pending()
+    with pytest.raises(MonitoringError, match="closed"):
+        server.worker_peak_rss()
     # Ingestion fails fast too — buffered updates could never be processed.
     with pytest.raises(MonitoringError, match="closed"):
         server.add_object_at(2, x=50.0, y=50.0)
     with pytest.raises(MonitoringError, match="closed"):
         server.remove_query(1_000_000)
+    # close() stays idempotent, and the errors stay typed (MonitoringError,
+    # not ServerFailedError — the server was closed deliberately).
+    server.close()
+    try:
+        server.results()
+    except MonitoringError as exc:
+        assert not isinstance(exc, ServerFailedError)
 
 
 def test_plain_subclass_rejects_workers():
